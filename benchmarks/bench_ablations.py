@@ -1,0 +1,156 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate *why* each mechanism earns its
+place, printing side-by-side resilience with the mechanism on and off:
+
+- onion layering (vs handing the key to one holder for the whole period);
+- path replication (k > 1 vs k = 1);
+- joint fan-out (vs disjoint rows) at identical node cost;
+- balanced Shamir thresholds (Algorithm 1's m) vs naive majority m.
+"""
+
+import numpy as np
+from conftest import bench_trials, run_once
+
+from repro.core.analysis import (
+    centralized_resilience,
+    disjoint_resilience,
+    joint_resilience,
+)
+from repro.core.schemes.keyshare import algorithm1
+from repro.experiments.churn_model import simulate_key_share
+from repro.experiments.reporting import format_series_table
+
+P_SWEEP = (0.05, 0.15, 0.25, 0.35, 0.45)
+
+
+def test_ablation_onion_layering(benchmark):
+    """Onion layering is what turns one point of trust into l of them."""
+
+    def sweep():
+        rows = []
+        for p in P_SWEEP:
+            no_onion = centralized_resilience(p).release
+            with_onion = disjoint_resilience(p, 1, 8).release
+            rows.append((p, no_onion, with_onion))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series_table(
+            "Ablation: release resilience, single holder vs 8-layer onion (k=1)",
+            "p",
+            [row[0] for row in rows],
+            {
+                "no onion": [row[1] for row in rows],
+                "8-layer onion": [row[2] for row in rows],
+            },
+        )
+    )
+    for p, no_onion, with_onion in rows:
+        if p > 0:
+            assert with_onion > no_onion  # layering strictly helps Rr
+
+
+def test_ablation_replication(benchmark):
+    """Replication is what rescues drop resilience (at an Rr price)."""
+
+    def sweep():
+        rows = []
+        for p in P_SWEEP:
+            single = disjoint_resilience(p, 1, 6)
+            replicated = disjoint_resilience(p, 3, 6)
+            rows.append((p, single.drop, replicated.drop, single.release, replicated.release))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series_table(
+            "Ablation: drop resilience, k=1 vs k=3 (l=6, node-disjoint)",
+            "p",
+            [row[0] for row in rows],
+            {
+                "Rd k=1": [row[1] for row in rows],
+                "Rd k=3": [row[2] for row in rows],
+                "Rr k=1": [row[3] for row in rows],
+                "Rr k=3": [row[4] for row in rows],
+            },
+        )
+    )
+    for p, drop_single, drop_replicated, release_single, release_replicated in rows:
+        if p > 0:
+            assert drop_replicated > drop_single
+            assert release_replicated <= release_single  # the tradeoff
+
+
+def test_ablation_joint_fanout(benchmark):
+    """Same grid, same cost: full column fan-out vs fixed rows."""
+
+    def sweep():
+        rows = []
+        for p in P_SWEEP:
+            disjoint = disjoint_resilience(p, 3, 6)
+            joint = joint_resilience(p, 3, 6)
+            rows.append((p, min(disjoint.release, disjoint.drop), min(joint.release, joint.drop)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series_table(
+            "Ablation: worst-case resilience, disjoint vs joint (k=3, l=6)",
+            "p",
+            [row[0] for row in rows],
+            {
+                "disjoint": [row[1] for row in rows],
+                "joint": [row[2] for row in rows],
+            },
+        )
+    )
+    for _, disjoint_worst, joint_worst in rows:
+        assert joint_worst >= disjoint_worst - 1e-12
+
+
+def test_ablation_balanced_thresholds(benchmark):
+    """Algorithm 1's Dif-minimizing m vs a naive majority threshold."""
+
+    def sweep():
+        rows = []
+        trials = bench_trials()
+        for p in (0.1, 0.2, 0.3):
+            balanced_plan = algorithm1(5, 10, 2000, 3.0, 1.0, p)
+            naive_thresholds = tuple(
+                balanced_plan.shares_per_column // 2 + 1
+                for _ in balanced_plan.thresholds
+            )
+            naive_plan = type(balanced_plan)(
+                **{
+                    **balanced_plan.__dict__,
+                    "thresholds": naive_thresholds,
+                }
+            )
+            rng = np.random.default_rng(123)
+            balanced = simulate_key_share(balanced_plan, 3.0, trials, rng)
+            rng = np.random.default_rng(123)
+            naive = simulate_key_share(naive_plan, 3.0, trials, rng)
+            rows.append((p, balanced.worst, naive.worst))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series_table(
+            "Ablation: Algorithm 1 balanced m vs naive majority m (alpha=3)",
+            "p",
+            [row[0] for row in rows],
+            {
+                "balanced m": [row[1] for row in rows],
+                "majority m": [row[2] for row in rows],
+            },
+        )
+    )
+    # Balanced thresholds should never be much worse and usually better.
+    for _, balanced, naive in rows:
+        assert balanced >= naive - 0.05

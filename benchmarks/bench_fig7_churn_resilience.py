@@ -1,0 +1,73 @@
+"""Figure 7 — churn resilience for α = T / t_life in {1, 2, 3, 5}.
+
+One benchmark per panel; each prints R vs p for the four schemes
+(central / disjoint / joint / share) under the epoch churn model.
+"""
+
+import pytest
+from conftest import bench_trials, run_once
+
+from repro.experiments.churn_resilience import (
+    DEFAULT_P_SWEEP,
+    panel,
+    run_churn_resilience,
+)
+from repro.experiments.reporting import format_series_table
+
+PANELS = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 5.0}
+
+
+def _print_panel(points, alpha, label):
+    data = panel(points, alpha)
+    x_values = [p for p, _ in data["central"]]
+    series = {
+        scheme: [value for _, value in data[scheme]]
+        for scheme in ("central", "disjoint", "joint", "share")
+    }
+    print()
+    print(
+        format_series_table(
+            f"Fig 7({label}): churn resilience R vs p (alpha={alpha:g})",
+            "p",
+            x_values,
+            series,
+        )
+    )
+    return {scheme: dict(data[scheme]) for scheme in series}
+
+
+@pytest.mark.parametrize("label", list(PANELS))
+def test_fig7_panel(benchmark, label):
+    alpha = PANELS[label]
+    points = run_once(
+        benchmark,
+        run_churn_resilience,
+        alphas=(alpha,),
+        p_sweep=DEFAULT_P_SWEEP,
+        trials=bench_trials(),
+    )
+    series = _print_panel(points, alpha, label)
+    # Paper claims: the share scheme keeps nearly unchanged high
+    # resilience for p < 0.3 at every alpha; central is the baseline.
+    for p in (0.05, 0.15, 0.25):
+        assert series["share"][p] > 0.9
+        assert series["central"][p] <= series["share"][p] + 0.02
+
+
+def test_fig7_share_flatness_across_alphas(benchmark):
+    """Cross-panel claim: α barely moves the share scheme below p = 0.3."""
+    points = run_once(
+        benchmark,
+        run_churn_resilience,
+        alphas=(1.0, 5.0),
+        p_sweep=(0.1, 0.2, 0.25),
+        trials=bench_trials(),
+        schemes=("share",),
+    )
+    calm = dict(panel(points, 1.0)["share"])
+    harsh = dict(panel(points, 5.0)["share"])
+    print()
+    print("share scheme, alpha=1 vs alpha=5:")
+    for p in (0.1, 0.2, 0.25):
+        print(f"  p={p:.2f}: {calm[p]:.4f} vs {harsh[p]:.4f}")
+        assert abs(calm[p] - harsh[p]) < 0.05

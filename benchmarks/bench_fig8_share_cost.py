@@ -1,0 +1,55 @@
+"""Figure 8 — key-share routing cost: resilience vs node budget N.
+
+α = 3, N in {100, 1000, 5000, 10000}.  Prints one column per budget
+(Monte Carlo) plus Algorithm 1's analytic prediction.
+"""
+
+from conftest import bench_trials, run_once
+
+from repro.experiments.cost import (
+    DEFAULT_BUDGETS,
+    DEFAULT_P_SWEEP,
+    run_share_cost,
+    series_by_budget,
+)
+from repro.experiments.reporting import format_series_table
+
+
+def test_fig8_share_cost(benchmark):
+    points = run_once(
+        benchmark,
+        run_share_cost,
+        budgets=DEFAULT_BUDGETS,
+        p_sweep=DEFAULT_P_SWEEP,
+        trials=bench_trials(),
+    )
+    grouped = series_by_budget(points)
+    x_values = [p for p, _, _ in grouped[DEFAULT_BUDGETS[0]]]
+    series = {}
+    for budget in DEFAULT_BUDGETS:
+        series[f"N={budget}"] = [measured for _, measured, _ in grouped[budget]]
+    for budget in DEFAULT_BUDGETS:
+        series[f"N={budget} (alg1)"] = [
+            analytic for _, _, analytic in grouped[budget]
+        ]
+    print()
+    print(
+        format_series_table(
+            "Fig 8: key-share scheme resilience vs p per node budget (alpha=3)",
+            "p",
+            x_values,
+            series,
+        )
+    )
+
+    by_budget = {
+        budget: dict((p, measured) for p, measured, _ in grouped[budget])
+        for budget in DEFAULT_BUDGETS
+    }
+    # Paper claims (§IV-B.3):
+    assert by_budget[10000][0.3] > 0.9  # drops only after p > 0.3
+    assert by_budget[1000][0.25] > 0.9  # good to p ~ 0.26
+    assert by_budget[100][0.1] > 0.9  # acceptable to p ~ 0.14
+    # 5000 nearly coincides with 10000 for moderate p.
+    for p in (0.1, 0.2, 0.25):
+        assert abs(by_budget[5000][p] - by_budget[10000][p]) < 0.03

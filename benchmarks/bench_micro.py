@@ -1,0 +1,80 @@
+"""Micro-benchmarks for the substrates the figures rest on.
+
+These are conventional pytest-benchmark timings (many rounds): the crypto
+primitives, Algorithm 1, the planner's grid search, DHT lookups and the
+end-to-end protocol run.  They guard against performance regressions that
+would make the figure sweeps impractically slow.
+"""
+
+from repro.core.onion import OnionCore, build_onion, peel_onion
+from repro.core.planner import plan_configuration
+from repro.core.schemes.keyshare import algorithm1
+from repro.crypto.cipher import decrypt, encrypt
+from repro.crypto.shamir import combine_shares, split_secret
+from repro.dht.bootstrap import build_network
+from repro.dht.node_id import NodeId
+from repro.util.rng import RandomSource
+
+KEY = b"k" * 32
+PAYLOAD = b"p" * 1024
+
+
+def test_cipher_roundtrip(benchmark):
+    def roundtrip():
+        return decrypt(KEY, encrypt(KEY, PAYLOAD))
+
+    assert benchmark(roundtrip) == PAYLOAD
+
+
+def test_shamir_split_combine(benchmark):
+    rng = RandomSource(1)
+
+    def split_and_combine():
+        shares = split_secret(KEY, 3, 5, rng)
+        return combine_shares(shares[:3])
+
+    assert benchmark(split_and_combine) == KEY
+
+
+def test_onion_build_and_full_peel(benchmark):
+    rng = RandomSource(2)
+    layer_keys = [rng.random_bytes(32) for _ in range(5)]
+    hop_ids = [[b"hop-a", b"hop-b"] for _ in range(4)] + [[]]
+    core = OnionCore(secret=KEY, receiver_id=b"receiver")
+
+    def build_and_peel():
+        blob = build_onion(layer_keys, hop_ids, core, rng=rng)
+        current = blob
+        for key in layer_keys:
+            layer, found = peel_onion(key, current)
+            current = layer.remaining
+        return found.secret
+
+    assert benchmark(build_and_peel) == KEY
+
+
+def test_algorithm1(benchmark):
+    plan = benchmark(algorithm1, 5, 20, 10000, 3.0, 1.0, 0.25)
+    assert plan.worst_resilience > 0.9
+
+
+def test_planner_grid_search(benchmark):
+    config = benchmark(plan_configuration, "joint", 0.3, 10000)
+    assert config.worst_resilience > 0.99
+
+
+def test_dht_iterative_lookup(benchmark):
+    overlay = build_network(500, seed=77)
+    node = overlay.any_node()
+    rng = RandomSource(78)
+
+    def lookup():
+        return node.iterative_find_node(NodeId.random(rng))
+
+    result = benchmark(lookup)
+    assert len(result.closest) > 0
+
+
+def test_overlay_construction(benchmark):
+    overlay = benchmark(build_network, 1000, 79)
+    assert len(overlay) == 1000

@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark runs its experiment once (rounds=1) through
+pytest-benchmark so the timing is recorded, then prints the regenerated
+figure as a textual series table — the same rows EXPERIMENTS.md records.
+
+Trial counts default to a reduced-but-stable setting so the whole harness
+finishes in minutes; set REPRO_BENCH_TRIALS=1000 to match the paper's
+1,000-run averages exactly.
+"""
+
+import os
+
+import pytest
+
+
+def bench_trials(default: int = 300) -> int:
+    return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+@pytest.fixture
+def trials() -> int:
+    return bench_trials()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

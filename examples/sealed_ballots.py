@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Sealed electronic ballots: many keys, one release time, live churn.
+
+Each voter encrypts a ballot and seals its key with the *key-share routing*
+scheme (paper §III-D): no holder stores a layer key for longer than one
+holding period, and hop targets are re-resolved through the DHT, so the
+tally opens on time even while nodes die and fresh nodes replace them.
+
+The election authority (receiver) can only tally after the polls close —
+before that, the keys simply do not exist anywhere reconstructable.
+
+Run:  python examples/sealed_ballots.py
+"""
+
+from repro.churn import ChurnProcess, ExponentialLifetime
+from repro.cloud import CloudStore
+from repro.core import DataReceiver, DataSender, ReleaseTimeline
+from repro.core.protocol import ProtocolContext, install_holders
+from repro.dht import build_network
+from repro.util import RandomSource
+
+POLL_CLOSE = 24 * 3600.0  # polls close after one simulated day
+VOTES = ["yes", "no", "yes", "yes", "abstain", "no", "yes"]
+MEAN_NODE_LIFETIME = 4 * 24 * 3600.0  # alpha = T / t_life = 0.25
+
+
+def main() -> None:
+    overlay = build_network(250, seed=2024)
+    context = ProtocolContext(network=overlay.network, resolve_targets=True)
+    install_holders(overlay, context)
+    cloud = CloudStore(overlay.loop.clock)
+
+    authority = DataReceiver(overlay.nodes[overlay.node_ids[0]], name="authority")
+
+    # Churn runs for the whole election: nodes die, replacements join.
+    churn = ChurnProcess(
+        overlay.network,
+        ExponentialLifetime(MEAN_NODE_LIFETIME),
+        RandomSource(5, "churn"),
+    )
+    churn.start()
+
+    # Every voter seals a ballot with the key-share scheme.
+    timeline = ReleaseTimeline(0.0, POLL_CLOSE, 4)
+    ballots = []
+    for index, vote in enumerate(VOTES):
+        voter = DataSender(
+            overlay.nodes[overlay.node_ids[index + 1]],
+            cloud,
+            RandomSource(100 + index, f"voter-{index}"),
+            name=f"voter-{index}",
+        )
+        result = voter.send_key_share(
+            f"ballot: {vote}".encode(),
+            timeline,
+            authority.node_id,
+            share_rows=6,
+            secret_rows=3,
+            thresholds=[1, 3, 3, 3],
+        )
+        ballots.append(result)
+    print(f"{len(ballots)} ballots sealed; polls close at t={POLL_CLOSE:.0f}s "
+          f"(m=3 of n=6 shares per column, 4 columns)")
+
+    # Mid-election: nothing is tallied, churn is happening.
+    overlay.loop.run(until=POLL_CLOSE / 2)
+    opened = sum(authority.has_key(ballot.key_id) for ballot in ballots)
+    print(f"t={overlay.loop.clock.now:9.0f}s  ballots opened: {opened}/{len(ballots)} "
+          f"(deaths so far: {churn.deaths})")
+    assert opened == 0
+
+    # Polls close: keys emerge, the authority tallies.
+    overlay.loop.run(until=POLL_CLOSE + 300.0)
+    tally = {}
+    lost = 0
+    for ballot in ballots:
+        if not authority.has_key(ballot.key_id):
+            lost += 1
+            continue
+        plaintext = authority.decrypt_from_cloud(
+            cloud, ballot.blob.blob_id, ballot.key_id
+        )
+        vote = plaintext.decode().split(": ")[1]
+        tally[vote] = tally.get(vote, 0) + 1
+
+    print(f"t={overlay.loop.clock.now:9.0f}s  polls closed "
+          f"(total deaths: {churn.deaths}, joins: {churn.joins})")
+    print(f"tally: {tally}" + (f"  ({lost} ballots lost to churn)" if lost else ""))
+
+
+if __name__ == "__main__":
+    main()

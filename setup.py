@@ -1,0 +1,11 @@
+"""Setuptools entry point; all metadata lives in setup.cfg.
+
+This project intentionally uses the classic setup.py/setup.cfg layout rather
+than pyproject.toml: the target environment is offline and its setuptools
+lacks the `wheel` package, so PEP 517/660 builds cannot run there.  The
+legacy path used for `pip install -e .` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

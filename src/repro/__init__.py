@@ -1,0 +1,46 @@
+"""repro - Timed-Release of Self-Emerging Data Using Distributed Hash Tables.
+
+A from-scratch Python reproduction of Li & Palanisamy, ICDCS 2017: securely
+hiding a data-decryption key inside a DHT so that it automatically emerges
+at a predetermined release time, with resilience against release-ahead and
+drop attacks and against DHT churn.
+
+Quick tour (see README.md for a runnable quickstart):
+
+- :mod:`repro.core` - the four self-emerging key routing schemes, the
+  closed-form resilience analysis, Algorithm 1, the onion/package formats
+  and the executable holder protocol.
+- :mod:`repro.dht` - the Kademlia-style overlay substrate.
+- :mod:`repro.crypto` - cipher, Shamir sharing, key handling.
+- :mod:`repro.sim` - the deterministic discrete-event simulator.
+- :mod:`repro.churn` - exponential lifetime churn and replica repair.
+- :mod:`repro.adversary` - Sybil populations and the two attack models.
+- :mod:`repro.cloud` - the encrypted-blob store.
+- :mod:`repro.experiments` - Monte-Carlo drivers reproducing every figure
+  of the paper's evaluation (Figs. 6, 7, 8).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CentralizedScheme,
+    DataReceiver,
+    DataSender,
+    KeyShareScheme,
+    NodeDisjointScheme,
+    NodeJointScheme,
+    ReleaseTimeline,
+    plan_configuration,
+)
+
+__all__ = [
+    "__version__",
+    "ReleaseTimeline",
+    "CentralizedScheme",
+    "NodeDisjointScheme",
+    "NodeJointScheme",
+    "KeyShareScheme",
+    "DataSender",
+    "DataReceiver",
+    "plan_configuration",
+]

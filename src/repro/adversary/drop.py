@@ -1,0 +1,131 @@
+"""The drop attack (paper §II-B.2).
+
+Goal: make the secret key unavailable at the release time.  A malicious
+holder simply refuses to forward whatever it receives.  The structural
+success conditions differ per scheme:
+
+- **node-disjoint** (Eq. 2): every one of the ``k`` disjoint paths must be
+  cut, i.e. contain at least one malicious holder.
+- **node-joint** (Eq. 3): the onion flows through whole columns, so the
+  adversary must own an *entire column* to stop it.
+- **key-share routing**: a column is stopped when fewer than ``m`` of its
+  ``n`` shares survive, i.e. at least ``n - m + 1`` carriers are malicious
+  (churn-dead carriers count toward the same budget; the epoch Monte Carlo
+  handles that variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence
+
+from repro.adversary.population import SybilPopulation
+
+
+@dataclass(frozen=True)
+class DropResult:
+    """Outcome of a drop evaluation against one key's structure."""
+
+    succeeded: bool
+    cut_positions: List[int] = field(default_factory=list)
+    surviving_routes: int = 0
+
+    @property
+    def resilient(self) -> bool:
+        return not self.succeeded
+
+
+class DropAttack:
+    """Static (no-churn) drop evaluation against holder structures."""
+
+    def __init__(self, population: SybilPopulation) -> None:
+        self.population = population
+
+    def evaluate_disjoint(self, rows: Sequence[Sequence[Hashable]]) -> DropResult:
+        """Node-disjoint grid given as rows (paths).
+
+        The onion of path ``i`` visits exactly row ``i``; one malicious
+        holder anywhere on the row cuts it.  Success = all rows cut.
+        """
+        if not rows:
+            raise ValueError("grid must have at least one row")
+        cut: List[int] = []
+        surviving = 0
+        for index, row in enumerate(rows, start=1):
+            if not row:
+                raise ValueError(f"row {index} has no holders")
+            if any(self.population.is_malicious(holder) for holder in row):
+                cut.append(index)
+            else:
+                surviving += 1
+        return DropResult(
+            succeeded=surviving == 0, cut_positions=cut, surviving_routes=surviving
+        )
+
+    def evaluate_joint(self, columns: Sequence[Sequence[Hashable]]) -> DropResult:
+        """Node-joint grid given as columns.
+
+        Every holder of column ``j`` forwards to every holder of column
+        ``j + 1``, so the package survives a column as long as one honest
+        holder remains in it.  Success = some column fully malicious.
+        """
+        if not columns:
+            raise ValueError("grid must have at least one column")
+        cut: List[int] = []
+        for index, column in enumerate(columns, start=1):
+            if not column:
+                raise ValueError(f"column {index} has no holders")
+            if all(self.population.is_malicious(holder) for holder in column):
+                cut.append(index)
+        surviving = 0 if cut else 1
+        return DropResult(
+            succeeded=bool(cut), cut_positions=cut, surviving_routes=surviving
+        )
+
+    def evaluate_share_column(
+        self,
+        holders: Sequence[Hashable],
+        threshold: int,
+        dead: Optional[Sequence[Hashable]] = None,
+    ) -> bool:
+        """Is one share column stopped?
+
+        The column forwards successfully iff at least ``threshold`` shares
+        are carried by honest, alive holders.  ``dead`` lists carriers lost
+        to churn during the holding period.
+        """
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        dead_set = set(dead) if dead is not None else set()
+        surviving = sum(
+            1
+            for holder in holders
+            if holder not in dead_set and not self.population.is_malicious(holder)
+        )
+        return surviving < threshold
+
+    def evaluate_share_lattice(
+        self,
+        columns: Sequence[Sequence[Hashable]],
+        thresholds: Sequence[int],
+        dead_by_column: Optional[Sequence[Sequence[Hashable]]] = None,
+    ) -> DropResult:
+        """Evaluate all share columns; success = any column stopped."""
+        if len(columns) != len(thresholds):
+            raise ValueError(
+                f"got {len(columns)} columns but {len(thresholds)} thresholds"
+            )
+        if dead_by_column is not None and len(dead_by_column) != len(columns):
+            raise ValueError("dead_by_column must align with columns")
+        cut: List[int] = []
+        for index, (column, threshold) in enumerate(
+            zip(columns, thresholds), start=1
+        ):
+            dead = dead_by_column[index - 1] if dead_by_column is not None else None
+            if self.evaluate_share_column(column, threshold, dead=dead):
+                cut.append(index)
+        return DropResult(
+            succeeded=bool(cut),
+            cut_positions=cut,
+            surviving_routes=0 if cut else 1,
+        )

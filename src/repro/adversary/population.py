@@ -1,0 +1,105 @@
+"""Malicious population marking (Sybil / Eclipse outcome).
+
+Mirrors the paper's experimental setup: "We randomly select ``10000 * p``
+non-repeated nodes and mark them as malicious."  The population can mark
+either concrete :class:`~repro.dht.node_id.NodeId` objects from an overlay
+or opaque ids used by the epoch Monte Carlo, and can extend the marking to
+nodes that join later (replacements are malicious with probability ``p``,
+the assumption §III-D's exposure argument rests on).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, Set
+
+from repro.util.rng import RandomSource
+from repro.util.validation import check_probability
+
+
+class SybilPopulation:
+    """The set of adversary-controlled node identities."""
+
+    def __init__(
+        self,
+        malicious_rate: float,
+        rng: RandomSource,
+    ) -> None:
+        self.malicious_rate = check_probability(malicious_rate, "malicious_rate")
+        self._rng = rng
+        self._malicious: Set[Hashable] = set()
+        self._decided: Set[Hashable] = set()
+
+    # -- bulk marking ------------------------------------------------------
+
+    def mark_population(self, node_ids: Sequence[Hashable]) -> Set[Hashable]:
+        """Mark exactly ``round(len(node_ids) * p)`` distinct nodes malicious.
+
+        This is the paper's finite-population marking (sampling without
+        replacement), as opposed to independent per-node coin flips; for a
+        10,000-node network the difference is within Monte-Carlo noise, but
+        tests pin the exact count.
+        """
+        count = round(len(node_ids) * self.malicious_rate)
+        chosen = set(self._rng.sample(list(node_ids), count))
+        self._malicious |= chosen
+        self._decided |= set(node_ids)
+        return chosen
+
+    # -- incremental marking -----------------------------------------------
+
+    def decide(self, node_id: Hashable) -> bool:
+        """Decide (once, memoized) whether a node is malicious.
+
+        Used for nodes that join after the initial marking — replacement
+        nodes created by churn repair.  Each is malicious independently with
+        probability ``p``.
+        """
+        if node_id not in self._decided:
+            self._decided.add(node_id)
+            if self._rng.bernoulli(self.malicious_rate):
+                self._malicious.add(node_id)
+        return node_id in self._malicious
+
+    def is_malicious(self, node_id: Hashable) -> bool:
+        """Query without deciding; unknown nodes are honest."""
+        return node_id in self._malicious
+
+    def force_malicious(self, node_ids: Iterable[Hashable]) -> None:
+        """Explicitly corrupt specific nodes (tests, worst-case scenarios)."""
+        for node_id in node_ids:
+            self._decided.add(node_id)
+            self._malicious.add(node_id)
+
+    def force_honest(self, node_ids: Iterable[Hashable]) -> None:
+        """Explicitly pin specific nodes honest."""
+        for node_id in node_ids:
+            self._decided.add(node_id)
+            self._malicious.discard(node_id)
+
+    @property
+    def malicious_count(self) -> int:
+        return len(self._malicious)
+
+    def malicious_ids(self) -> Set[Hashable]:
+        return set(self._malicious)
+
+    def honest_fraction_of(self, node_ids: Sequence[Hashable]) -> float:
+        """Fraction of a concrete node set that is honest (diagnostics)."""
+        if not node_ids:
+            raise ValueError("node set must be non-empty")
+        honest = sum(1 for node_id in node_ids if node_id not in self._malicious)
+        return honest / len(node_ids)
+
+
+def mark_overlay(
+    overlay_ids: Sequence[Hashable],
+    malicious_rate: float,
+    seed: int = 97,
+    rng: Optional[RandomSource] = None,
+) -> SybilPopulation:
+    """Convenience: build a population and mark an overlay in one call."""
+    if rng is None:
+        rng = RandomSource(seed, label="sybil")
+    population = SybilPopulation(malicious_rate, rng)
+    population.mark_population(overlay_ids)
+    return population

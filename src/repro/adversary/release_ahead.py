@@ -1,0 +1,151 @@
+"""The release-ahead attack (paper §II-B.1).
+
+Goal: extract the secret key from the DHT before the release time and use it
+to decrypt the ciphertext waiting in the cloud.
+
+For the multipath schemes the paper's success condition (the one behind
+Eq. 1) is: *the adversary controls at least one holder of every column*,
+because every column's layer key is replicated across that column's ``k``
+holders and one captured copy per column suffices to strip the whole onion.
+For the single-path illustration of Fig. 2 the condition is the stricter
+*contiguous malicious suffix*; both evaluators are provided, and the
+integration tests check the live protocol agrees with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence
+
+from repro.adversary.population import SybilPopulation
+
+
+@dataclass(frozen=True)
+class ReleaseAheadResult:
+    """Outcome of a release-ahead evaluation against one key's structure."""
+
+    succeeded: bool
+    captured_columns: List[int] = field(default_factory=list)
+    uncaptured_columns: List[int] = field(default_factory=list)
+    earliest_release_period: Optional[int] = None
+
+    @property
+    def resilient(self) -> bool:
+        return not self.succeeded
+
+
+class ReleaseAheadAttack:
+    """Static (no-churn) release-ahead evaluation against holder structures."""
+
+    def __init__(self, population: SybilPopulation) -> None:
+        self.population = population
+
+    # -- multipath grids (node-disjoint and node-joint share this condition)
+
+    def evaluate_grid(self, columns: Sequence[Sequence[Hashable]]) -> ReleaseAheadResult:
+        """Evaluate against a ``k x l`` holder grid given as columns.
+
+        ``columns[j]`` lists the holders replicating column ``j + 1``'s
+        layer key.  Success requires a malicious holder in *every* column;
+        the keys are pre-assigned at the start time, so a successful attack
+        releases at period 1 (the moment the onion first touches a malicious
+        first-column holder, per the Fig. 4 discussion).
+        """
+        if not columns:
+            raise ValueError("grid must have at least one column")
+        captured: List[int] = []
+        uncaptured: List[int] = []
+        for index, column in enumerate(columns, start=1):
+            if not column:
+                raise ValueError(f"column {index} has no holders")
+            if any(self.population.is_malicious(holder) for holder in column):
+                captured.append(index)
+            else:
+                uncaptured.append(index)
+        succeeded = not uncaptured
+        return ReleaseAheadResult(
+            succeeded=succeeded,
+            captured_columns=captured,
+            uncaptured_columns=uncaptured,
+            earliest_release_period=1 if succeeded else None,
+        )
+
+    # -- single path (Fig. 2 illustration) ----------------------------------
+
+    def evaluate_single_path(self, path: Sequence[Hashable]) -> ReleaseAheadResult:
+        """Evaluate the contiguous-suffix condition on one onion path.
+
+        Per Fig. 2(b): the adversary must control a set of *successive*
+        holders ending at the last one; any break in continuity stops the
+        attack.  A malicious suffix of length ``s`` on a path of length
+        ``l`` releases the key when the onion reaches the suffix, i.e. at
+        period ``l - s + 1``.
+        """
+        if not path:
+            raise ValueError("path must have at least one holder")
+        length = len(path)
+        suffix = 0
+        for holder in reversed(path):
+            if self.population.is_malicious(holder):
+                suffix += 1
+            else:
+                break
+        succeeded = suffix == length or suffix > 0
+        # A suffix shorter than the whole path releases the key early only
+        # relative to the *final* period; success per the paper means
+        # release strictly before tr, which any non-empty suffix achieves
+        # except the degenerate suffix of just the terminal holder releasing
+        # at tr itself.  The terminal holder alone learns the key one
+        # holding period early (it holds the decrypted key for the last th).
+        captured = [length - offset for offset in range(suffix)]
+        return ReleaseAheadResult(
+            succeeded=suffix > 0,
+            captured_columns=sorted(captured),
+            uncaptured_columns=[i for i in range(1, length + 1) if i not in captured],
+            earliest_release_period=(length - suffix + 1) if suffix else None,
+        )
+
+    # -- key-share lattices --------------------------------------------------
+
+    def evaluate_share_column(
+        self, holders: Sequence[Hashable], threshold: int
+    ) -> bool:
+        """Is one share column's key capturable (>= threshold malicious)?"""
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        malicious = sum(
+            1 for holder in holders if self.population.is_malicious(holder)
+        )
+        return malicious >= threshold
+
+    def evaluate_share_lattice(
+        self,
+        columns: Sequence[Sequence[Hashable]],
+        thresholds: Sequence[int],
+    ) -> ReleaseAheadResult:
+        """Evaluate the key-share routing structure.
+
+        ``columns[j]`` holds the ``n`` share carriers of column ``j + 1``
+        and ``thresholds[j]`` the matching ``m``.  Success requires every
+        column key to be recoverable from captured shares.
+        """
+        if len(columns) != len(thresholds):
+            raise ValueError(
+                f"got {len(columns)} columns but {len(thresholds)} thresholds"
+            )
+        captured: List[int] = []
+        uncaptured: List[int] = []
+        for index, (column, threshold) in enumerate(
+            zip(columns, thresholds), start=1
+        ):
+            if self.evaluate_share_column(column, threshold):
+                captured.append(index)
+            else:
+                uncaptured.append(index)
+        succeeded = not uncaptured
+        return ReleaseAheadResult(
+            succeeded=succeeded,
+            captured_columns=captured,
+            uncaptured_columns=uncaptured,
+            earliest_release_period=max(captured) if succeeded else None,
+        )

@@ -1,0 +1,144 @@
+"""Column replica maintenance and its security cost.
+
+In the node-disjoint and node-joint multipath schemes every *column* of the
+holder grid stores the same onion-layer key on ``k`` replicas.  When a
+replica dies, a surviving replica copies the key (and any pending onion) to
+a fresh node.  The paper's §III-D observation is that every such repair
+*widens the exposure set*: the replacement node is malicious with
+probability ``p``, so the number of nodes that ever knew the column key only
+grows.  :class:`ColumnReplicaSet` tracks exactly this bookkeeping for both
+the end-to-end simulation and the epoch-model Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Set
+
+from repro.util.rng import RandomSource
+from repro.util.validation import check_probability
+
+
+class RepairOutcome(Enum):
+    """Result of processing one death within a column."""
+
+    REPAIRED = "repaired"  # a surviving replica copied state to a new node
+    COLUMN_LOST = "column_lost"  # no survivor remained: data gone (drop)
+    NOT_A_MEMBER = "not_a_member"  # the dead node was not in this column
+
+
+@dataclass
+class ColumnReplicaSet:
+    """The live replicas of one column key plus its historical exposure.
+
+    Attributes
+    ----------
+    column_index:
+        1-based column position on the path (for diagnostics).
+    members:
+        Identifiers of current live replicas.  Opaque ints or NodeIds.
+    malicious_members:
+        Subset of ``members`` controlled by the adversary.
+    ever_knew:
+        Every identity that at any point held the column key — the
+        release-ahead exposure set.  Monotonically grows.
+    ever_knew_malicious:
+        Count of malicious identities in ``ever_knew``; the column key is
+        *captured* iff this is positive.
+    """
+
+    column_index: int
+    members: Set = field(default_factory=set)
+    malicious_members: Set = field(default_factory=set)
+    ever_knew: Set = field(default_factory=set)
+    ever_knew_malicious: int = 0
+    lost: bool = False
+    repairs: int = 0
+
+    def __post_init__(self) -> None:
+        self.ever_knew |= set(self.members)
+        self.ever_knew_malicious = len(self.malicious_members & self.ever_knew)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def alive_count(self) -> int:
+        return len(self.members)
+
+    @property
+    def captured(self) -> bool:
+        """True once any node that ever knew the key is malicious."""
+        return self.ever_knew_malicious > 0
+
+    # -- events ------------------------------------------------------------
+
+    def handle_death(
+        self,
+        dead_member,
+        replacement,
+        replacement_is_malicious: bool,
+    ) -> RepairOutcome:
+        """Process the death of ``dead_member`` with a proposed replacement.
+
+        If at least one replica survives, the column repairs itself onto
+        ``replacement`` (which joins ``ever_knew``).  With no survivor the
+        column is lost: the key cannot be copied from anywhere — this is how
+        churn manifests as an effective drop.
+        """
+        if dead_member not in self.members:
+            return RepairOutcome.NOT_A_MEMBER
+        self.members.discard(dead_member)
+        self.malicious_members.discard(dead_member)
+        if not self.members:
+            self.lost = True
+            return RepairOutcome.COLUMN_LOST
+        if replacement in self.ever_knew:
+            raise ValueError("replacement node already knew this column key")
+        self.members.add(replacement)
+        self.ever_knew.add(replacement)
+        if replacement_is_malicious:
+            self.malicious_members.add(replacement)
+            self.ever_knew_malicious += 1
+        self.repairs += 1
+        return RepairOutcome.REPAIRED
+
+
+def simulate_column_epoch_deaths(
+    column: ColumnReplicaSet,
+    death_probability: float,
+    malicious_rate: float,
+    rng: RandomSource,
+    id_allocator,
+) -> List[RepairOutcome]:
+    """Apply one holding period of churn to a column (epoch Monte Carlo step).
+
+    Each live member dies independently with ``death_probability``; deaths
+    are then repaired (or not) in sequence.  ``id_allocator`` yields fresh
+    opaque replacement ids.  Returns the outcome list for the period.
+    """
+    check_probability(death_probability, "death_probability")
+    check_probability(malicious_rate, "malicious_rate")
+    outcomes: List[RepairOutcome] = []
+    if column.lost:
+        return outcomes
+    doomed = [member for member in list(column.members) if rng.bernoulli(death_probability)]
+    for member in doomed:
+        replacement = next(id_allocator)
+        outcome = column.handle_death(
+            member,
+            replacement,
+            replacement_is_malicious=rng.bernoulli(malicious_rate),
+        )
+        outcomes.append(outcome)
+        if outcome is RepairOutcome.COLUMN_LOST:
+            break
+    return outcomes
+
+
+def fresh_id_allocator(start: int = 1_000_000):
+    """An infinite stream of opaque integer ids for replacement nodes."""
+    current = start
+    while True:
+        yield current
+        current += 1

@@ -1,0 +1,251 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro plan --scheme joint -p 0.25 --budget 10000
+    repro plan --scheme joint -p 0.25 --budget 500 --frontier
+    repro figures --figure 7 --trials 400
+    repro cost -k 5 -l 8 -n 10
+    repro demo
+
+Every subcommand writes plain text to stdout; the heavy lifting lives in
+the library modules, keeping this a thin argument-parsing shell that tests
+drive through :func:`main` with an argv list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timed-release of self-emerging data using DHTs "
+        "(ICDCS 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan = subparsers.add_parser(
+        "plan", help="choose (k, l) for a scheme at a malicious rate"
+    )
+    plan.add_argument(
+        "--scheme",
+        choices=["central", "disjoint", "joint", "share"],
+        default="joint",
+    )
+    plan.add_argument("-p", "--malicious-rate", type=float, required=True)
+    plan.add_argument("--budget", type=int, default=10000)
+    plan.add_argument("--target", type=float, default=0.999)
+    plan.add_argument(
+        "--frontier",
+        action="store_true",
+        help="print the Pareto frontier of (Rr, Rd) configurations",
+    )
+    plan.add_argument(
+        "--alpha",
+        type=float,
+        default=3.0,
+        help="T / t_life (share scheme planning only)",
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate a paper figure as a table"
+    )
+    figures.add_argument(
+        "--figure", choices=["6a", "6b", "6c", "6d", "7", "8"], required=True
+    )
+    figures.add_argument("--trials", type=int, default=300)
+
+    cost = subparsers.add_parser(
+        "cost", help="communication/storage cost per scheme"
+    )
+    cost.add_argument("-k", "--replication", type=int, default=3)
+    cost.add_argument("-l", "--path-length", type=int, default=6)
+    cost.add_argument("-n", "--share-rows", type=int, default=8)
+
+    subparsers.add_parser("demo", help="run an end-to-end release on a small overlay")
+
+    return parser
+
+
+def _command_plan(args) -> int:
+    from repro.core.planner import plan_configuration
+    from repro.core.schemes.keyshare import plan_share_scheme
+    from repro.core.tradeoff import pareto_frontier
+
+    if args.scheme == "share":
+        plan = plan_share_scheme(
+            args.malicious_rate, args.budget, args.alpha, 1.0
+        )
+        print(
+            f"share scheme: k={plan.replication} l={plan.path_length} "
+            f"n={plan.shares_per_column} d~{plan.dead_share_estimate}"
+        )
+        print(
+            f"  thresholds m (cols 2..l): {list(plan.thresholds)}"
+        )
+        print(
+            f"  Rr={plan.release_resilience:.4f} Rd={plan.drop_resilience:.4f}"
+        )
+        return 0
+
+    if args.frontier:
+        if args.scheme == "central":
+            print("the centralized scheme has a single configuration")
+            return 1
+        points = pareto_frontier(args.scheme, args.malicious_rate, args.budget)
+        print(f"Pareto frontier ({args.scheme}, p={args.malicious_rate}, "
+              f"budget={args.budget}): {len(points)} points")
+        for point in points:
+            print(
+                f"  k={point.replication:3d} l={point.path_length:4d} "
+                f"cost={point.cost:6d} Rr={point.release_resilience:.4f} "
+                f"Rd={point.drop_resilience:.4f}"
+            )
+        return 0
+
+    configuration = plan_configuration(
+        args.scheme, args.malicious_rate, args.budget, target=args.target
+    )
+    print(
+        f"{configuration.scheme}: k={configuration.replication} "
+        f"l={configuration.path_length} cost={configuration.cost}"
+    )
+    print(
+        f"  Rr={configuration.release_resilience:.4f} "
+        f"Rd={configuration.drop_resilience:.4f} "
+        f"({'meets' if configuration.meets_target else 'misses'} "
+        f"target {configuration.target})"
+    )
+    return 0
+
+
+def _command_figures(args) -> int:
+    from repro.experiments.attack_resilience import (
+        run_attack_resilience,
+        series_by_scheme,
+    )
+    from repro.experiments.churn_resilience import panel, run_churn_resilience
+    from repro.experiments.cost import run_share_cost, series_by_budget
+    from repro.experiments.reporting import format_cost_table, format_series_table
+
+    if args.figure in ("6a", "6b", "6c", "6d"):
+        population = 10000 if args.figure in ("6a", "6b") else 100
+        wants_cost = args.figure in ("6b", "6d")
+        points = run_attack_resilience(
+            population_size=population,
+            trials=args.trials,
+            measure=not wants_cost,
+        )
+        series = series_by_scheme(points)
+        x_values = [entry[0] for entry in series["central"]]
+        if wants_cost:
+            print(
+                format_cost_table(
+                    f"Fig 6({args.figure[-1]}): required nodes (N={population})",
+                    x_values,
+                    {name: [e[3] for e in series[name]] for name in series},
+                )
+            )
+        else:
+            print(
+                format_series_table(
+                    f"Fig 6({args.figure[-1]}): attack resilience (N={population})",
+                    "p",
+                    x_values,
+                    {name: [e[1] for e in series[name]] for name in series},
+                )
+            )
+        return 0
+
+    if args.figure == "7":
+        points = run_churn_resilience(trials=args.trials)
+        for alpha in (1.0, 2.0, 3.0, 5.0):
+            data = panel(points, alpha)
+            x_values = [p for p, _ in data["central"]]
+            print(
+                format_series_table(
+                    f"Fig 7 (alpha={alpha:g})",
+                    "p",
+                    x_values,
+                    {name: [v for _, v in data[name]] for name in data},
+                )
+            )
+            print()
+        return 0
+
+    if args.figure == "8":
+        points = run_share_cost(trials=args.trials)
+        grouped = series_by_budget(points)
+        budgets = sorted(grouped)
+        x_values = [p for p, _, _ in grouped[budgets[0]]]
+        print(
+            format_series_table(
+                "Fig 8 (alpha=3)",
+                "p",
+                x_values,
+                {f"N={b}": [m for _, m, _ in grouped[b]] for b in budgets},
+            )
+        )
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+def _command_cost(args) -> int:
+    from repro.core.sizing import centralized_cost, key_share_cost, multipath_cost
+
+    print(centralized_cost())
+    print(multipath_cost(args.replication, args.path_length, joint=False))
+    print(multipath_cost(args.replication, args.path_length, joint=True))
+    print(key_share_cost(args.share_rows, args.path_length))
+    return 0
+
+
+def _command_demo(args) -> int:
+    from repro.cloud import CloudStore
+    from repro.core import DataReceiver, DataSender, ReleaseTimeline
+    from repro.core.protocol import ProtocolContext, install_holders
+    from repro.dht import build_network
+    from repro.util import RandomSource
+
+    overlay = build_network(120, seed=11)
+    install_holders(overlay, ProtocolContext(network=overlay.network))
+    alice = DataSender(
+        overlay.nodes[overlay.node_ids[0]],
+        CloudStore(overlay.loop.clock),
+        RandomSource(42, "alice"),
+    )
+    bob = DataReceiver(overlay.nodes[overlay.node_ids[1]])
+    timeline = ReleaseTimeline(0.0, 600.0, 3)
+    result = alice.send_multipath(
+        b"hello from the past", timeline, bob.node_id, replication=3, joint=True
+    )
+    overlay.loop.run(until=599.0)
+    print(f"t=599: receiver has key: {bob.has_key(result.key_id)}")
+    overlay.loop.run()
+    message = bob.decrypt_from_cloud(alice.cloud, result.blob.blob_id, result.key_id)
+    print(f"t={overlay.loop.clock.now:.1f}: decrypted {message!r}")
+    return 0
+
+
+_COMMANDS = {
+    "plan": _command_plan,
+    "figures": _command_figures,
+    "cost": _command_cost,
+    "demo": _command_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: self-emerging key routing in a DHT.
+
+Layout:
+
+- :mod:`repro.core.timeline` — emerging-period arithmetic (``ts``, ``tr``,
+  ``T``, holding period ``th``, period boundaries).
+- :mod:`repro.core.paths` — pseudo-random holder grid / share lattice
+  construction.
+- :mod:`repro.core.onion` — layered onion packages (build and peel).
+- :mod:`repro.core.wire` — the byte-level serialization the onion and the
+  protocol messages share.
+- :mod:`repro.core.analysis` — the closed-form resilience equations
+  (Eqs. 1-3 and Lemma 1).
+- :mod:`repro.core.planner` — choosing ``(k, l)`` for a target resilience.
+- :mod:`repro.core.schemes` — the four schemes (centralized, node-disjoint,
+  node-joint, key-share routing with Algorithm 1).
+- :mod:`repro.core.protocol` — holder runtime for end-to-end simulation on
+  the DHT substrate.
+- :mod:`repro.core.sender` / :mod:`repro.core.receiver` — Alice and Bob.
+"""
+
+from repro.core.analysis import (
+    centralized_resilience,
+    disjoint_drop_resilience,
+    disjoint_release_resilience,
+    joint_drop_resilience,
+    joint_release_resilience,
+)
+from repro.core.onion import OnionLayer, build_onion, peel_onion
+from repro.core.paths import HolderGrid, ShareLattice, build_grid, build_share_lattice
+from repro.core.planner import PlannedConfiguration, plan_configuration
+from repro.core.receiver import DataReceiver
+from repro.core.schemes import (
+    CentralizedScheme,
+    KeyShareScheme,
+    NodeDisjointScheme,
+    NodeJointScheme,
+)
+from repro.core.sender import DataSender, SendResult
+from repro.core.timeline import ReleaseTimeline
+
+__all__ = [
+    "ReleaseTimeline",
+    "HolderGrid",
+    "ShareLattice",
+    "build_grid",
+    "build_share_lattice",
+    "OnionLayer",
+    "build_onion",
+    "peel_onion",
+    "centralized_resilience",
+    "disjoint_release_resilience",
+    "disjoint_drop_resilience",
+    "joint_release_resilience",
+    "joint_drop_resilience",
+    "PlannedConfiguration",
+    "plan_configuration",
+    "CentralizedScheme",
+    "NodeDisjointScheme",
+    "NodeJointScheme",
+    "KeyShareScheme",
+    "DataSender",
+    "SendResult",
+    "DataReceiver",
+]

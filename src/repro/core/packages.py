@@ -1,0 +1,153 @@
+"""Protocol-level package formats.
+
+Everything the entities exchange over the DHT's ``Deliver`` RPC is one of
+these four packages, each with a stable wire encoding and a channel name:
+
+- :class:`OnionPackage` (channel ``"onion"``) — an onion blob in transit;
+- :class:`LayerKeyPackage` (channel ``"layer-key"``) — a pre-assigned
+  onion-layer key (multipath schemes, sent at ``ts``);
+- :class:`SharePackage` (channel ``"share"``) — one Shamir share of a
+  column key (key-share routing);
+- :class:`SecretPackage` (channel ``"secret"``) — the emerged secret key,
+  handed to the receiver at ``tr``.
+
+``key_id`` identifies one self-emerging key instance so a holder can serve
+many instances concurrently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.onion import deserialize_share, serialize_share
+from repro.core.wire import WireReader, WireWriter
+from repro.crypto.shamir import Share
+
+CHANNEL_ONION = "onion"
+CHANNEL_LAYER_KEY = "layer-key"
+CHANNEL_SHARE = "share"
+CHANNEL_SECRET = "secret"
+
+
+@dataclass(frozen=True)
+class OnionPackage:
+    """An onion blob for one key instance, tagged with its row."""
+
+    key_id: bytes
+    row: int
+    blob: bytes
+
+    channel = CHANNEL_ONION
+
+    def to_bytes(self) -> bytes:
+        writer = WireWriter()
+        writer.write_bytes(self.key_id)
+        writer.write_u32(self.row)
+        writer.write_bytes(self.blob)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "OnionPackage":
+        reader = WireReader(data)
+        key_id = reader.read_bytes()
+        row = reader.read_u32()
+        blob = reader.read_bytes()
+        reader.expect_end()
+        return cls(key_id=key_id, row=row, blob=blob)
+
+
+@dataclass(frozen=True)
+class LayerKeyPackage:
+    """A pre-assigned layer key for one holder (multipath schemes)."""
+
+    key_id: bytes
+    column: int
+    key: bytes
+
+    channel = CHANNEL_LAYER_KEY
+
+    def to_bytes(self) -> bytes:
+        writer = WireWriter()
+        writer.write_bytes(self.key_id)
+        writer.write_u32(self.column)
+        writer.write_bytes(self.key)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "LayerKeyPackage":
+        reader = WireReader(data)
+        key_id = reader.read_bytes()
+        column = reader.read_u32()
+        key = reader.read_bytes()
+        reader.expect_end()
+        return cls(key_id=key_id, column=column, key=key)
+
+
+@dataclass(frozen=True)
+class SharePackage:
+    """One Shamir share of the key for (key instance, row, column)."""
+
+    key_id: bytes
+    row: int
+    column: int
+    share: Share
+
+    channel = CHANNEL_SHARE
+
+    def to_bytes(self) -> bytes:
+        writer = WireWriter()
+        writer.write_bytes(self.key_id)
+        writer.write_u32(self.row)
+        writer.write_u32(self.column)
+        writer.write_bytes(serialize_share(self.share))
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SharePackage":
+        reader = WireReader(data)
+        key_id = reader.read_bytes()
+        row = reader.read_u32()
+        column = reader.read_u32()
+        share = deserialize_share(reader.read_bytes())
+        reader.expect_end()
+        return cls(key_id=key_id, row=row, column=column, share=share)
+
+
+@dataclass(frozen=True)
+class SecretPackage:
+    """The emerged secret key, delivered to the receiver at ``tr``."""
+
+    key_id: bytes
+    secret: bytes
+
+    channel = CHANNEL_SECRET
+
+    def to_bytes(self) -> bytes:
+        writer = WireWriter()
+        writer.write_bytes(self.key_id)
+        writer.write_bytes(self.secret)
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SecretPackage":
+        reader = WireReader(data)
+        key_id = reader.read_bytes()
+        secret = reader.read_bytes()
+        reader.expect_end()
+        return cls(key_id=key_id, secret=secret)
+
+
+_PARSERS = {
+    CHANNEL_ONION: OnionPackage.from_bytes,
+    CHANNEL_LAYER_KEY: LayerKeyPackage.from_bytes,
+    CHANNEL_SHARE: SharePackage.from_bytes,
+    CHANNEL_SECRET: SecretPackage.from_bytes,
+}
+
+
+def parse_package(channel: str, payload: bytes):
+    """Decode a delivered payload by channel name."""
+    parser = _PARSERS.get(channel)
+    if parser is None:
+        raise ValueError(f"unknown protocol channel {channel!r}")
+    return parser(payload)

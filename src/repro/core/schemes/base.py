@@ -1,0 +1,54 @@
+"""Common scheme interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.adversary.population import SybilPopulation
+from repro.core.analysis import ResiliencePair
+from repro.util.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of evaluating both attacks against one sampled structure.
+
+    ``release_resisted`` — the adversary could *not* restore the secret key
+    at the start time (counts toward ``Rr``).
+    ``drop_resisted`` — the adversary could *not* prevent release at ``tr``
+    (counts toward ``Rd``).
+    """
+
+    release_resisted: bool
+    drop_resisted: bool
+
+
+class Scheme:
+    """Base class: a parameterised self-emerging key routing scheme."""
+
+    name: str = "abstract"
+
+    def resilience(self, malicious_rate: float) -> ResiliencePair:
+        """Closed-form (Rr, Rd) without churn."""
+        raise NotImplementedError
+
+    @property
+    def node_cost(self) -> int:
+        """Distinct holders the structure consumes."""
+        raise NotImplementedError
+
+    def sample_structure(
+        self, population: Sequence[Hashable], rng: RandomSource
+    ):
+        """Draw the holder structure the sender would construct."""
+        raise NotImplementedError
+
+    def evaluate_attacks(
+        self, structure, population: SybilPopulation
+    ) -> AttackOutcome:
+        """Static (no-churn) attack evaluation for one structure."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(cost={self.node_cost})"

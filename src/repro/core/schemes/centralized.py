@@ -1,0 +1,44 @@
+"""The centralized scheme (paper §III-A): one node holds the key for all of T.
+
+The baseline in every figure.  Both attacks reduce to "is that one node
+malicious" — ``Rr = Rd = 1 - p`` — and churn reduces ``Rd`` further because
+a dead holder loses the key with nobody to repair from.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.adversary.population import SybilPopulation
+from repro.core.analysis import ResiliencePair, centralized_resilience
+from repro.core.schemes.base import AttackOutcome, Scheme
+from repro.util.rng import RandomSource
+
+
+class CentralizedScheme(Scheme):
+    """Store the secret key on a single pseudo-randomly chosen holder."""
+
+    name = "central"
+
+    def resilience(self, malicious_rate: float) -> ResiliencePair:
+        return centralized_resilience(malicious_rate)
+
+    @property
+    def node_cost(self) -> int:
+        return 1
+
+    def sample_structure(
+        self, population: Sequence[Hashable], rng: RandomSource
+    ) -> Hashable:
+        """The structure is just the one chosen holder."""
+        if not population:
+            raise ValueError("population must be non-empty")
+        return rng.choice(list(population))
+
+    def evaluate_attacks(
+        self, structure: Hashable, population: SybilPopulation
+    ) -> AttackOutcome:
+        malicious = population.is_malicious(structure)
+        return AttackOutcome(
+            release_resisted=not malicious, drop_resisted=not malicious
+        )

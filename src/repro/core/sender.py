@@ -1,0 +1,380 @@
+"""The data sender (Alice, paper §II-A).
+
+``DataSender.send_*`` performs everything the paper requires of Alice at
+the start time and nothing after it:
+
+1. generate a fresh secret key, encrypt the message, upload the ciphertext
+   to the cloud;
+2. pseudo-randomly select holders and build the scheme's structure;
+3. locally build the onion package(s) — and, for key-share routing, the
+   Shamir shares;
+4. at ``ts``, hand layer keys / shares / onions to the first holders.
+
+After ``ts`` Alice can go offline; the event loop carries the protocol to
+``tr`` on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.storage import BlobMetadata, CloudStore
+from repro.core.onion import OnionCore, build_onion
+from repro.core.packages import (
+    LayerKeyPackage,
+    OnionPackage,
+    SharePackage,
+)
+from repro.core.paths import HolderGrid, ShareLattice, build_grid
+from repro.core.timeline import ReleaseTimeline
+from repro.crypto.cipher import encrypt
+from repro.crypto.keys import SecretKey, generate_key
+from repro.crypto.shamir import split_secret
+from repro.dht.kademlia import KademliaNode
+from repro.dht.node_id import NodeId, unique_random_ids
+from repro.dht.rpc import Deliver
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SendResult:
+    """Everything Alice knows after ``ts`` (and the tests need)."""
+
+    key_id: bytes
+    secret_key: SecretKey
+    blob: BlobMetadata
+    timeline: ReleaseTimeline
+    scheme: str
+    structure: object  # HolderGrid | ShareLattice | NodeId
+    layer_keys: Tuple[bytes, ...] = ()
+
+
+class DataSender:
+    """Alice: one DHT node plus the local package-construction logic."""
+
+    def __init__(
+        self,
+        node: KademliaNode,
+        cloud: CloudStore,
+        rng: RandomSource,
+        name: str = "alice",
+    ) -> None:
+        self.node = node
+        self.cloud = cloud
+        self.rng = rng
+        self.name = name
+        self._send_counter = 0
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def _next_send_rng(self) -> RandomSource:
+        """A fresh substream per send — without this, two sends would draw
+        identical secret keys and holder selections."""
+        self._send_counter += 1
+        return self.rng.fork(f"send-{self._send_counter}")
+
+    def _prepare(self, rng: RandomSource, message: bytes, readers: Optional[set] = None):
+        secret_key = generate_key(rng.fork("secret-key"))
+        ciphertext = encrypt(secret_key.material, message, rng.fork("encrypt"))
+        blob = self.cloud.upload(self.name, ciphertext, readers=readers)
+        key_id = bytes.fromhex(secret_key.fingerprint)
+        return secret_key, blob, key_id
+
+    def _deliver_at(self, timestamp: float, target: NodeId, package) -> None:
+        request = Deliver(
+            sender=self.node.node_id,
+            channel=package.channel,
+            payload=package.to_bytes(),
+        )
+        self.node.network.send_at(timestamp, request, target)
+
+    def _holder_population(self, exclude: set) -> List[NodeId]:
+        population = [
+            node_id
+            for node_id in self.node.network.online_ids()
+            if node_id not in exclude
+        ]
+        if not population:
+            raise RuntimeError("no eligible holder nodes online")
+        return population
+
+    # -- centralized scheme ------------------------------------------------------
+
+    def send_centralized(
+        self,
+        message: bytes,
+        timeline: ReleaseTimeline,
+        receiver_id: NodeId,
+    ) -> SendResult:
+        """Paper §III-A: one holder stores the key for the whole period.
+
+        Implemented as a single-layer onion so the holder code path is
+        identical: the holder peels with its pre-assigned key and finds the
+        core immediately, then holds the secret until ``tr``.
+        """
+        if timeline.path_length != 1:
+            raise ValueError("the centralized scheme uses a length-1 timeline")
+        rng = self._next_send_rng()
+        secret_key, blob, key_id = self._prepare(rng, message)
+        exclude = {self.node.node_id, receiver_id}
+        holder = rng.fork("holder").choice(self._holder_population(exclude))
+        layer_key = rng.fork("layer-key").random_bytes(32)
+        onion = build_onion(
+            layer_keys=[layer_key],
+            hop_ids=[[]],
+            core=OnionCore(
+                secret=secret_key.material, receiver_id=receiver_id.to_bytes()
+            ),
+            forward_times=[timeline.release_time],
+            rng=rng.fork("onion-nonce"),
+        )
+        ts = timeline.start_time
+        self._deliver_at(
+            ts, holder, LayerKeyPackage(key_id=key_id, column=1, key=layer_key)
+        )
+        self._deliver_at(ts, holder, OnionPackage(key_id=key_id, row=0, blob=onion))
+        return SendResult(
+            key_id=key_id,
+            secret_key=secret_key,
+            blob=blob,
+            timeline=timeline,
+            scheme="central",
+            structure=holder,
+            layer_keys=(layer_key,),
+        )
+
+    # -- multipath schemes ------------------------------------------------------
+
+    def send_multipath(
+        self,
+        message: bytes,
+        timeline: ReleaseTimeline,
+        receiver_id: NodeId,
+        replication: int,
+        joint: bool,
+        grid: Optional[HolderGrid] = None,
+    ) -> SendResult:
+        """Paper §III-B/C: ``k`` onion paths over a ``k x l`` holder grid.
+
+        ``joint=False`` keeps every onion on its own row (node-disjoint);
+        ``joint=True`` fans every hop out to the whole next column.  Layer
+        keys are pre-assigned to the grid at ``ts``.
+        """
+        check_positive_int(replication, "replication")
+        rng = self._next_send_rng()
+        secret_key, blob, key_id = self._prepare(rng, message)
+        length = timeline.path_length
+        if grid is None:
+            exclude = {self.node.node_id, receiver_id}
+            grid = build_grid(
+                self._holder_population(exclude),
+                replication,
+                length,
+                rng.fork("grid"),
+            )
+        if grid.path_length != length:
+            raise ValueError(
+                f"grid length {grid.path_length} != timeline length {length}"
+            )
+        key_rng = rng.fork("layer-keys")
+        layer_keys = [key_rng.random_bytes(32) for _ in range(length)]
+        forward_times = [timeline.forward_time(j) for j in range(1, length + 1)]
+        core = OnionCore(
+            secret=secret_key.material, receiver_id=receiver_id.to_bytes()
+        )
+        ts = timeline.start_time
+
+        # Pre-assign layer keys: every column-j holder stores K_j.
+        for column in range(1, length + 1):
+            for holder in grid.column(column):
+                self._deliver_at(
+                    ts,
+                    holder,
+                    LayerKeyPackage(
+                        key_id=key_id, column=column, key=layer_keys[column - 1]
+                    ),
+                )
+
+        if joint:
+            # One onion; every layer names the whole next column.
+            hop_ids = [
+                [holder.to_bytes() for holder in grid.column(column + 1)]
+                for column in range(1, length)
+            ] + [[]]
+            onion = build_onion(
+                layer_keys,
+                hop_ids,
+                core,
+                forward_times=forward_times,
+                rng=rng.fork("onion-nonce"),
+            )
+            for holder in grid.column(1):
+                self._deliver_at(
+                    ts, holder, OnionPackage(key_id=key_id, row=0, blob=onion)
+                )
+        else:
+            # One onion per row, each following its own path.
+            for row_index in range(1, grid.replication + 1):
+                row = grid.row(row_index)
+                hop_ids = [
+                    [row[column].to_bytes()] for column in range(1, length)
+                ] + [[]]
+                onion = build_onion(
+                    layer_keys,
+                    hop_ids,
+                    core,
+                    forward_times=forward_times,
+                    rng=rng.fork(f"onion-nonce-{row_index}"),
+                )
+                self._deliver_at(
+                    ts,
+                    row[0],
+                    OnionPackage(key_id=key_id, row=row_index, blob=onion),
+                )
+
+        return SendResult(
+            key_id=key_id,
+            secret_key=secret_key,
+            blob=blob,
+            timeline=timeline,
+            scheme="joint" if joint else "disjoint",
+            structure=grid,
+            layer_keys=tuple(layer_keys),
+        )
+
+    # -- key-share routing ------------------------------------------------------
+
+    def send_key_share(
+        self,
+        message: bytes,
+        timeline: ReleaseTimeline,
+        receiver_id: NodeId,
+        share_rows: int,
+        secret_rows: int,
+        thresholds: Sequence[int],
+    ) -> SendResult:
+        """Paper §III-D: route layer keys as Shamir shares beside the onions.
+
+        ``share_rows`` is ``n``; ``secret_rows`` is ``k`` (how many rows
+        carry the real secret in their core — the onion paths); ``thresholds``
+        gives ``m`` per column (length ``l``; column 1's entry is unused
+        since its keys are handed over directly).
+
+        Hops are *id-space targets* (fresh random ids), re-resolved by each
+        forwarding holder — the churn-resilience mechanism.  Every row has
+        its own layer-key chain; shares of row ``r``'s column-``j`` key are
+        spread across all rows at column ``j - 1``.
+        """
+        check_positive_int(share_rows, "share_rows")
+        check_positive_int(secret_rows, "secret_rows")
+        if secret_rows > share_rows:
+            raise ValueError("secret_rows cannot exceed share_rows")
+        length = timeline.path_length
+        if length < 2:
+            raise ValueError("key-share routing needs path length >= 2")
+        if len(thresholds) != length:
+            raise ValueError(
+                f"need {length} thresholds (column 1 unused), got {len(thresholds)}"
+            )
+        rng = self._next_send_rng()
+        secret_key, blob, key_id = self._prepare(rng, message)
+        ts = timeline.start_time
+        n = share_rows
+
+        # Per-row layer-key chains.
+        key_rng = rng.fork("chain-keys")
+        chains = [
+            [key_rng.random_bytes(32) for _ in range(length)] for _ in range(n)
+        ]
+
+        # Id-space targets per (row, column); column 1 is resolved now.
+        target_rng = rng.fork("targets")
+        exclude = {self.node.node_id, receiver_id}
+        targets = [
+            unique_random_ids(target_rng.fork(f"row-{row}"), length)
+            for row in range(n)
+        ]
+        lattice = ShareLattice(
+            rows=tuple(tuple(column_targets) for column_targets in targets),
+            thresholds=tuple(thresholds),
+        )
+
+        # Shares: share index r of row r''s column-j key goes into row r's
+        # layer j-1.  shares[j][row_to][row_from] = Share.
+        share_rng = rng.fork("shares")
+        shares_by_column: Dict[int, List[List]] = {}
+        for column in range(2, length + 1):
+            m = thresholds[column - 1]
+            per_row = []
+            for row_to in range(n):
+                split = split_secret(
+                    chains[row_to][column - 1],
+                    threshold=m,
+                    share_count=n,
+                    rng=share_rng.fork(f"split-{column}-{row_to}"),
+                )
+                per_row.append(split)
+            shares_by_column[column] = per_row
+
+        forward_times = [timeline.forward_time(j) for j in range(1, length + 1)]
+        onions = []
+        onion_rng = rng.fork("onion-nonces")
+        for row in range(n):
+            hop_ids: List[List[bytes]] = []
+            forward_shares: List[List] = []
+            for column in range(1, length):
+                hops = [targets[row_to][column].to_bytes() for row_to in range(n)]
+                layer_shares = [
+                    shares_by_column[column + 1][row_to][row]
+                    for row_to in range(n)
+                ]
+                hop_ids.append(hops)
+                forward_shares.append(layer_shares)
+            hop_ids.append([])
+            forward_shares.append([])
+            if row < secret_rows:
+                core = OnionCore(
+                    secret=secret_key.material, receiver_id=receiver_id.to_bytes()
+                )
+            else:
+                core = OnionCore(secret=b"", receiver_id=b"")
+            onions.append(
+                build_onion(
+                    chains[row],
+                    hop_ids,
+                    core,
+                    forward_shares=forward_shares,
+                    forward_times=forward_times,
+                    rng=onion_rng.fork(f"row-{row}"),
+                )
+            )
+
+        # At ts: resolve column-1 targets, hand over first keys and onions.
+        for row in range(n):
+            first = self.node.find_closest_online(targets[row][0])
+            if first is None or first in exclude:
+                # Extremely unlikely with a healthy overlay; re-resolving a
+                # fresh target keeps the send robust rather than failing.
+                first = rng.fork(f"fallback-{row}").choice(
+                    self._holder_population(exclude)
+                )
+            self._deliver_at(
+                ts,
+                first,
+                LayerKeyPackage(key_id=key_id, column=1, key=chains[row][0]),
+            )
+            self._deliver_at(
+                ts, first, OnionPackage(key_id=key_id, row=row + 1, blob=onions[row])
+            )
+
+        return SendResult(
+            key_id=key_id,
+            secret_key=secret_key,
+            blob=blob,
+            timeline=timeline,
+            scheme="share",
+            structure=lattice,
+            layer_keys=tuple(chains[0]),
+        )

@@ -1,0 +1,143 @@
+"""Communication and storage cost accounting per scheme.
+
+The paper's cost axis is *node count*; a downstream deployment also cares
+about bytes on the wire and per-holder storage.  This module computes both
+analytically from the wire formats (and the tests cross-check the byte
+numbers against actually-built onions), powering the cost ablation bench.
+
+Model, per self-emerging key instance:
+
+- ciphertext overhead: nonce (16) + tag (32) per encryption layer;
+- layer header: type byte + column u32 + forward-time f64 + hop list +
+  share list + length prefixes (see ``repro.core.onion``);
+- multipath: ``k * l`` layer-key deliveries at ts, plus the onion(s)
+  traversing ``l`` columns;
+- key-share: ``n`` onions, each layer carrying ``n`` shares of 32-byte
+  keys, plus ``n^2`` share deliveries per boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cipher import ciphertext_overhead
+from repro.util.validation import check_positive_int
+
+NODE_ID_BYTES = 20
+LAYER_KEY_BYTES = 32
+SECRET_BYTES = 32
+U32 = 4
+F64 = 8
+TYPE_BYTE = 1
+
+# Wire costs of one serialized Share: u8 index + u8 threshold + length
+# prefix + payload (a 32-byte layer key).
+SHARE_BYTES = 1 + 1 + U32 + LAYER_KEY_BYTES
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Per-instance cost summary."""
+
+    scheme: str
+    holders: int
+    messages: int  # protocol deliveries from ts through tr
+    onion_bytes: int  # size of the (largest) onion as sent at ts
+    total_bytes: int  # all deliveries summed
+
+    def __str__(self) -> str:
+        return (
+            f"{self.scheme:>9}: holders={self.holders:6d} "
+            f"messages={self.messages:7d} onion={self.onion_bytes:8d}B "
+            f"total={self.total_bytes:10d}B"
+        )
+
+
+def _core_bytes() -> int:
+    # type byte + two length-prefixed byte strings (secret, receiver id).
+    return TYPE_BYTE + U32 + SECRET_BYTES + U32 + NODE_ID_BYTES
+
+
+def _layer_plain_bytes(hop_count: int, share_count: int, inner: int) -> int:
+    hops = U32 + hop_count * (U32 + NODE_ID_BYTES)
+    shares = U32 + share_count * (U32 + SHARE_BYTES)
+    return TYPE_BYTE + U32 + F64 + hops + shares + (U32 + inner)
+
+
+def onion_size(
+    path_length: int, hops_per_layer: int, shares_per_layer: int = 0
+) -> int:
+    """Exact byte size of an onion built by :func:`repro.core.onion.build_onion`."""
+    check_positive_int(path_length, "path_length")
+    size = _core_bytes()
+    for column in range(path_length, 0, -1):
+        hop_count = 0 if column == path_length else hops_per_layer
+        share_count = 0 if column == path_length else shares_per_layer
+        size = _layer_plain_bytes(hop_count, share_count, size) + ciphertext_overhead()
+    return size
+
+
+def centralized_cost() -> SchemeCost:
+    """One holder, one key delivery, one single-layer onion, one release."""
+    onion = onion_size(1, 0)
+    key_message = LAYER_KEY_BYTES + U32 * 2  # LayerKeyPackage approximation
+    total = key_message + onion + SECRET_BYTES
+    return SchemeCost(
+        scheme="central",
+        holders=1,
+        messages=3,
+        onion_bytes=onion,
+        total_bytes=total,
+    )
+
+
+def multipath_cost(replication: int, path_length: int, joint: bool) -> SchemeCost:
+    """Key pre-assignment + onion traversal for the two multipath schemes."""
+    k = check_positive_int(replication, "replication")
+    l = check_positive_int(path_length, "path_length")
+    hops = k if joint else 1
+    onion = onion_size(l, hops)
+    key_messages = k * l
+    key_bytes = key_messages * (LAYER_KEY_BYTES + U32 * 2)
+    if joint:
+        # One onion replicated: k first-hop sends, then k senders x k
+        # receivers per later boundary; terminal column releases k copies.
+        onion_messages = k + (l - 1) * k * k + k
+    else:
+        onion_messages = k * l + k  # each row onion hops l times + release
+    # The onion shrinks as layers peel; upper-bound with the full size,
+    # which is what capacity planning needs.
+    total = key_bytes + onion_messages * onion
+    return SchemeCost(
+        scheme="joint" if joint else "disjoint",
+        holders=k * l,
+        messages=key_messages + onion_messages,
+        onion_bytes=onion,
+        total_bytes=total,
+    )
+
+
+def key_share_cost(share_rows: int, path_length: int) -> SchemeCost:
+    """Share-lattice traversal: n onions, n^2 share sends per boundary."""
+    n = check_positive_int(share_rows, "share_rows")
+    l = check_positive_int(path_length, "path_length", minimum=2)
+    onion = onion_size(l, n, shares_per_layer=n)
+    first_hop = 2 * n  # key + onion per row at ts
+    boundaries = (l - 1) * (n * n + n)  # shares to all rows + own onion
+    releases = n
+    messages = first_hop + boundaries + releases
+    share_message_bytes = SHARE_BYTES + U32 * 3
+    total = (
+        n * (LAYER_KEY_BYTES + U32 * 2)
+        + n * onion  # first hops
+        + (l - 1) * n * onion  # onion forwards (own row)
+        + (l - 1) * n * n * share_message_bytes
+        + releases * SECRET_BYTES
+    )
+    return SchemeCost(
+        scheme="share",
+        holders=n * l,
+        messages=messages,
+        onion_bytes=onion,
+        total_bytes=total,
+    )

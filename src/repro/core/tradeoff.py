@@ -1,0 +1,136 @@
+"""The Rr / Rd trade-off frontier (paper §III-C).
+
+Lemma 1 guarantees ``Rr + Rd > 1`` for the node-joint scheme when
+``p < 0.5``, and the paper notes the *tradeoff between Rr and Rd* "helps to
+design a highly attack-resilient system".  This module makes that concrete:
+for a fixed node budget it sweeps the achievable (Rr, Rd) pairs and
+extracts the Pareto frontier, letting a sender bias the structure toward
+whichever attack worries her more (e.g. a news embargo fears release-ahead;
+an escrow fears drops).
+
+Used by the ablation benches and the ``repro.cli plan --frontier`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.planner import _resilience_grids
+from repro.util.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One Pareto-optimal (k, l) configuration."""
+
+    replication: int
+    path_length: int
+    release_resilience: float
+    drop_resilience: float
+
+    @property
+    def cost(self) -> int:
+        return self.replication * self.path_length
+
+    def satisfies(self, min_release: float, min_drop: float) -> bool:
+        return (
+            self.release_resilience >= min_release
+            and self.drop_resilience >= min_drop
+        )
+
+
+def pareto_frontier(
+    scheme: str,
+    malicious_rate: float,
+    node_budget: int,
+    max_replication: int = 32,
+    max_path_length: int = 256,
+) -> List[FrontierPoint]:
+    """All Pareto-optimal (Rr, Rd) configurations under the budget.
+
+    A configuration is kept iff no other affordable configuration is at
+    least as good on both axes and strictly better on one.  The result is
+    sorted by increasing ``Rr`` (hence decreasing ``Rd``).
+    """
+    p = check_probability(malicious_rate, "malicious_rate")
+    check_positive_int(node_budget, "node_budget")
+    k_values = np.arange(1, min(max_replication, node_budget) + 1)
+    l_values = np.arange(1, min(max_path_length, node_budget) + 1)
+    release, drop = _resilience_grids(scheme, p, k_values, l_values)
+    cost = k_values[:, None] * l_values[None, :]
+    affordable = cost <= node_budget
+
+    candidates = []
+    for k_index in range(release.shape[0]):
+        for l_index in range(release.shape[1]):
+            if not affordable[k_index, l_index]:
+                continue
+            candidates.append(
+                (
+                    float(release[k_index, l_index]),
+                    float(drop[k_index, l_index]),
+                    int(k_values[k_index]),
+                    int(l_values[l_index]),
+                    int(cost[k_index, l_index]),
+                )
+            )
+    # Sort by Rr descending, then sweep keeping strictly improving Rd —
+    # the classic O(n log n) Pareto extraction; ties broken toward lower
+    # cost so the frontier is also cost-minimal per point.
+    candidates.sort(key=lambda c: (-c[0], -c[1], c[4]))
+    frontier: List[FrontierPoint] = []
+    best_drop = -1.0
+    epsilon = 1e-12
+    for rel, drp, k, l, _cost in candidates:
+        if drp > best_drop + epsilon:
+            best_drop = drp
+            frontier.append(
+                FrontierPoint(
+                    replication=k,
+                    path_length=l,
+                    release_resilience=rel,
+                    drop_resilience=drp,
+                )
+            )
+    frontier.reverse()  # increasing Rr
+    return frontier
+
+
+def biased_configuration(
+    scheme: str,
+    malicious_rate: float,
+    node_budget: int,
+    release_weight: float = 0.5,
+    **kwargs,
+) -> FrontierPoint:
+    """Pick the frontier point maximizing a weighted mix of Rr and Rd.
+
+    ``release_weight = 1`` optimizes purely for release-ahead resilience
+    (embargo use case); ``0`` purely for drop resilience (escrow use case);
+    ``0.5`` reproduces the balanced planner's preference.
+    """
+    weight = check_probability(release_weight, "release_weight")
+    frontier = pareto_frontier(scheme, malicious_rate, node_budget, **kwargs)
+    if not frontier:
+        raise RuntimeError("empty frontier — budget too small")
+    return max(
+        frontier,
+        key=lambda point: weight * point.release_resilience
+        + (1.0 - weight) * point.drop_resilience,
+    )
+
+
+def lemma1_gap(points: Sequence[FrontierPoint]) -> float:
+    """The minimum of (Rr + Rd - 1) over a frontier.
+
+    Lemma 1 says this is positive for the node-joint scheme at p < 0.5;
+    the tests sweep it.
+    """
+    if not points:
+        raise ValueError("empty frontier")
+    return min(
+        point.release_resilience + point.drop_resilience - 1.0 for point in points
+    )

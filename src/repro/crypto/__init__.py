@@ -1,0 +1,45 @@
+"""Cryptographic substrate.
+
+The paper's protocol needs three primitives:
+
+- a symmetric cipher for the message payload and the onion layers
+  (:mod:`repro.crypto.cipher` — SHA-256 counter-mode keystream with an
+  HMAC-SHA-256 authentication tag; simulation-grade, documented as such);
+- Shamir secret sharing for the key-share routing scheme
+  (:mod:`repro.crypto.shamir`, over GF(2^8) for byte strings and over a
+  prime field for integers);
+- key generation / derivation (:mod:`repro.crypto.keys`,
+  :mod:`repro.crypto.kdf`).
+
+Nothing here calls out to external crypto libraries; the finite-field and
+sharing arithmetic is implemented from scratch and property-tested.
+"""
+
+from repro.crypto.cipher import (
+    AuthenticationError,
+    SymmetricCipher,
+    decrypt,
+    encrypt,
+)
+from repro.crypto.kdf import derive_key, derive_subkeys
+from repro.crypto.keys import KEY_SIZE, SecretKey, generate_key
+from repro.crypto.shamir import (
+    Share,
+    combine_shares,
+    split_secret,
+)
+
+__all__ = [
+    "SymmetricCipher",
+    "AuthenticationError",
+    "encrypt",
+    "decrypt",
+    "SecretKey",
+    "generate_key",
+    "KEY_SIZE",
+    "derive_key",
+    "derive_subkeys",
+    "Share",
+    "split_secret",
+    "combine_shares",
+]

@@ -1,0 +1,146 @@
+"""Authenticated symmetric encryption for payloads and onion layers.
+
+The construction is an encrypt-then-MAC scheme built only from ``hashlib``:
+
+- keystream: ``SHA-256(enc_key || nonce || counter)`` blocks, XORed with the
+  plaintext (counter mode over a hash — a standard PRF-as-stream-cipher
+  construction);
+- tag: ``HMAC-SHA-256(mac_key, nonce || ciphertext)``;
+- the encryption and MAC keys are derived from the user key with the KDF so
+  a single 32-byte key drives both.
+
+This is **simulation-grade** crypto: the construction is sound, but the repo
+deliberately avoids external crypto libraries, so no claims are made about
+side channels or performance.  The protocol logic layered on top (onions,
+shares, timing) is what the paper evaluates, and that logic is exercised
+with this cipher end to end.
+
+Wire format of a ciphertext blob::
+
+    nonce (16 bytes) || body (len == plaintext) || tag (32 bytes)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.bytes_util import constant_time_equal, int_to_bytes, xor_bytes
+from repro.util.rng import RandomSource
+
+NONCE_SIZE = 16
+TAG_SIZE = 32
+_BLOCK_SIZE = 32  # SHA-256 output size
+_OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+
+class AuthenticationError(Exception):
+    """Raised when a ciphertext fails tag verification.
+
+    In the protocol this is how a holder detects a corrupted or forged onion
+    layer (for example one tampered with by a malicious predecessor).
+    """
+
+
+@dataclass(frozen=True)
+class CipherText:
+    """A parsed ciphertext blob."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    @classmethod
+    def from_blob(cls, blob: bytes) -> "CipherText":
+        if len(blob) < _OVERHEAD:
+            raise ValueError(
+                f"ciphertext blob too short: {len(blob)} < {_OVERHEAD} bytes"
+            )
+        return cls(
+            nonce=blob[:NONCE_SIZE],
+            body=blob[NONCE_SIZE : len(blob) - TAG_SIZE],
+            tag=blob[len(blob) - TAG_SIZE :],
+        )
+
+    def to_blob(self) -> bytes:
+        return self.nonce + self.body + self.tag
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Generate ``length`` keystream bytes for (key, nonce)."""
+    blocks = []
+    for counter in range((length + _BLOCK_SIZE - 1) // _BLOCK_SIZE):
+        blocks.append(
+            hashlib.sha256(key + nonce + int_to_bytes(counter, 8)).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _subkeys(key: bytes) -> tuple:
+    """Derive independent encryption and MAC keys from the user key."""
+    enc_key = hashlib.sha256(b"repro.cipher.enc" + key).digest()
+    mac_key = hashlib.sha256(b"repro.cipher.mac" + key).digest()
+    return enc_key, mac_key
+
+
+class SymmetricCipher:
+    """Authenticated encryption bound to a single symmetric key.
+
+    The instance form exists so callers (the onion builder, the cloud store)
+    can derive the subkeys once and encrypt many blobs; the module-level
+    :func:`encrypt` / :func:`decrypt` helpers wrap it for one-shot use.
+    """
+
+    def __init__(self, key: bytes, rng: Optional[RandomSource] = None) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError(f"key must be bytes, got {type(key).__name__}")
+        if len(key) == 0:
+            raise ValueError("key must be non-empty")
+        self._enc_key, self._mac_key = _subkeys(bytes(key))
+        self._rng = rng if rng is not None else RandomSource(0xC1F3E, "cipher-nonce")
+
+    def encrypt(self, plaintext: bytes, nonce: Optional[bytes] = None) -> bytes:
+        """Encrypt and authenticate ``plaintext``; returns the wire blob.
+
+        A fresh random nonce is drawn unless one is supplied (deterministic
+        nonces are only for tests — reuse with the same key leaks XOR of
+        plaintexts, as with any stream cipher).
+        """
+        if not isinstance(plaintext, (bytes, bytearray)):
+            raise TypeError(
+                f"plaintext must be bytes, got {type(plaintext).__name__}"
+            )
+        if nonce is None:
+            nonce = self._rng.random_bytes(NONCE_SIZE)
+        elif len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        body = xor_bytes(bytes(plaintext), _keystream(self._enc_key, nonce, len(plaintext)))
+        tag = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()
+        return CipherText(nonce=nonce, body=body, tag=tag).to_blob()
+
+    def decrypt(self, blob: bytes) -> bytes:
+        """Verify and decrypt a wire blob; raises :class:`AuthenticationError`."""
+        parsed = CipherText.from_blob(blob)
+        expected = hmac.new(
+            self._mac_key, parsed.nonce + parsed.body, hashlib.sha256
+        ).digest()
+        if not constant_time_equal(expected, parsed.tag):
+            raise AuthenticationError("ciphertext failed authentication")
+        return xor_bytes(parsed.body, _keystream(self._enc_key, parsed.nonce, len(parsed.body)))
+
+
+def encrypt(key: bytes, plaintext: bytes, rng: Optional[RandomSource] = None) -> bytes:
+    """One-shot authenticated encryption."""
+    return SymmetricCipher(key, rng=rng).encrypt(plaintext)
+
+
+def decrypt(key: bytes, blob: bytes) -> bytes:
+    """One-shot verify-and-decrypt."""
+    return SymmetricCipher(key).decrypt(blob)
+
+
+def ciphertext_overhead() -> int:
+    """Bytes added by encryption (nonce + tag); used by size accounting."""
+    return _OVERHEAD

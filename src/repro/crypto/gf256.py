@@ -1,0 +1,122 @@
+"""Arithmetic in GF(2^8), the field used for byte-oriented Shamir sharing.
+
+The field is constructed with the AES reduction polynomial
+``x^8 + x^4 + x^3 + x + 1`` (0x11b).  Multiplication and inversion go through
+precomputed log/antilog tables over the generator 3, which makes the
+byte-wise share/combine loops fast enough for the Monte-Carlo experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+_REDUCTION_POLY = 0x11B
+_GENERATOR = 0x03
+FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple:
+    exp_table = [0] * 510
+    log_table = [0] * 256
+    value = 1
+    for power in range(255):
+        exp_table[power] = value
+        log_table[value] = power
+        # multiply value by the generator (3 = x + 1): v*3 = v*2 ^ v
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= _REDUCTION_POLY
+        value = doubled ^ value
+    # Duplicate the table so exponent sums need no modular reduction.
+    for power in range(255, 510):
+        exp_table[power] = exp_table[power - 255]
+    return tuple(exp_table), tuple(log_table)
+
+
+_EXP, _LOG = _build_tables()
+
+
+def add(left: int, right: int) -> int:
+    """Field addition (XOR)."""
+    return left ^ right
+
+
+def subtract(left: int, right: int) -> int:
+    """Field subtraction equals addition in characteristic 2."""
+    return left ^ right
+
+
+def multiply(left: int, right: int) -> int:
+    """Field multiplication via log tables."""
+    if left == 0 or right == 0:
+        return 0
+    return _EXP[_LOG[left] + _LOG[right]]
+
+
+def inverse(value: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    if value == 0:
+        raise ZeroDivisionError("zero has no multiplicative inverse in GF(256)")
+    return _EXP[255 - _LOG[value]]
+
+
+def divide(numerator: int, denominator: int) -> int:
+    """Field division ``numerator / denominator``."""
+    if denominator == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if numerator == 0:
+        return 0
+    return _EXP[(_LOG[numerator] - _LOG[denominator]) % 255]
+
+
+def power(base: int, exponent: int) -> int:
+    """Raise a field element to a non-negative integer power."""
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    if base == 0:
+        return 0 if exponent else 1
+    return _EXP[(_LOG[base] * exponent) % 255]
+
+
+def eval_polynomial(coefficients: Sequence[int], point: int) -> int:
+    """Evaluate a polynomial (lowest-degree coefficient first) at ``point``.
+
+    Horner's rule over the field.  ``coefficients[0]`` is the secret byte in
+    the Shamir use case.
+    """
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = multiply(result, point) ^ coefficient
+    return result
+
+
+def interpolate_at_zero(points: Sequence[tuple]) -> int:
+    """Lagrange-interpolate a polynomial through ``points`` and evaluate at 0.
+
+    ``points`` is a sequence of ``(x, y)`` field-element pairs with distinct
+    ``x``.  This recovers the Shamir secret byte.
+    """
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x coordinates")
+    if any(x == 0 for x in xs):
+        raise ValueError("x = 0 is reserved for the secret and cannot be a share")
+    secret = 0
+    for i, (x_i, y_i) in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, (x_j, _) in enumerate(points):
+            if i == j:
+                continue
+            numerator = multiply(numerator, x_j)
+            denominator = multiply(denominator, x_i ^ x_j)
+        secret ^= multiply(y_i, divide(numerator, denominator))
+    return secret
+
+
+def batch_multiply(values: Sequence[int], scalar: int) -> List[int]:
+    """Multiply every element of ``values`` by ``scalar``."""
+    if scalar == 0:
+        return [0] * len(values)
+    log_scalar = _LOG[scalar]
+    return [0 if v == 0 else _EXP[_LOG[v] + log_scalar] for v in values]

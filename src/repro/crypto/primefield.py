@@ -1,0 +1,82 @@
+"""Arithmetic in a large prime field for integer-valued Shamir sharing.
+
+GF(2^8) sharing (see :mod:`repro.crypto.gf256`) splits byte strings byte by
+byte with n <= 255 shares.  The prime-field variant here shares whole
+integers modulo a fixed Mersenne-like prime, which some callers (tests,
+examples that share counters or ids) find more convenient, and which also
+serves as an independently implemented cross-check of the GF(256) code path
+in the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# 13th Mersenne prime, 2^521 - 1 — large enough for 512-bit secrets.
+DEFAULT_PRIME = 2 ** 521 - 1
+
+
+class PrimeField:
+    """A prime field GF(p) with the handful of operations Shamir needs."""
+
+    def __init__(self, prime: int = DEFAULT_PRIME) -> None:
+        if prime < 2:
+            raise ValueError(f"prime must be >= 2, got {prime}")
+        self.prime = prime
+
+    def __repr__(self) -> str:
+        return f"PrimeField(prime~2^{self.prime.bit_length()})"
+
+    def reduce(self, value: int) -> int:
+        """Map an integer into the canonical range ``[0, p)``."""
+        return value % self.prime
+
+    def add(self, left: int, right: int) -> int:
+        return (left + right) % self.prime
+
+    def subtract(self, left: int, right: int) -> int:
+        return (left - right) % self.prime
+
+    def multiply(self, left: int, right: int) -> int:
+        return (left * right) % self.prime
+
+    def inverse(self, value: int) -> int:
+        """Multiplicative inverse via Python's native modular inversion."""
+        value %= self.prime
+        if value == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return pow(value, -1, self.prime)
+
+    def divide(self, numerator: int, denominator: int) -> int:
+        return self.multiply(numerator, self.inverse(denominator))
+
+    def eval_polynomial(self, coefficients: Sequence[int], point: int) -> int:
+        """Horner evaluation, lowest-degree coefficient first."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * point + coefficient) % self.prime
+        return result
+
+    def interpolate_at_zero(self, points: Sequence[tuple]) -> int:
+        """Lagrange interpolation at x = 0 over GF(p)."""
+        xs = [x for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x coordinates")
+        if any(x % self.prime == 0 for x in xs):
+            raise ValueError("x = 0 is reserved for the secret")
+        secret = 0
+        for i, (x_i, y_i) in enumerate(points):
+            numerator = 1
+            denominator = 1
+            for j, (x_j, _) in enumerate(points):
+                if i == j:
+                    continue
+                # Basis polynomial at 0: product of (0 - x_j) / (x_i - x_j).
+                # The (0 - x_j) negation matters in odd characteristic
+                # (unlike GF(2^8), where subtraction is XOR).
+                numerator = self.multiply(numerator, self.subtract(0, x_j))
+                denominator = self.multiply(denominator, self.subtract(x_i, x_j))
+            secret = self.add(
+                secret, self.multiply(y_i, self.divide(numerator, denominator))
+            )
+        return secret

@@ -1,0 +1,231 @@
+"""Shamir secret sharing.
+
+Two variants are provided:
+
+- **byte-string sharing over GF(2^8)** (:func:`split_secret` /
+  :func:`combine_shares`): the secret is an arbitrary ``bytes`` value; every
+  byte is shared independently with a fresh random polynomial.  This is the
+  variant the key-share routing scheme (paper Section III-D) uses to split
+  onion-layer decryption keys into ``n`` shares with threshold ``m``.
+- **integer sharing over a prime field**
+  (:func:`split_integer_secret` / :func:`combine_integer_shares`), mainly
+  used as a cross-check implementation in the property tests.
+
+A :class:`Share` carries its x-coordinate (``index``, 1-based) so shares can
+be routed independently and recombined in any order.  The scheme is
+information-theoretically hiding: any ``m - 1`` shares reveal nothing, which
+the test suite checks statistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.crypto import gf256
+from repro.crypto.primefield import DEFAULT_PRIME, PrimeField
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive_int
+
+MAX_SHARES = 255  # x-coordinates live in GF(256) \ {0}
+
+
+@dataclass(frozen=True)
+class Share:
+    """One Shamir share of a byte-string secret.
+
+    Attributes
+    ----------
+    index:
+        The share's x-coordinate, in ``[1, 255]``.
+    payload:
+        One byte of polynomial evaluation per secret byte.
+    threshold:
+        The recovery threshold ``m`` the share was produced with; carried so
+        holders can sanity-check reassembly preconditions.
+    """
+
+    index: int
+    payload: bytes
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.index <= MAX_SHARES:
+            raise ValueError(f"share index must be in [1, {MAX_SHARES}], got {self.index}")
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {self.threshold}")
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+def split_secret(
+    secret: bytes,
+    threshold: int,
+    share_count: int,
+    rng: Optional[RandomSource] = None,
+) -> List[Share]:
+    """Split ``secret`` into ``share_count`` shares with recovery threshold ``threshold``.
+
+    Parameters mirror the paper's ``(m, n)``: any ``m = threshold`` of the
+    ``n = share_count`` shares recover the secret; fewer reveal nothing.
+    """
+    check_positive_int(threshold, "threshold")
+    check_positive_int(share_count, "share_count")
+    if threshold > share_count:
+        raise ValueError(
+            f"threshold {threshold} cannot exceed share_count {share_count}"
+        )
+    if share_count > MAX_SHARES:
+        raise ValueError(
+            f"GF(256) sharing supports at most {MAX_SHARES} shares, got {share_count}"
+        )
+    if not isinstance(secret, (bytes, bytearray)):
+        raise TypeError(f"secret must be bytes, got {type(secret).__name__}")
+    if rng is None:
+        rng = RandomSource(0xD5EC2E7).fork("shamir-default")
+
+    # One random polynomial per secret byte; coefficient 0 is the secret byte.
+    polynomials = [
+        [byte] + [rng.randint(0, 255) for _ in range(threshold - 1)]
+        for byte in secret
+    ]
+    shares = []
+    for index in range(1, share_count + 1):
+        payload = bytes(
+            gf256.eval_polynomial(coefficients, index) for coefficients in polynomials
+        )
+        shares.append(Share(index=index, payload=payload, threshold=threshold))
+    return shares
+
+
+def combine_shares(shares: Iterable[Share]) -> bytes:
+    """Recover the secret from at least ``threshold`` distinct shares.
+
+    Extra shares beyond the threshold are accepted and used; duplicated
+    indices and mismatched payload lengths raise ``ValueError``.
+    """
+    share_list = list(shares)
+    if not share_list:
+        raise ValueError("cannot combine an empty share set")
+    thresholds = {share.threshold for share in share_list}
+    if len(thresholds) != 1:
+        raise ValueError(f"shares disagree on threshold: {sorted(thresholds)}")
+    threshold = thresholds.pop()
+    indices = [share.index for share in share_list]
+    if len(set(indices)) != len(indices):
+        raise ValueError("duplicate share indices")
+    if len(share_list) < threshold:
+        raise ValueError(
+            f"need at least {threshold} shares to recover, got {len(share_list)}"
+        )
+    lengths = {len(share.payload) for share in share_list}
+    if len(lengths) != 1:
+        raise ValueError(f"shares have inconsistent payload lengths: {sorted(lengths)}")
+    length = lengths.pop()
+
+    # Use exactly `threshold` shares; Lagrange weights depend only on the
+    # chosen x-coordinates so we can hoist them out of the per-byte loop.
+    used = share_list[:threshold]
+    weights = _lagrange_weights_at_zero([share.index for share in used])
+    secret = bytearray(length)
+    for position in range(length):
+        value = 0
+        for share, weight in zip(used, weights):
+            value ^= gf256.multiply(share.payload[position], weight)
+        secret[position] = value
+    return bytes(secret)
+
+
+def _lagrange_weights_at_zero(xs: Sequence[int]) -> List[int]:
+    """Per-point Lagrange basis values evaluated at x = 0 over GF(256)."""
+    weights = []
+    for i, x_i in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = gf256.multiply(numerator, x_j)
+            denominator = gf256.multiply(denominator, x_i ^ x_j)
+        weights.append(gf256.divide(numerator, denominator))
+    return weights
+
+
+# ---------------------------------------------------------------------------
+# Prime-field integer sharing (cross-check variant)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntegerShare:
+    """One Shamir share of an integer secret over GF(p)."""
+
+    index: int
+    value: int
+    threshold: int
+    prime: int = DEFAULT_PRIME
+
+
+def split_integer_secret(
+    secret: int,
+    threshold: int,
+    share_count: int,
+    rng: Optional[RandomSource] = None,
+    prime: int = DEFAULT_PRIME,
+) -> List[IntegerShare]:
+    """Split an integer secret modulo ``prime`` into threshold shares."""
+    check_positive_int(threshold, "threshold")
+    check_positive_int(share_count, "share_count")
+    if threshold > share_count:
+        raise ValueError(
+            f"threshold {threshold} cannot exceed share_count {share_count}"
+        )
+    field = PrimeField(prime)
+    if not 0 <= secret < prime:
+        raise ValueError("secret must lie in [0, prime)")
+    if rng is None:
+        rng = RandomSource(0xD5EC2E7).fork("shamir-int-default")
+    coefficients = [secret] + [
+        rng.randint(0, prime - 1) for _ in range(threshold - 1)
+    ]
+    return [
+        IntegerShare(
+            index=index,
+            value=field.eval_polynomial(coefficients, index),
+            threshold=threshold,
+            prime=prime,
+        )
+        for index in range(1, share_count + 1)
+    ]
+
+
+def combine_integer_shares(shares: Iterable[IntegerShare]) -> int:
+    """Recover an integer secret from at least ``threshold`` shares."""
+    share_list = list(shares)
+    if not share_list:
+        raise ValueError("cannot combine an empty share set")
+    primes = {share.prime for share in share_list}
+    thresholds = {share.threshold for share in share_list}
+    if len(primes) != 1 or len(thresholds) != 1:
+        raise ValueError("shares disagree on field or threshold")
+    threshold = thresholds.pop()
+    if len({share.index for share in share_list}) != len(share_list):
+        raise ValueError("duplicate share indices")
+    if len(share_list) < threshold:
+        raise ValueError(
+            f"need at least {threshold} shares to recover, got {len(share_list)}"
+        )
+    field = PrimeField(primes.pop())
+    used = share_list[:threshold]
+    return field.interpolate_at_zero([(share.index, share.value) for share in used])
+
+
+def shares_by_index(shares: Iterable[Share]) -> Dict[int, Share]:
+    """Index a share collection by x-coordinate, rejecting duplicates."""
+    result: Dict[int, Share] = {}
+    for share in shares:
+        if share.index in result:
+            raise ValueError(f"duplicate share index {share.index}")
+        result[share.index] = share
+    return result

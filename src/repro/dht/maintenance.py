@@ -1,0 +1,147 @@
+"""Overlay maintenance: bucket refresh and storage republish.
+
+Kademlia's standard background duties (§2.3 of the Kademlia paper), needed
+for the overlay to stay healthy across long emerging periods with churn:
+
+- **bucket refresh** — periodically look up a random id in any bucket that
+  has seen no traffic, repopulating routing tables as nodes die and join;
+- **storage republish** — periodically push each stored key/value back to
+  the current k closest nodes, so values survive the death of their
+  original replica set.
+
+Both are modelled as periodic event-loop tasks owned by a
+:class:`MaintenanceScheduler`.  The self-emerging key protocol does *not*
+depend on republish for its own packages (holders forward those actively),
+but examples that use plain ``store_value``/``find_value`` alongside the
+protocol — and any long-lived deployment — do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dht.kademlia import KademliaNode
+from repro.dht.node_id import NodeId
+from repro.sim.event_loop import EventLoop, ScheduledHandle
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive
+
+DEFAULT_REFRESH_INTERVAL = 3600.0
+DEFAULT_REPUBLISH_INTERVAL = 3600.0
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters for observability and tests."""
+
+    refreshes: int = 0
+    republished_values: int = 0
+    republish_rounds: int = 0
+
+
+class MaintenanceScheduler:
+    """Periodic refresh/republish for a set of nodes on one event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: RandomSource,
+        refresh_interval: float = DEFAULT_REFRESH_INTERVAL,
+        republish_interval: float = DEFAULT_REPUBLISH_INTERVAL,
+    ) -> None:
+        check_positive(refresh_interval, "refresh_interval")
+        check_positive(republish_interval, "republish_interval")
+        self.loop = loop
+        self.refresh_interval = float(refresh_interval)
+        self.republish_interval = float(republish_interval)
+        self._rng = rng
+        self._nodes: List[KademliaNode] = []
+        self._handles: List[ScheduledHandle] = []
+        self.stats = MaintenanceStats()
+        self._running = False
+
+    def manage(self, node: KademliaNode) -> None:
+        """Add a node to the maintenance rotation."""
+        self._nodes.append(node)
+        if self._running:
+            self._schedule_for(node)
+
+    def start(self) -> None:
+        """Begin periodic maintenance for all managed nodes.
+
+        First runs are staggered uniformly over one interval so 10,000
+        nodes do not all republish in the same event-loop instant.
+        """
+        if self._running:
+            raise RuntimeError("maintenance already started")
+        self._running = True
+        for node in self._nodes:
+            self._schedule_for(node)
+
+    def stop(self) -> None:
+        """Cancel all pending maintenance events."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        self._running = False
+
+    # -- internals -----------------------------------------------------------
+
+    def _schedule_for(self, node: KademliaNode) -> None:
+        stagger = self._rng.fork(f"stagger-{node.node_id.hex()}")
+        self._handles.append(
+            self.loop.call_later(
+                stagger.uniform(0.0, self.refresh_interval),
+                lambda: self._refresh(node),
+                label=f"refresh-{node.node_id}",
+            )
+        )
+        self._handles.append(
+            self.loop.call_later(
+                stagger.uniform(0.0, self.republish_interval),
+                lambda: self._republish(node),
+                label=f"republish-{node.node_id}",
+            )
+        )
+
+    def _alive(self, node: KademliaNode) -> bool:
+        return node.network.is_online(node.node_id)
+
+    def _refresh(self, node: KademliaNode) -> None:
+        if self._running and self._alive(node):
+            target = NodeId.random(self._rng.fork(f"refresh-{self.stats.refreshes}"))
+            node.iterative_find_node(target)
+            self.stats.refreshes += 1
+        if self._running and not self._dead_forever(node):
+            self._handles.append(
+                self.loop.call_later(
+                    self.refresh_interval,
+                    lambda: self._refresh(node),
+                    label=f"refresh-{node.node_id}",
+                )
+            )
+
+    def _republish(self, node: KademliaNode) -> None:
+        if self._running and self._alive(node):
+            keys = node.store.keys()
+            for key in keys:
+                value = node.store.get(key)
+                if value is not None:
+                    node.store_value(key, value)
+                    self.stats.republished_values += 1
+            if keys:
+                self.stats.republish_rounds += 1
+        if self._running and not self._dead_forever(node):
+            self._handles.append(
+                self.loop.call_later(
+                    self.republish_interval,
+                    lambda: self._republish(node),
+                    label=f"republish-{node.node_id}",
+                )
+            )
+
+    def _dead_forever(self, node: KademliaNode) -> bool:
+        from repro.dht.network import Liveness
+
+        return node.network.liveness_of(node.node_id) is Liveness.DEAD

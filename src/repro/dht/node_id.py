@@ -1,0 +1,109 @@
+"""160-bit node identifiers and the XOR distance metric (Kademlia §2.1)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.util.rng import RandomSource
+
+ID_BITS = 160
+ID_BYTES = ID_BITS // 8
+_MAX_ID = (1 << ID_BITS) - 1
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """An identifier in the 160-bit Kademlia id space."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int):
+            raise TypeError(f"id value must be int, got {type(self.value).__name__}")
+        if not 0 <= self.value <= _MAX_ID:
+            raise ValueError(f"id value out of range: {self.value}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def random(cls, rng: RandomSource) -> "NodeId":
+        """Uniformly random id, from a deterministic source."""
+        return cls(rng.getrandbits(ID_BITS))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NodeId":
+        if len(data) != ID_BYTES:
+            raise ValueError(f"node id needs {ID_BYTES} bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    @classmethod
+    def hash_of(cls, material: bytes) -> "NodeId":
+        """SHA-1-style mapping of arbitrary material into the id space.
+
+        SHA-256 truncated to 160 bits; used to map storage keys onto the
+        overlay and to derive deterministic holder targets from path seeds.
+        """
+        digest = hashlib.sha256(material).digest()
+        return cls.from_bytes(digest[:ID_BYTES])
+
+    # -- metric ------------------------------------------------------------
+
+    def distance_to(self, other: "NodeId") -> int:
+        """XOR distance."""
+        return self.value ^ other.value
+
+    def bucket_index_for(self, other: "NodeId") -> int:
+        """Index of the k-bucket that ``other`` falls into, from this node.
+
+        Equals ``floor(log2(distance))``; raises for the node's own id,
+        which never enters a routing table.
+        """
+        distance = self.distance_to(other)
+        if distance == 0:
+            raise ValueError("a node does not bucket its own id")
+        return distance.bit_length() - 1
+
+    # -- encoding ----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(ID_BYTES, "big")
+
+    def hex(self) -> str:
+        return self.to_bytes().hex()
+
+    def __str__(self) -> str:
+        return self.hex()[:12]
+
+    def __repr__(self) -> str:
+        return f"NodeId({self.hex()[:12]}...)"
+
+
+def sort_by_distance(ids: Iterable[NodeId], target: NodeId) -> List[NodeId]:
+    """Sort ids ascending by XOR distance to ``target``."""
+    return sorted(ids, key=lambda node_id: node_id.distance_to(target))
+
+
+def closest(ids: Iterable[NodeId], target: NodeId, count: int = 1) -> List[NodeId]:
+    """The ``count`` ids closest to ``target``."""
+    return sort_by_distance(ids, target)[:count]
+
+
+def unique_random_ids(
+    rng: RandomSource, count: int, exclude: Optional[set] = None
+) -> List[NodeId]:
+    """Draw ``count`` distinct random ids, avoiding an exclusion set.
+
+    Collisions in a 160-bit space are vanishingly rare, so this loops only
+    in pathological tests that force tiny exclusion margins.
+    """
+    excluded = set(exclude) if exclude else set()
+    result: List[NodeId] = []
+    while len(result) < count:
+        candidate = NodeId.random(rng)
+        if candidate in excluded:
+            continue
+        excluded.add(candidate)
+        result.append(candidate)
+    return result

@@ -1,0 +1,128 @@
+"""k-bucket routing tables (Kademlia §2.2, §2.4).
+
+Each node keeps 160 buckets; bucket ``i`` holds contacts whose XOR distance
+from the owner has bit length ``i + 1``.  Buckets are least-recently-seen
+ordered: fresh contacts go to the tail, re-seen contacts move to the tail,
+and when a bucket is full the head (stalest) contact is evicted only if it
+fails a liveness check supplied by the caller.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from repro.dht.node_id import ID_BITS, NodeId, sort_by_distance
+
+DEFAULT_BUCKET_SIZE = 20
+
+LivenessProbe = Callable[[NodeId], bool]
+
+
+class KBucket:
+    """One bucket of up to ``capacity`` contacts, LRS-ordered."""
+
+    def __init__(self, capacity: int = DEFAULT_BUCKET_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError(f"bucket capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # OrderedDict keyed by NodeId: head = stalest, tail = freshest.
+        self._contacts: "OrderedDict[NodeId, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._contacts
+
+    @property
+    def contacts(self) -> List[NodeId]:
+        return list(self._contacts.keys())
+
+    @property
+    def stalest(self) -> Optional[NodeId]:
+        return next(iter(self._contacts), None)
+
+    def touch(self, node_id: NodeId, probe: Optional[LivenessProbe] = None) -> bool:
+        """Record that ``node_id`` was seen.
+
+        Returns True if the contact is now in the bucket.  When the bucket is
+        full, the stalest contact is probed (if a probe is given): a live
+        stale contact is refreshed and the newcomer dropped — Kademlia's
+        proven stability bias toward long-lived nodes; a dead one is evicted.
+        """
+        if node_id in self._contacts:
+            self._contacts.move_to_end(node_id)
+            return True
+        if len(self._contacts) < self.capacity:
+            self._contacts[node_id] = None
+            return True
+        stalest = self.stalest
+        if probe is not None and stalest is not None and not probe(stalest):
+            del self._contacts[stalest]
+            self._contacts[node_id] = None
+            return True
+        if stalest is not None:
+            self._contacts.move_to_end(stalest)
+        return False
+
+    def remove(self, node_id: NodeId) -> bool:
+        """Drop a contact (e.g. after a failed RPC); returns whether present."""
+        if node_id not in self._contacts:
+            return False
+        del self._contacts[node_id]
+        return True
+
+
+class RoutingTable:
+    """The full per-node routing table: one :class:`KBucket` per distance bit."""
+
+    def __init__(self, owner: NodeId, bucket_size: int = DEFAULT_BUCKET_SIZE) -> None:
+        self.owner = owner
+        self.bucket_size = bucket_size
+        self._buckets = [KBucket(bucket_size) for _ in range(ID_BITS)]
+
+    def bucket_for(self, node_id: NodeId) -> KBucket:
+        return self._buckets[self.owner.bucket_index_for(node_id)]
+
+    def add_contact(self, node_id: NodeId, probe: Optional[LivenessProbe] = None) -> bool:
+        """Insert/refresh a contact; silently ignores the owner's own id."""
+        if node_id == self.owner:
+            return False
+        return self.bucket_for(node_id).touch(node_id, probe)
+
+    def remove_contact(self, node_id: NodeId) -> bool:
+        if node_id == self.owner:
+            return False
+        return self.bucket_for(node_id).remove(node_id)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        if node_id == self.owner:
+            return False
+        return node_id in self.bucket_for(node_id)
+
+    def closest_contacts(self, target: NodeId, count: int) -> List[NodeId]:
+        """The ``count`` known contacts closest to ``target``.
+
+        Scans outward from the target's bucket; with at most 160 * k
+        contacts total, a full scan plus sort is cheap and obviously correct,
+        which we prefer over a clever partial scan.
+        """
+        everyone: List[NodeId] = []
+        for bucket in self._buckets:
+            everyone.extend(bucket.contacts)
+        return sort_by_distance(everyone, target)[:count]
+
+    @property
+    def contact_count(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def all_contacts(self) -> List[NodeId]:
+        contacts: List[NodeId] = []
+        for bucket in self._buckets:
+            contacts.extend(bucket.contacts)
+        return contacts
+
+    def bucket_sizes(self) -> List[int]:
+        """Occupancy per bucket index (diagnostics and tests)."""
+        return [len(bucket) for bucket in self._buckets]

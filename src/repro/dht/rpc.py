@@ -1,0 +1,117 @@
+"""Kademlia RPC message types.
+
+Four classic RPCs (PING, STORE, FIND_NODE, FIND_VALUE) plus DELIVER, the
+application-level message used by the self-emerging key protocol to hand an
+onion package or key share to a holder.  Messages are plain dataclasses —
+the simulated transport passes them by reference, and equality/`repr` make
+test assertions pleasant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dht.node_id import NodeId
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base class for RPC requests."""
+
+    sender: NodeId
+
+
+@dataclass(frozen=True)
+class Response:
+    """Base class for RPC responses."""
+
+    responder: NodeId
+
+
+@dataclass(frozen=True)
+class Ping(Request):
+    """Liveness probe."""
+
+
+@dataclass(frozen=True)
+class Pong(Response):
+    """Liveness acknowledgement."""
+
+
+@dataclass(frozen=True)
+class Store(Request):
+    """Ask the receiver to store a key/value pair."""
+
+    key: NodeId = field(default=None)  # type: ignore[assignment]
+    value: bytes = b""
+    ttl: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StoreAck(Response):
+    """Store acknowledgement."""
+
+    key: NodeId = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class FindNode(Request):
+    """Ask for the k closest contacts to ``target``."""
+
+    target: NodeId = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class FoundNodes(Response):
+    """Closest contacts known to the responder."""
+
+    target: NodeId = field(default=None)  # type: ignore[assignment]
+    contacts: Tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class FindValue(Request):
+    """Ask for a value, falling back to closest contacts."""
+
+    key: NodeId = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class FoundValue(Response):
+    """Either the value or the closest contacts (value takes precedence)."""
+
+    key: NodeId = field(default=None)  # type: ignore[assignment]
+    value: Optional[bytes] = None
+    contacts: Tuple[NodeId, ...] = ()
+
+
+@dataclass(frozen=True)
+class Deliver(Request):
+    """Application payload handoff used by the key-routing protocol.
+
+    ``channel`` names the protocol stream ("onion", "share", "key") and
+    ``payload`` is the serialized package.  The DHT treats it opaquely.
+    """
+
+    channel: str = ""
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class DeliverAck(Response):
+    """Delivery acknowledgement."""
+
+    channel: str = ""
+
+
+def describe(message) -> str:
+    """Short human-readable description for traces."""
+    name = type(message).__name__
+    if isinstance(message, (Store, StoreAck, FindValue, FoundValue)):
+        return f"{name}(key={str(message.key)[:12]})"
+    if isinstance(message, (FindNode, FoundNodes)):
+        return f"{name}(target={str(message.target)[:12]})"
+    if isinstance(message, (Deliver, DeliverAck)):
+        return f"{name}(channel={message.channel})"
+    return name

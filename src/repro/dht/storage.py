@@ -1,0 +1,87 @@
+"""Per-node key/value storage with expiry.
+
+Holders store pending onion packages and (in the multipath schemes)
+pre-assigned onion-layer keys here.  Entries can carry a time-to-live so the
+store can model republishing semantics and so dead data does not accumulate
+across long simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dht.node_id import NodeId
+from repro.sim.clock import Clock
+
+
+@dataclass
+class StorageEntry:
+    """A stored value with bookkeeping."""
+
+    key: NodeId
+    value: bytes
+    stored_at: float
+    expires_at: Optional[float] = None
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class ValueStore:
+    """Key/value store owned by one DHT node."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._entries: Dict[NodeId, StorageEntry] = {}
+
+    def put(
+        self,
+        key: NodeId,
+        value: bytes,
+        ttl: Optional[float] = None,
+    ) -> StorageEntry:
+        """Store ``value`` under ``key``; later puts overwrite earlier ones."""
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError(f"value must be bytes, got {type(value).__name__}")
+        now = self._clock.now
+        entry = StorageEntry(
+            key=key,
+            value=bytes(value),
+            stored_at=now,
+            expires_at=None if ttl is None else now + ttl,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def get(self, key: NodeId) -> Optional[bytes]:
+        """Return the live value for ``key``, or None (expired entries are reaped)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.is_expired(self._clock.now):
+            del self._entries[key]
+            return None
+        return entry.value
+
+    def delete(self, key: NodeId) -> bool:
+        """Remove a key; returns whether it existed."""
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> List[NodeId]:
+        """Live keys (reaps expired entries as a side effect)."""
+        now = self._clock.now
+        expired = [key for key, entry in self._entries.items() if entry.is_expired(now)]
+        for key in expired:
+            del self._entries[key]
+        return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __contains__(self, key: NodeId) -> bool:
+        return self.get(key) is not None
+
+    def clear(self) -> None:
+        """Drop everything — used when a node dies; its data is lost."""
+        self._entries.clear()

@@ -1,0 +1,44 @@
+"""Experiment drivers reproducing the paper's evaluation (Section IV).
+
+One module per figure:
+
+- :mod:`repro.experiments.attack_resilience` — Fig. 6(a)-(d): attack
+  resilience and node cost vs malicious rate, N = 10,000 and N = 100;
+- :mod:`repro.experiments.churn_resilience` — Fig. 7(a)-(d): resilience
+  under churn for α = T / t_life in {1, 2, 3, 5};
+- :mod:`repro.experiments.cost` — Fig. 8: key-share scheme resilience vs
+  available-node budget N in {100, 1000, 5000, 10000};
+
+plus shared machinery:
+
+- :mod:`repro.experiments.runner` — seeded Monte-Carlo loops with
+  confidence intervals;
+- :mod:`repro.experiments.churn_model` — the vectorised epoch churn model
+  (DESIGN.md §5);
+- :mod:`repro.experiments.reporting` — textual tables and series, the
+  format the benchmarks print.
+"""
+
+from repro.experiments.attack_resilience import (
+    AttackResiliencePoint,
+    run_attack_resilience,
+)
+from repro.experiments.availability import AvailabilityPoint, run_availability_sweep
+from repro.experiments.churn_resilience import ChurnPoint, run_churn_resilience
+from repro.experiments.cost import CostPoint, run_share_cost
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import MonteCarloEstimate, estimate_probability
+
+__all__ = [
+    "run_attack_resilience",
+    "AttackResiliencePoint",
+    "run_churn_resilience",
+    "ChurnPoint",
+    "run_share_cost",
+    "CostPoint",
+    "run_availability_sweep",
+    "AvailabilityPoint",
+    "estimate_probability",
+    "MonteCarloEstimate",
+    "format_series_table",
+]

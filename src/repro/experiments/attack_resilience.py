@@ -1,0 +1,149 @@
+"""Fig. 6 — attack resilience and node cost without churn.
+
+For each malicious rate ``p`` and each scheme (central / disjoint / joint):
+
+1. the planner picks the configuration the sender would use (cheapest
+   meeting the target resilience, else best achievable under ``N``);
+2. the closed-form (Rr, Rd) give the analytic curve;
+3. a finite-population Monte Carlo — mark exactly ``N * p`` of ``N`` node
+   ids malicious, sample the holder structure, evaluate both attacks —
+   verifies the curve the way the paper's Overlay Weaver experiments do.
+
+``run_attack_resilience`` produces the full series for Fig. 6(a)+(b)
+(``population=10000``) or Fig. 6(c)+(d) (``population=100``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.adversary.population import SybilPopulation
+from repro.core.planner import DEFAULT_TARGET, PlannedConfiguration, plan_configuration
+from repro.core.schemes import (
+    CentralizedScheme,
+    NodeDisjointScheme,
+    NodeJointScheme,
+    Scheme,
+)
+from repro.experiments.runner import PairedEstimate, estimate_resilience_pair
+from repro.util.rng import RandomSource
+
+DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))  # 0.00 .. 0.50
+SCHEME_ORDER = ("central", "disjoint", "joint")
+
+
+@dataclass(frozen=True)
+class AttackResiliencePoint:
+    """One (scheme, p) point of Fig. 6."""
+
+    scheme: str
+    malicious_rate: float
+    configuration: PlannedConfiguration
+    analytic_release: float
+    analytic_drop: float
+    measured: Optional[PairedEstimate] = None
+
+    @property
+    def analytic_worst(self) -> float:
+        """The R axis of Fig. 6(a)/(c)."""
+        return min(self.analytic_release, self.analytic_drop)
+
+    @property
+    def measured_worst(self) -> Optional[float]:
+        return self.measured.worst if self.measured is not None else None
+
+    @property
+    def cost(self) -> int:
+        """The C axis of Fig. 6(b)/(d)."""
+        return self.configuration.cost
+
+
+def _scheme_for(configuration: PlannedConfiguration) -> Scheme:
+    if configuration.scheme == "central":
+        return CentralizedScheme()
+    if configuration.scheme == "disjoint":
+        return NodeDisjointScheme(
+            configuration.replication, configuration.path_length
+        )
+    if configuration.scheme == "joint":
+        return NodeJointScheme(configuration.replication, configuration.path_length)
+    raise ValueError(f"unknown scheme {configuration.scheme!r}")
+
+
+def _measure(
+    scheme: Scheme,
+    malicious_rate: float,
+    population_size: int,
+    trials: int,
+    seed: int,
+) -> PairedEstimate:
+    """Finite-population Monte Carlo for one configuration."""
+    population_ids = list(range(population_size))
+
+    def trial(rng: RandomSource):
+        sybil = SybilPopulation(malicious_rate, rng.fork("sybil"))
+        sybil.mark_population(population_ids)
+        structure = scheme.sample_structure(population_ids, rng.fork("structure"))
+        outcome = scheme.evaluate_attacks(structure, sybil)
+        return outcome.release_resisted, outcome.drop_resisted
+
+    return estimate_resilience_pair(
+        trial, trials=trials, seed=seed, label=f"fig6-{scheme.name}-{malicious_rate}"
+    )
+
+
+def run_attack_resilience(
+    population_size: int = 10000,
+    p_sweep: Sequence[float] = DEFAULT_P_SWEEP,
+    trials: int = 400,
+    target: float = DEFAULT_TARGET,
+    measure: bool = True,
+    seed: int = 2017,
+) -> List[AttackResiliencePoint]:
+    """Produce the Fig. 6 series for one population size.
+
+    Set ``measure=False`` for the analytic-only variant (instant; used by
+    tests that pin exact values).
+    """
+    points: List[AttackResiliencePoint] = []
+    for scheme_name in SCHEME_ORDER:
+        for p in p_sweep:
+            configuration = plan_configuration(
+                scheme_name, p, population_size, target=target
+            )
+            scheme = _scheme_for(configuration)
+            measured = None
+            if measure and configuration.cost <= population_size:
+                measured = _measure(
+                    scheme, p, population_size, trials, seed=seed
+                )
+            points.append(
+                AttackResiliencePoint(
+                    scheme=scheme_name,
+                    malicious_rate=p,
+                    configuration=configuration,
+                    analytic_release=configuration.release_resilience,
+                    analytic_drop=configuration.drop_resilience,
+                    measured=measured,
+                )
+            )
+    return points
+
+
+def series_by_scheme(
+    points: Sequence[AttackResiliencePoint],
+) -> dict:
+    """Group a point list into per-scheme (p, R, C) triples for reporting."""
+    series: dict = {}
+    for point in points:
+        entry = series.setdefault(point.scheme, [])
+        entry.append(
+            (
+                point.malicious_rate,
+                point.analytic_worst,
+                point.measured_worst,
+                point.cost,
+            )
+        )
+    return series

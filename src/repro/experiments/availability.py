@@ -1,0 +1,175 @@
+"""Extension: transient unavailability on top of death churn.
+
+The paper's §II-C distinguishes *node death* (modelled throughout the
+evaluation) from *node unavailability* — a holder that is merely offline at
+its forwarding instant blocks on-time release without losing data.  The
+evaluation section leaves this axis unexplored; this extension sweeps it.
+
+Model: every holder is independently offline at any given boundary with
+probability ``1 - uptime`` (the stationary availability of the alternating
+renewal process in :mod:`repro.churn.session`).  An offline holder cannot
+forward (drop side) but keeps its stored keys, so release-ahead resilience
+is untouched — which is exactly why the effect is interesting: it shifts
+*only one* side of the Rr/Rd balance.
+
+- multipath joint: a column forwards iff >= 1 holder is online and honest;
+- multipath disjoint: a row survives iff its holder is online and honest at
+  every boundary;
+- key-share: an offline carrier's shares miss the boundary, so it behaves
+  like a temporary dead share — absorbed by the (m, n) threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.planner import plan_configuration
+from repro.core.schemes.keyshare import SharePlan, plan_share_scheme
+from repro.experiments.churn_model import ChurnOutcome
+from repro.util.rng import derive_seed
+from repro.util.validation import check_positive_int, check_probability
+
+DEFAULT_UPTIMES = (1.0, 0.95, 0.9, 0.8)
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One (scheme, uptime, p) sweep point."""
+
+    scheme: str
+    uptime: float
+    malicious_rate: float
+    outcome: ChurnOutcome
+
+    @property
+    def resilience(self) -> float:
+        return self.outcome.worst
+
+
+def simulate_multipath_availability(
+    malicious_rate: float,
+    uptime: float,
+    replication: int,
+    path_length: int,
+    trials: int,
+    rng: np.random.Generator,
+    joint: bool,
+) -> ChurnOutcome:
+    """Static grid + per-boundary offline draws (no deaths)."""
+    p = check_probability(malicious_rate, "malicious_rate")
+    up = check_probability(uptime, "uptime")
+    k = check_positive_int(replication, "replication")
+    l = check_positive_int(path_length, "path_length")
+
+    malicious = rng.random((trials, l, k)) < p
+    offline = rng.random((trials, l, k)) >= up
+    unusable = malicious | offline
+
+    if joint:
+        column_blocked = unusable.all(axis=2)  # whole column out
+        drop_success = column_blocked.any(axis=1)
+    else:
+        row_cut = unusable.any(axis=1)  # any bad hop cuts a row
+        drop_success = row_cut.all(axis=1)
+
+    # Offline holders keep their keys: release capture is malicious-only.
+    column_captured = malicious.any(axis=2)
+    release_success = column_captured.all(axis=1)
+
+    return ChurnOutcome(
+        release_resilience=float(1.0 - release_success.mean()),
+        drop_resilience=float(1.0 - drop_success.mean()),
+        trials=trials,
+    )
+
+
+def simulate_key_share_availability(
+    plan: SharePlan,
+    uptime: float,
+    trials: int,
+    rng: np.random.Generator,
+    malicious_rate: float,
+) -> ChurnOutcome:
+    """Offline carriers behave as per-boundary dead shares."""
+    up = check_probability(uptime, "uptime")
+    p = check_probability(malicious_rate, "malicious_rate")
+    n = plan.shares_per_column
+    l = plan.path_length
+    k = plan.replication
+    thresholds = np.array(plan.thresholds, dtype=np.int64)
+
+    shape = (trials, l - 1, k)
+    malicious = rng.binomial(n=n, p=p, size=shape)
+    offline = rng.binomial(n=n, p=1.0 - up, size=shape)
+    offline_malicious = rng.hypergeometric(
+        ngood=malicious, nbad=n - malicious, nsample=offline
+    )
+    honest_online = (n - malicious) - (offline - offline_malicious)
+
+    captured = malicious >= thresholds[None, :, None]
+    starved = honest_online < thresholds[None, :, None]
+    seed_captured = rng.random((trials, 1, k)) < p
+    seed_starved = rng.random((trials, 1, k)) < max(p, 1.0 - up)
+    captured = np.concatenate([seed_captured, captured], axis=1)
+    starved = np.concatenate([seed_starved, starved], axis=1)
+
+    release_success = captured.any(axis=2).all(axis=1)
+    drop_success = starved.all(axis=2).any(axis=1)
+    return ChurnOutcome(
+        release_resilience=float(1.0 - release_success.mean()),
+        drop_resilience=float(1.0 - drop_success.mean()),
+        trials=trials,
+    )
+
+
+def run_availability_sweep(
+    population_size: int = 10000,
+    uptimes: Sequence[float] = DEFAULT_UPTIMES,
+    p_sweep: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    trials: int = 1000,
+    schemes: Sequence[str] = ("disjoint", "joint", "share"),
+    seed: int = 2017,
+) -> List[AvailabilityPoint]:
+    """The extension sweep: resilience vs p per uptime level."""
+    points: List[AvailabilityPoint] = []
+    for uptime in uptimes:
+        for p in p_sweep:
+            planning_rate = max(p, 0.05)
+            for scheme in schemes:
+                rng = np.random.default_rng(
+                    derive_seed(seed, f"avail-{scheme}-{uptime}-{p}")
+                )
+                if scheme in ("disjoint", "joint"):
+                    configuration = plan_configuration(
+                        scheme, planning_rate, population_size
+                    )
+                    outcome = simulate_multipath_availability(
+                        p,
+                        uptime,
+                        configuration.replication,
+                        configuration.path_length,
+                        trials,
+                        rng,
+                        joint=(scheme == "joint"),
+                    )
+                elif scheme == "share":
+                    plan = plan_share_scheme(
+                        planning_rate, population_size, 1.0, 1.0
+                    )
+                    outcome = simulate_key_share_availability(
+                        plan, uptime, trials, rng, malicious_rate=p
+                    )
+                else:
+                    raise ValueError(f"unknown scheme {scheme!r}")
+                points.append(
+                    AvailabilityPoint(
+                        scheme=scheme,
+                        uptime=uptime,
+                        malicious_rate=p,
+                        outcome=outcome,
+                    )
+                )
+    return points

@@ -1,0 +1,83 @@
+"""Fig. 8 — key-share routing cost: resilience vs available nodes N.
+
+Fixes α = 3 (the paper's setting) and sweeps the node budget
+N ∈ {100, 1000, 5000, 10000}: Algorithm 1 re-plans ``(m, n)`` for each
+budget and the epoch Monte Carlo measures the resulting resilience.  The
+expected shape: 10,000 and 5,000 nearly coincide, 1,000 holds R > 0.95 to
+p ≈ 0.26, and even 100 nodes keep R > 0.9 to p ≈ 0.14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.schemes.keyshare import SharePlan, plan_share_scheme
+from repro.experiments.churn_model import ChurnOutcome, simulate_key_share
+from repro.util.rng import derive_seed
+
+DEFAULT_BUDGETS = (100, 1000, 5000, 10000)
+DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))
+DEFAULT_ALPHA = 3.0
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """One (N, p) point of Fig. 8."""
+
+    node_budget: int
+    malicious_rate: float
+    alpha: float
+    plan: SharePlan
+    outcome: ChurnOutcome
+
+    @property
+    def resilience(self) -> float:
+        return self.outcome.worst
+
+    @property
+    def analytic_resilience(self) -> float:
+        """Algorithm 1's own (Rr, Rd) prediction for the same plan."""
+        return self.plan.worst_resilience
+
+
+def run_share_cost(
+    budgets: Sequence[int] = DEFAULT_BUDGETS,
+    p_sweep: Sequence[float] = DEFAULT_P_SWEEP,
+    alpha: float = DEFAULT_ALPHA,
+    trials: int = 1000,
+    seed: int = 2017,
+) -> List[CostPoint]:
+    """Produce the Fig. 8 series."""
+    points: List[CostPoint] = []
+    for budget in budgets:
+        for p in p_sweep:
+            plan = plan_share_scheme(
+                p, budget, emerging_time=alpha, mean_lifetime=1.0
+            )
+            rng = np.random.default_rng(
+                derive_seed(seed, f"fig8-N{budget}-p{p}")
+            )
+            outcome = simulate_key_share(plan, alpha, trials, rng)
+            points.append(
+                CostPoint(
+                    node_budget=budget,
+                    malicious_rate=p,
+                    alpha=alpha,
+                    plan=plan,
+                    outcome=outcome,
+                )
+            )
+    return points
+
+
+def series_by_budget(points: Sequence[CostPoint]) -> dict:
+    """Group into budget -> [(p, measured R, analytic R)]."""
+    series: dict = {}
+    for point in points:
+        series.setdefault(point.node_budget, []).append(
+            (point.malicious_rate, point.resilience, point.analytic_resilience)
+        )
+    return series

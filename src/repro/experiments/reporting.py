@@ -1,0 +1,73 @@
+"""Textual reporting: the rows/series the benchmarks print.
+
+The paper's figures are line plots; the equivalent textual artefact is one
+table per figure with a row per x-value and a column per series, which is
+what these formatters produce (and EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render aligned columns: x followed by one column per named series.
+
+    ``series`` maps a column name to values aligned with ``x_values``;
+    missing values render as ``-``.
+    """
+    names = list(series.keys())
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} values for "
+                f"{len(x_values)} x points"
+            )
+    header = [x_label.rjust(8)] + [name.rjust(12) for name in names]
+    lines = [title, " ".join(header), "-" * (9 + 13 * len(names))]
+    for row_index, x in enumerate(x_values):
+        cells = [f"{x:8.2f}"]
+        for name in names:
+            value = series[name][row_index]
+            if value is None:
+                cells.append("-".rjust(12))
+            else:
+                cells.append(value_format.format(value).rjust(12))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def format_cost_table(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[int]]],
+) -> str:
+    """Node-cost variant (integer cells, Fig. 6(b)/(d))."""
+    return format_series_table(
+        title,
+        "p",
+        x_values,
+        {name: [float(v) if v is not None else None for v in values]
+         for name, values in series.items()},
+        value_format="{:.0f}",
+    )
+
+
+def comparison_rows(
+    paper: Sequence[Tuple[str, float]],
+    measured: Sequence[Tuple[str, float]],
+) -> List[str]:
+    """Side-by-side 'paper says / we measured' rows for EXPERIMENTS.md."""
+    paper_map = dict(paper)
+    lines = []
+    for name, value in measured:
+        expected = paper_map.get(name)
+        expected_text = f"{expected:.3f}" if expected is not None else "n/a"
+        lines.append(f"{name:>24}: paper={expected_text} measured={value:.3f}")
+    return lines

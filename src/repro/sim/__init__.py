@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulator.
+
+The DHT, the churn process and the self-emerging key protocol all run on a
+single :class:`~repro.sim.event_loop.EventLoop`: a priority queue of timed
+events with a monotonically advancing virtual clock.  Determinism is total —
+events at the same timestamp fire in insertion order, and all randomness
+comes from :class:`~repro.util.rng.RandomSource` streams — so every test and
+experiment is exactly reproducible from its seed.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.event_loop import Event, EventLoop, ScheduledHandle
+from repro.sim.latency import ConstantLatency, LatencyModel, UniformLatency
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "EventLoop",
+    "Event",
+    "ScheduledHandle",
+    "Clock",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "TraceRecorder",
+    "TraceEvent",
+]

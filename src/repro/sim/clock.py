@@ -1,0 +1,34 @@
+"""Virtual clock.
+
+Separated from the event loop so components that only need to *read* time
+(holders computing their forwarding deadline, the churn process sampling a
+death time) can hold a :class:`Clock` reference without being able to
+schedule or run events.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically advancing virtual clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward; rejects travel into the past."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now})"

@@ -1,0 +1,59 @@
+"""Network latency models for the simulated transport.
+
+The paper's evaluation is insensitive to absolute latency (holding periods
+are hours-to-months while hops are milliseconds), but the DHT substrate
+still models per-message delay so that lookup concurrency and timeout logic
+behave realistically and so tests can assert ordering properties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.util.rng import RandomSource
+from repro.util.validation import check_positive
+
+
+class LatencyModel:
+    """Interface: one-way delay in seconds for a message between two nodes."""
+
+    def delay(self, sender_id: int, receiver_id: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay; the default for protocol unit tests."""
+
+    def __init__(self, seconds: float = 0.05) -> None:
+        check_positive(seconds, "seconds", allow_zero=True)
+        self.seconds = float(seconds)
+
+    def delay(self, sender_id: int, receiver_id: int) -> float:
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.seconds})"
+
+
+class UniformLatency(LatencyModel):
+    """Uniformly random delay in ``[low, high]`` drawn per message."""
+
+    def __init__(
+        self,
+        low: float = 0.01,
+        high: float = 0.2,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        check_positive(low, "low", allow_zero=True)
+        check_positive(high, "high")
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = rng if rng is not None else RandomSource(0x1A7E, "latency")
+
+    def delay(self, sender_id: int, receiver_id: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"

@@ -1,0 +1,82 @@
+"""Structured trace recording.
+
+Protocol components emit trace events (package forwarded, layer decrypted,
+node died, attack succeeded) into a :class:`TraceRecorder`.  Integration
+tests assert on the trace — e.g. "the secret key never appears in any trace
+event before the release time" — and the examples print human-readable
+timelines from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single recorded happening, at a virtual timestamp."""
+
+    time: float
+    category: str
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[t={self.time:12.3f}] {self.category:>18}: {self.message}"
+
+
+class TraceRecorder:
+    """Append-only trace sink with simple category filtering."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: List[TraceEvent] = []
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        message: str,
+        **details: Any,
+    ) -> None:
+        """Append one event (no-op when disabled, for hot Monte-Carlo loops)."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(time=time, category=category, message=message, details=details)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def filter(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """Events of one category (or all when category is None)."""
+        if category is None:
+            return self.events
+        return [event for event in self._events if event.category == category]
+
+    def first(self, category: str) -> Optional[TraceEvent]:
+        """Earliest event in a category, or None."""
+        for event in self._events:
+            if event.category == category:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def format_timeline(self, limit: Optional[int] = None) -> str:
+        """Render the trace as a printable timeline (used by the examples)."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [str(event) for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

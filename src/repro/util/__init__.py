@@ -1,0 +1,52 @@
+"""Shared low-level utilities.
+
+This subpackage holds helpers used across all the substrates:
+
+- :mod:`repro.util.rng` — deterministic, forkable random streams so that
+  every experiment in the repository is reproducible from a single seed.
+- :mod:`repro.util.bytes_util` — byte-string manipulation helpers used by
+  the crypto layer.
+- :mod:`repro.util.validation` — small argument-validation guards that
+  raise uniform, well-worded exceptions.
+- :mod:`repro.util.stats` — statistics helpers (binomial tails, confidence
+  intervals) shared by the analytical model and the Monte-Carlo harness.
+"""
+
+from repro.util.bytes_util import (
+    bytes_to_int,
+    chunk_bytes,
+    constant_time_equal,
+    int_to_bytes,
+    xor_bytes,
+)
+from repro.util.rng import RandomSource, derive_seed
+from repro.util.stats import (
+    binomial_pmf,
+    binomial_tail_at_least,
+    mean,
+    sample_proportion_ci,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RandomSource",
+    "derive_seed",
+    "xor_bytes",
+    "int_to_bytes",
+    "bytes_to_int",
+    "chunk_bytes",
+    "constant_time_equal",
+    "check_probability",
+    "check_fraction",
+    "check_positive",
+    "check_type",
+    "binomial_pmf",
+    "binomial_tail_at_least",
+    "mean",
+    "sample_proportion_ci",
+]

@@ -1,0 +1,77 @@
+"""Statistics helpers shared by the analytic model and the Monte-Carlo harness.
+
+Algorithm 1 of the paper needs binomial tail probabilities; the experiment
+harness needs sample means with confidence intervals for the resilience
+estimates it reports next to the closed-form values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.util.validation import check_probability
+
+
+def binomial_pmf(successes: int, trials: int, probability: float) -> float:
+    """Probability of exactly ``successes`` in ``trials`` Bernoulli draws."""
+    probability = check_probability(probability, "probability")
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if successes < 0 or successes > trials:
+        return 0.0
+    # math.comb handles big integers exactly; the float conversion at the end
+    # is the only rounding step.
+    combinations = math.comb(trials, successes)
+    return (
+        combinations
+        * probability ** successes
+        * (1.0 - probability) ** (trials - successes)
+    )
+
+
+def binomial_tail_at_least(threshold: int, trials: int, probability: float) -> float:
+    """P[Bin(trials, probability) >= threshold].
+
+    This is the quantity Algorithm 1 evaluates twice per column: once for the
+    release-ahead success (``m`` of ``n`` shares malicious) and once for the
+    drop success (``n - d - m + 1`` of ``n - d`` alive shares malicious).
+    """
+    probability = check_probability(probability, "probability")
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if threshold <= 0:
+        return 1.0
+    if threshold > trials:
+        return 0.0
+    total = 0.0
+    for count in range(threshold, trials + 1):
+        total += binomial_pmf(count, trials, probability)
+    # Clamp tiny negative / >1 float drift.
+    return min(1.0, max(0.0, total))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return sum(values) / len(values)
+
+
+def sample_proportion_ci(
+    successes: int, trials: int, z_score: float = 1.96
+) -> Tuple[float, float, float]:
+    """Estimate a proportion with a normal-approximation confidence interval.
+
+    Returns ``(estimate, low, high)``.  Used by the experiment reporters to
+    show Monte-Carlo noise next to the analytic curves.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be within [0, {trials}], got {successes}"
+        )
+    estimate = successes / trials
+    spread = z_score * math.sqrt(max(estimate * (1.0 - estimate), 1e-12) / trials)
+    return estimate, max(0.0, estimate - spread), min(1.0, estimate + spread)

@@ -1,0 +1,164 @@
+"""Static attack evaluators: the structural success conditions of §II-B."""
+
+import pytest
+
+from repro.adversary.drop import DropAttack
+from repro.adversary.population import SybilPopulation
+from repro.adversary.release_ahead import ReleaseAheadAttack
+from repro.util.rng import RandomSource
+
+
+def population_with(malicious):
+    population = SybilPopulation(0.0, RandomSource(1))
+    population.force_malicious(malicious)
+    return population
+
+
+# A 2x3 grid: rows are paths, columns replicate layer keys.
+ROWS = [["a1", "a2", "a3"], ["b1", "b2", "b3"]]
+COLUMNS = [["a1", "b1"], ["a2", "b2"], ["a3", "b3"]]
+
+
+class TestReleaseAheadGrid:
+    def test_all_honest_resists(self):
+        attack = ReleaseAheadAttack(population_with([]))
+        assert not attack.evaluate_grid(COLUMNS).succeeded
+
+    def test_one_malicious_per_column_succeeds(self):
+        attack = ReleaseAheadAttack(population_with(["a1", "b2", "a3"]))
+        result = attack.evaluate_grid(COLUMNS)
+        assert result.succeeded
+        assert result.earliest_release_period == 1
+        assert result.captured_columns == [1, 2, 3]
+
+    def test_one_clean_column_blocks(self):
+        # Column 2 has no malicious holder: the Fig. 2(b) K3 case.
+        attack = ReleaseAheadAttack(population_with(["a1", "b1", "a3", "b3"]))
+        result = attack.evaluate_grid(COLUMNS)
+        assert not result.succeeded
+        assert result.uncaptured_columns == [2]
+
+    def test_empty_grid_rejected(self):
+        attack = ReleaseAheadAttack(population_with([]))
+        with pytest.raises(ValueError):
+            attack.evaluate_grid([])
+        with pytest.raises(ValueError):
+            attack.evaluate_grid([[]])
+
+
+class TestReleaseAheadSinglePath:
+    def test_malicious_suffix_releases_early(self):
+        # Fig. 2(b)'s K2: last two holders malicious -> release when the
+        # onion reaches the suffix.
+        attack = ReleaseAheadAttack(population_with(["h4", "h5"]))
+        result = attack.evaluate_single_path(["h1", "h2", "h3", "h4", "h5"])
+        assert result.succeeded
+        assert result.earliest_release_period == 4
+
+    def test_broken_continuity_blocks(self):
+        # Fig. 2(b)'s K3: malicious at head, middle and tail but the break
+        # right before the tail stops early release... a malicious *tail*
+        # alone still releases one holding period early.
+        attack = ReleaseAheadAttack(population_with(["h1", "h3"]))
+        result = attack.evaluate_single_path(["h1", "h2", "h3", "h4"])
+        assert not result.succeeded
+
+    def test_fully_malicious_path_releases_at_start(self):
+        attack = ReleaseAheadAttack(population_with(["h1", "h2", "h3"]))
+        result = attack.evaluate_single_path(["h1", "h2", "h3"])
+        assert result.succeeded
+        assert result.earliest_release_period == 1
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            ReleaseAheadAttack(population_with([])).evaluate_single_path([])
+
+
+class TestReleaseAheadShares:
+    def test_threshold_capture(self):
+        attack = ReleaseAheadAttack(population_with(["s1", "s2"]))
+        assert attack.evaluate_share_column(["s1", "s2", "s3"], threshold=2)
+        assert not attack.evaluate_share_column(["s1", "s2", "s3"], threshold=3)
+
+    def test_lattice_requires_every_column(self):
+        attack = ReleaseAheadAttack(population_with(["s1", "s2", "t1"]))
+        columns = [["s1", "s2", "s3"], ["t1", "t2", "t3"]]
+        result = attack.evaluate_share_lattice(columns, thresholds=[2, 2])
+        assert not result.succeeded  # column 2 has only 1 of 2 shares
+        result = attack.evaluate_share_lattice(columns, thresholds=[2, 1])
+        assert result.succeeded
+
+    def test_threshold_validation(self):
+        attack = ReleaseAheadAttack(population_with([]))
+        with pytest.raises(ValueError):
+            attack.evaluate_share_column(["x"], threshold=0)
+        with pytest.raises(ValueError):
+            attack.evaluate_share_lattice([["x"]], thresholds=[1, 2])
+
+
+class TestDropDisjoint:
+    def test_all_honest_resists(self):
+        attack = DropAttack(population_with([]))
+        assert not attack.evaluate_disjoint(ROWS).succeeded
+
+    def test_every_path_cut_succeeds(self):
+        attack = DropAttack(population_with(["a2", "b3"]))
+        result = attack.evaluate_disjoint(ROWS)
+        assert result.succeeded
+        assert result.surviving_routes == 0
+
+    def test_one_clean_path_survives(self):
+        attack = DropAttack(population_with(["a1", "a2", "a3"]))
+        result = attack.evaluate_disjoint(ROWS)
+        assert not result.succeeded
+        assert result.surviving_routes == 1
+        assert result.cut_positions == [1]
+
+
+class TestDropJoint:
+    def test_scattered_malicious_cannot_drop(self):
+        # The paper's §III-C example: (H1,1, H2,2, H1,3) malicious drops
+        # the node-disjoint scheme but not the node-joint scheme.
+        malicious = ["a1", "b2", "a3"]
+        disjoint = DropAttack(population_with(malicious)).evaluate_disjoint(ROWS)
+        joint = DropAttack(population_with(malicious)).evaluate_joint(COLUMNS)
+        assert disjoint.succeeded
+        assert not joint.succeeded
+
+    def test_full_column_drops(self):
+        attack = DropAttack(population_with(["a2", "b2"]))
+        result = attack.evaluate_joint(COLUMNS)
+        assert result.succeeded
+        assert result.cut_positions == [2]
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ValueError):
+            DropAttack(population_with([])).evaluate_joint([[]])
+
+
+class TestDropShares:
+    def test_share_starvation(self):
+        attack = DropAttack(population_with(["s1", "s2"]))
+        # 3 carriers, threshold 2: one honest survivor is not enough.
+        assert attack.evaluate_share_column(["s1", "s2", "s3"], threshold=2)
+        assert not attack.evaluate_share_column(["s1", "s2", "s3"], threshold=1)
+
+    def test_dead_carriers_count(self):
+        attack = DropAttack(population_with([]))
+        assert attack.evaluate_share_column(
+            ["s1", "s2", "s3"], threshold=2, dead=["s1", "s2"]
+        )
+
+    def test_lattice_any_column_suffices(self):
+        attack = DropAttack(population_with(["t1", "t2", "t3"]))
+        columns = [["s1", "s2", "s3"], ["t1", "t2", "t3"]]
+        result = attack.evaluate_share_lattice(columns, thresholds=[1, 1])
+        assert result.succeeded
+        assert result.cut_positions == [2]
+
+    def test_dead_by_column_alignment_checked(self):
+        attack = DropAttack(population_with([]))
+        with pytest.raises(ValueError):
+            attack.evaluate_share_lattice(
+                [["a"], ["b"]], thresholds=[1, 1], dead_by_column=[[]]
+            )

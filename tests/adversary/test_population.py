@@ -1,0 +1,78 @@
+"""Sybil population marking."""
+
+import pytest
+
+from repro.adversary.population import SybilPopulation, mark_overlay
+from repro.util.rng import RandomSource
+
+
+class TestBulkMarking:
+    def test_exact_count(self):
+        population = SybilPopulation(0.3, RandomSource(1))
+        marked = population.mark_population(list(range(1000)))
+        assert len(marked) == 300
+        assert population.malicious_count == 300
+
+    def test_rounding(self):
+        population = SybilPopulation(0.25, RandomSource(1))
+        marked = population.mark_population(list(range(10)))
+        assert len(marked) in (2, 3)  # round(2.5) is banker's rounding
+
+    def test_zero_rate(self):
+        population = SybilPopulation(0.0, RandomSource(1))
+        assert population.mark_population(list(range(100))) == set()
+
+    def test_full_rate(self):
+        population = SybilPopulation(1.0, RandomSource(1))
+        assert len(population.mark_population(list(range(100)))) == 100
+
+    def test_marking_is_without_replacement(self):
+        population = SybilPopulation(0.5, RandomSource(2))
+        marked = population.mark_population(list(range(100)))
+        assert len(marked) == len(set(marked)) == 50
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            SybilPopulation(1.5, RandomSource(1))
+
+
+class TestIncrementalDecisions:
+    def test_decide_memoized(self):
+        population = SybilPopulation(0.5, RandomSource(3))
+        first = population.decide("node-x")
+        for _ in range(10):
+            assert population.decide("node-x") == first
+
+    def test_decide_rate(self):
+        population = SybilPopulation(0.3, RandomSource(4))
+        hits = sum(population.decide(f"node-{i}") for i in range(10000))
+        assert 0.27 < hits / 10000 < 0.33
+
+    def test_unknown_is_honest(self):
+        population = SybilPopulation(1.0, RandomSource(5))
+        assert not population.is_malicious("never seen")
+
+    def test_force_flags(self):
+        population = SybilPopulation(0.0, RandomSource(6))
+        population.force_malicious(["evil"])
+        assert population.is_malicious("evil")
+        population.force_honest(["evil"])
+        assert not population.is_malicious("evil")
+        # Forced decisions stick even through decide().
+        assert not population.decide("evil")
+
+
+class TestHelpers:
+    def test_honest_fraction(self):
+        population = SybilPopulation(0.0, RandomSource(7))
+        population.force_malicious([1, 2])
+        assert population.honest_fraction_of([1, 2, 3, 4]) == 0.5
+
+    def test_honest_fraction_empty_rejected(self):
+        population = SybilPopulation(0.0, RandomSource(7))
+        with pytest.raises(ValueError):
+            population.honest_fraction_of([])
+
+    def test_mark_overlay_convenience(self):
+        population = mark_overlay(list(range(50)), 0.2, seed=8)
+        assert population.malicious_count == 10

@@ -1,0 +1,121 @@
+"""Alternative lifetime distributions."""
+
+import math
+
+import pytest
+
+from repro.churn.distributions import (
+    FixedLifetime,
+    ParetoLifetime,
+    WeibullLifetime,
+    death_probability_at_age,
+)
+from repro.churn.lifetime import ExponentialLifetime
+from repro.util.rng import RandomSource
+
+
+def empirical_mean(model, draws=20000, seed=1):
+    rng = RandomSource(seed)
+    return sum(model.draw_lifetime(rng) for _ in range(draws)) / draws
+
+
+class TestWeibull:
+    def test_mean_matches_target(self):
+        model = WeibullLifetime(100.0, shape=0.6)
+        assert empirical_mean(model) == pytest.approx(100.0, rel=0.1)
+
+    def test_shape_one_is_exponential(self):
+        weibull = WeibullLifetime(50.0, shape=1.0)
+        exponential = ExponentialLifetime(50.0)
+        for duration in (10.0, 50.0, 200.0):
+            assert weibull.death_probability(duration) == pytest.approx(
+                exponential.death_probability(duration), abs=1e-9
+            )
+
+    def test_heavy_tail_has_more_early_deaths(self):
+        heavy = WeibullLifetime(100.0, shape=0.5)
+        light = WeibullLifetime(100.0, shape=1.0)
+        # Same mean, but the heavy-tailed model kills more nodes early...
+        assert heavy.death_probability(10.0) > light.death_probability(10.0)
+        # ...and keeps more of its survivors very long.
+        assert heavy.survival(500.0) > light.survival(500.0)
+
+    def test_cdf_bounds(self):
+        model = WeibullLifetime(10.0, shape=0.7)
+        assert model.death_probability(0.0) == 0.0
+        assert model.death_probability(1e9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullLifetime(0.0)
+        with pytest.raises(ValueError):
+            WeibullLifetime(10.0, shape=0.0)
+
+
+class TestPareto:
+    def test_mean_matches_target(self):
+        model = ParetoLifetime(100.0, tail_index=2.5)
+        assert empirical_mean(model) == pytest.approx(100.0, rel=0.15)
+
+    def test_no_deaths_below_minimum(self):
+        model = ParetoLifetime(100.0, tail_index=2.0)
+        assert model.death_probability(model.minimum * 0.9) == 0.0
+
+    def test_tail_index_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            ParetoLifetime(100.0, tail_index=1.0)
+
+    def test_survival_decreasing(self):
+        model = ParetoLifetime(100.0, tail_index=1.5)
+        ages = [model.minimum * factor for factor in (1.0, 2.0, 5.0, 20.0)]
+        survivals = [model.survival(age) for age in ages]
+        assert survivals == sorted(survivals, reverse=True)
+
+
+class TestFixed:
+    def test_deterministic(self):
+        model = FixedLifetime(42.0)
+        rng = RandomSource(2)
+        assert model.draw_lifetime(rng) == 42.0
+        assert model.death_probability(41.9) == 0.0
+        assert model.death_probability(42.0) == 1.0
+
+
+class TestConditionalHazard:
+    def test_exponential_is_memoryless(self):
+        model = ExponentialLifetime(100.0)
+        young = death_probability_at_age(model, 0.0, 10.0)
+        old = death_probability_at_age(model, 500.0, 10.0)
+        assert young == pytest.approx(old)
+
+    def test_heavy_tail_old_nodes_are_safer(self):
+        """Decreasing hazard: surviving proves robustness — the property
+        that makes long-lived-node biased replica placement work, and that
+        the exponential assumption hides."""
+        model = WeibullLifetime(100.0, shape=0.5)
+        young = death_probability_at_age(model, 1.0, 10.0)
+        old = death_probability_at_age(model, 500.0, 10.0)
+        assert old < young
+
+    def test_dead_population_certain(self):
+        model = FixedLifetime(10.0)
+        assert death_probability_at_age(model, 20.0, 1.0) == 1.0
+
+
+class TestWithChurnProcess:
+    def test_process_accepts_alternative_models(self):
+        from repro.churn.process import ChurnProcess
+        from repro.dht.bootstrap import build_network
+
+        for model in (
+            WeibullLifetime(50.0, shape=0.6),
+            ParetoLifetime(50.0, tail_index=1.8),
+        ):
+            overlay = build_network(30, seed=61)
+            process = ChurnProcess(
+                overlay.network, model, RandomSource(62, "churn")
+            )
+            process.start()
+            overlay.loop.run(until=100.0)
+            assert process.deaths > 0
+            assert process.summary()["online"] == 30

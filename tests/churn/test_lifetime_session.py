@@ -1,0 +1,103 @@
+"""Lifetime and availability models."""
+
+import math
+
+import pytest
+
+from repro.churn.lifetime import (
+    ExponentialLifetime,
+    death_probability,
+    expected_deaths,
+    holding_period_death_probability,
+)
+from repro.churn.session import (
+    AlwaysAvailable,
+    IntermittentAvailability,
+    availability_from_uptime,
+)
+from repro.util.rng import RandomSource
+
+
+class TestExponentialLifetime:
+    def test_death_probability_formula(self):
+        model = ExponentialLifetime(100.0)
+        assert model.death_probability(100.0) == pytest.approx(1 - math.exp(-1))
+        assert model.death_probability(0.0) == 0.0
+
+    def test_draw_mean(self):
+        model = ExponentialLifetime(50.0)
+        rng = RandomSource(8)
+        draws = [model.draw_lifetime(rng) for _ in range(20000)]
+        assert 48 < sum(draws) / len(draws) < 52
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ValueError):
+            ExponentialLifetime(0.0)
+
+    def test_memorylessness_of_period_probability(self):
+        # Two half-periods compose to one full period:
+        # 1 - (1-p_half)^2 == p_full.
+        model = ExponentialLifetime(10.0)
+        p_half = model.death_probability(1.0)
+        p_full = model.death_probability(2.0)
+        assert 1 - (1 - p_half) ** 2 == pytest.approx(p_full)
+
+
+class TestModuleHelpers:
+    def test_death_probability(self):
+        assert death_probability(3.0, 1.0) == pytest.approx(1 - math.exp(-3))
+
+    def test_expected_deaths(self):
+        assert expected_deaths(100, 1.0, 1.0) == pytest.approx(
+            100 * (1 - math.exp(-1))
+        )
+
+    def test_expected_deaths_negative_population_rejected(self):
+        with pytest.raises(ValueError):
+            expected_deaths(-1, 1.0, 1.0)
+
+    def test_holding_period_via_alpha(self):
+        # p_dead = 1 - e^{-alpha / l}, the Algorithm 1 line-2 quantity.
+        value = holding_period_death_probability(0.0, 10, alpha=3.0)
+        assert value == pytest.approx(1 - math.exp(-0.3))
+
+    def test_holding_period_via_lifetime(self):
+        value = holding_period_death_probability(30.0, 10, mean_lifetime=10.0)
+        assert value == pytest.approx(1 - math.exp(-0.3))
+
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(ValueError):
+            holding_period_death_probability(1.0, 10)
+        with pytest.raises(ValueError):
+            holding_period_death_probability(1.0, 10, mean_lifetime=1.0, alpha=1.0)
+
+
+class TestAvailability:
+    def test_always_available(self):
+        model = AlwaysAvailable()
+        rng = RandomSource(1)
+        assert model.is_available(rng)
+        assert model.draw_online_duration(rng) == float("inf")
+        assert model.draw_offline_duration(rng) == 0.0
+
+    def test_uptime_fraction(self):
+        model = IntermittentAvailability(mean_online=30.0, mean_offline=10.0)
+        assert model.uptime_fraction == pytest.approx(0.75)
+
+    def test_instantaneous_availability_matches_uptime(self):
+        model = IntermittentAvailability(mean_online=30.0, mean_offline=10.0)
+        rng = RandomSource(2)
+        hits = sum(model.is_available(rng) for _ in range(20000))
+        assert 0.72 < hits / 20000 < 0.78
+
+    def test_from_uptime_factory(self):
+        model = availability_from_uptime(0.9, mean_online=90.0)
+        assert isinstance(model, IntermittentAvailability)
+        assert model.uptime_fraction == pytest.approx(0.9)
+
+    def test_from_uptime_one_is_always(self):
+        assert isinstance(availability_from_uptime(1.0), AlwaysAvailable)
+
+    def test_from_uptime_zero_rejected(self):
+        with pytest.raises(ValueError):
+            availability_from_uptime(0.0)

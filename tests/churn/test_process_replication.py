@@ -1,0 +1,168 @@
+"""Churn process driving an overlay, and column replica repair."""
+
+import pytest
+
+from repro.churn.lifetime import ExponentialLifetime
+from repro.churn.process import ChurnProcess
+from repro.churn.replication import (
+    ColumnReplicaSet,
+    RepairOutcome,
+    fresh_id_allocator,
+    simulate_column_epoch_deaths,
+)
+from repro.dht.bootstrap import build_network
+from repro.util.rng import RandomSource
+
+
+class TestChurnProcess:
+    def test_deaths_and_replacements_occur(self):
+        overlay = build_network(40, seed=51)
+        process = ChurnProcess(
+            overlay.network,
+            ExponentialLifetime(100.0),
+            RandomSource(52, "churn"),
+        )
+        process.start()
+        overlay.loop.run(until=150.0)
+        summary = process.summary()
+        assert summary["deaths"] > 10
+        assert summary["joins"] == summary["deaths"]
+        # Population stays constant: online = initial size.
+        assert summary["online"] == 40
+
+    def test_no_replacement_mode(self):
+        overlay = build_network(30, seed=53)
+        process = ChurnProcess(
+            overlay.network,
+            ExponentialLifetime(50.0),
+            RandomSource(54, "churn"),
+            replace_dead_nodes=False,
+        )
+        process.start()
+        overlay.loop.run(until=100.0)
+        assert process.joins == 0
+        assert len(overlay.network.online_ids()) < 30
+
+    def test_death_listener_invoked(self):
+        overlay = build_network(20, seed=55)
+        process = ChurnProcess(
+            overlay.network,
+            ExponentialLifetime(10.0),
+            RandomSource(56, "churn"),
+        )
+        events = []
+        process.on_death(lambda dead, repl: events.append((dead, repl)))
+        process.start()
+        overlay.loop.run(until=5.0)
+        assert events
+        for dead, replacement in events:
+            assert dead != replacement  # replacement joined under a new id
+
+    def test_double_start_rejected(self):
+        overlay = build_network(5, seed=57)
+        process = ChurnProcess(
+            overlay.network, ExponentialLifetime(10.0), RandomSource(58)
+        )
+        process.start()
+        with pytest.raises(RuntimeError):
+            process.start()
+
+    def test_deterministic_across_runs(self):
+        def run():
+            overlay = build_network(25, seed=59)
+            process = ChurnProcess(
+                overlay.network, ExponentialLifetime(20.0), RandomSource(60)
+            )
+            process.start()
+            overlay.loop.run(until=30.0)
+            return process.summary()
+
+        assert run() == run()
+
+
+class TestColumnReplicaSet:
+    def make_column(self, members=(1, 2, 3), malicious=()):
+        return ColumnReplicaSet(
+            column_index=1,
+            members=set(members),
+            malicious_members=set(malicious),
+        )
+
+    def test_initial_exposure_counts_malicious(self):
+        column = self.make_column(malicious=(2,))
+        assert column.captured
+        assert column.ever_knew_malicious == 1
+
+    def test_repair_grows_exposure(self):
+        column = self.make_column()
+        outcome = column.handle_death(1, 100, replacement_is_malicious=False)
+        assert outcome is RepairOutcome.REPAIRED
+        assert column.alive_count == 3
+        assert 100 in column.ever_knew
+        assert len(column.ever_knew) == 4
+
+    def test_malicious_replacement_captures_key(self):
+        column = self.make_column()
+        assert not column.captured
+        column.handle_death(1, 100, replacement_is_malicious=True)
+        assert column.captured
+
+    def test_total_death_loses_column(self):
+        column = self.make_column(members=(1,))
+        outcome = column.handle_death(1, 100, replacement_is_malicious=False)
+        assert outcome is RepairOutcome.COLUMN_LOST
+        assert column.lost
+
+    def test_non_member_death_ignored(self):
+        column = self.make_column()
+        assert (
+            column.handle_death(999, 100, replacement_is_malicious=False)
+            is RepairOutcome.NOT_A_MEMBER
+        )
+
+    def test_replacement_rejoining_rejected(self):
+        column = self.make_column()
+        column.handle_death(1, 100, replacement_is_malicious=False)
+        with pytest.raises(ValueError):
+            column.handle_death(2, 100, replacement_is_malicious=False)
+
+
+class TestEpochDeaths:
+    def test_certain_death_loses_column(self):
+        column = ColumnReplicaSet(column_index=1, members={1, 2})
+        outcomes = simulate_column_epoch_deaths(
+            column,
+            death_probability=1.0,
+            malicious_rate=0.0,
+            rng=RandomSource(61),
+            id_allocator=fresh_id_allocator(),
+        )
+        # Sequential processing: first death repairs, eventually all die.
+        assert RepairOutcome.COLUMN_LOST in outcomes or column.alive_count > 0
+
+    def test_no_death_no_outcomes(self):
+        column = ColumnReplicaSet(column_index=1, members={1, 2})
+        outcomes = simulate_column_epoch_deaths(
+            column, 0.0, 0.0, RandomSource(62), fresh_id_allocator()
+        )
+        assert outcomes == []
+
+    def test_lost_column_stays_lost(self):
+        column = ColumnReplicaSet(column_index=1, members={1})
+        column.handle_death(1, 2, replacement_is_malicious=False)
+        assert column.lost
+        outcomes = simulate_column_epoch_deaths(
+            column, 1.0, 0.5, RandomSource(63), fresh_id_allocator()
+        )
+        assert outcomes == []
+
+    def test_exposure_statistics(self):
+        # Over many epochs, exposure grows roughly by k * p_dead per epoch.
+        rng = RandomSource(64)
+        allocator = fresh_id_allocator()
+        column = ColumnReplicaSet(column_index=1, members={1, 2, 3, 4, 5})
+        for _ in range(40):
+            simulate_column_epoch_deaths(column, 0.2, 0.0, rng, allocator)
+            if column.lost:
+                break
+        assert len(column.ever_knew) > 20  # 5 + ~40 epochs * 1 death/epoch

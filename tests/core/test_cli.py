@@ -1,0 +1,74 @@
+"""The command-line interface (driven through main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_joint_plan(self, capsys):
+        assert main(["plan", "--scheme", "joint", "-p", "0.25", "--budget", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "joint:" in out
+        assert "Rr=" in out and "Rd=" in out
+        assert "meets target" in out
+
+    def test_infeasible_plan_reports_miss(self, capsys):
+        assert main(["plan", "--scheme", "central", "-p", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "misses" in out
+
+    def test_share_plan(self, capsys):
+        assert main(["plan", "--scheme", "share", "-p", "0.2", "--budget", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "share scheme" in out
+        assert "thresholds" in out
+
+    def test_frontier(self, capsys):
+        assert main(
+            ["plan", "--scheme", "joint", "-p", "0.3", "--budget", "100", "--frontier"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_frontier_rejects_central(self, capsys):
+        assert main(["plan", "--scheme", "central", "-p", "0.3", "--frontier"]) == 1
+
+    def test_missing_rate_errors(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--scheme", "joint"])
+
+
+class TestFigures:
+    def test_fig6b_cost_table(self, capsys):
+        assert main(["figures", "--figure", "6b", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "required nodes" in out
+        assert "joint" in out
+
+    def test_fig8(self, capsys):
+        assert main(["figures", "--figure", "8", "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "N=10000" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--figure", "9"])
+
+
+class TestCostAndDemo:
+    def test_cost_table(self, capsys):
+        assert main(["cost", "-k", "3", "-l", "6", "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("central", "disjoint", "joint", "share"):
+            assert scheme in out
+
+    def test_demo_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "receiver has key: False" in out
+        assert "hello from the past" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

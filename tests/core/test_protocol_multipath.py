@@ -1,0 +1,214 @@
+"""End-to-end protocol tests: centralized and multipath schemes on the DHT.
+
+These are the integration points the whole library exists for: the key
+must emerge at exactly ``tr`` (never earlier), attacks must succeed exactly
+when the structural conditions of §II-B hold, and churn deaths must block
+or not block delivery per scheme.
+"""
+
+import pytest
+
+from repro.adversary.population import SybilPopulation
+from repro.cloud.storage import CloudStore
+from repro.core.protocol import (
+    ATTACK_DROP,
+    ATTACK_RELEASE_AHEAD,
+    ProtocolContext,
+    attempt_early_release,
+    install_holders,
+)
+from repro.core.receiver import DataReceiver
+from repro.core.sender import DataSender
+from repro.core.timeline import ReleaseTimeline
+from repro.dht.bootstrap import build_network
+from repro.util.rng import RandomSource
+
+MESSAGE = b"the examination questions"
+
+
+def make_world(size=120, seed=71, attack=None, malicious_rate=0.0, resolve=False):
+    overlay = build_network(size, seed=seed)
+    population = SybilPopulation(malicious_rate, RandomSource(seed + 1, "sybil"))
+    if malicious_rate:
+        population.mark_population(overlay.node_ids)
+    context = ProtocolContext(
+        network=overlay.network,
+        population=population,
+        attack_mode=attack or "none",
+        resolve_targets=resolve,
+    )
+    install_holders(overlay, context)
+    alice_node = overlay.nodes[overlay.node_ids[0]]
+    bob_node = overlay.nodes[overlay.node_ids[1]]
+    population.force_honest([alice_node.node_id, bob_node.node_id])
+    cloud = CloudStore(overlay.loop.clock)
+    alice = DataSender(alice_node, cloud, RandomSource(seed + 2, "alice"))
+    bob = DataReceiver(bob_node)
+    return overlay, context, cloud, alice, bob
+
+
+class TestCentralizedE2E:
+    def test_key_emerges_at_release_time(self):
+        overlay, _, cloud, alice, bob = make_world()
+        timeline = ReleaseTimeline(0.0, 500.0, 1)
+        result = alice.send_centralized(MESSAGE, timeline, bob.node_id)
+
+        overlay.loop.run(until=499.0)
+        assert not bob.has_key(result.key_id)
+        with pytest.raises(KeyError):
+            bob.decrypt_from_cloud(cloud, result.blob.blob_id, result.key_id)
+
+        overlay.loop.run(until=501.0)
+        assert bob.has_key(result.key_id)
+        arrival = bob.release_time_of(result.key_id)
+        assert 500.0 <= arrival < 500.5
+        assert bob.decrypt_from_cloud(cloud, result.blob.blob_id, result.key_id) == MESSAGE
+
+    def test_wrong_timeline_rejected(self):
+        _, _, _, alice, bob = make_world()
+        with pytest.raises(ValueError):
+            alice.send_centralized(MESSAGE, ReleaseTimeline(0.0, 10.0, 2), bob.node_id)
+
+    def test_dead_holder_loses_key(self):
+        overlay, _, _, alice, bob = make_world()
+        timeline = ReleaseTimeline(0.0, 100.0, 1)
+        result = alice.send_centralized(MESSAGE, timeline, bob.node_id)
+        overlay.loop.run(until=10.0)  # key delivered to the holder
+        overlay.network.kill(result.structure)
+        overlay.loop.run(until=150.0)
+        assert not bob.has_key(result.key_id)
+
+
+class TestMultipathE2E:
+    @pytest.mark.parametrize("joint", [False, True], ids=["disjoint", "joint"])
+    def test_key_emerges_at_release_time(self, joint):
+        overlay, context, cloud, alice, bob = make_world()
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=3, joint=joint
+        )
+        overlay.loop.run(until=299.0)
+        assert not bob.has_key(result.key_id)
+        overlay.loop.run(until=302.0)
+        assert bob.has_key(result.key_id)
+        assert bob.decrypt_from_cloud(cloud, result.blob.blob_id, result.key_id) == MESSAGE
+        # No adversary: the collusion pool must be empty.
+        assert context.pool.observation_count == 0
+
+    def test_receiver_gets_replicated_copies(self):
+        overlay, _, _, alice, bob = make_world()
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=3, joint=False
+        )
+        overlay.loop.run()
+        record = bob.received(result.key_id)
+        assert record.copies == 3  # one per disjoint path
+
+    def test_disjoint_single_malicious_dropper_cuts_one_path(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_DROP)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=False
+        )
+        grid = result.structure
+        # Corrupt one holder on path 1; path 2 must still deliver.
+        context.population.force_malicious([grid.row(1)[1]])
+        overlay.loop.run()
+        record = bob.received(result.key_id)
+        assert record is not None
+        assert record.copies == 1
+
+    def test_disjoint_all_paths_cut_drops_key(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_DROP)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=False
+        )
+        grid = result.structure
+        context.population.force_malicious([grid.row(1)[1], grid.row(2)[2]])
+        overlay.loop.run()
+        assert not bob.has_key(result.key_id)
+
+    def test_joint_survives_scattered_droppers(self):
+        """The paper's §III-C example: scattered malicious holders drop the
+        disjoint scheme but not the joint scheme."""
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_DROP)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=True
+        )
+        grid = result.structure
+        context.population.force_malicious(
+            [grid.row(1)[0], grid.row(2)[1], grid.row(1)[2]]
+        )
+        overlay.loop.run()
+        assert bob.has_key(result.key_id)
+
+    def test_joint_full_column_drops_key(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_DROP)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=True
+        )
+        grid = result.structure
+        context.population.force_malicious(grid.column(2))
+        overlay.loop.run()
+        assert not bob.has_key(result.key_id)
+
+
+class TestReleaseAheadE2E:
+    def test_column_capture_enables_early_reconstruction(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_RELEASE_AHEAD)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=True
+        )
+        grid = result.structure
+        # One malicious holder per column: the Eq. 1 success condition.
+        context.population.force_malicious(
+            [grid.column(1)[0], grid.column(2)[1], grid.column(3)[0]]
+        )
+        # Keys are pre-assigned at ts; run just past the start.
+        overlay.loop.run(until=1.0)
+        secret = attempt_early_release(context.pool, timeline.path_length)
+        assert secret == result.secret_key.material
+        # And the honest receiver still gets the key at tr (release-ahead
+        # does not disturb delivery).
+        overlay.loop.run()
+        assert bob.has_key(result.key_id)
+
+    def test_uncaptured_column_blocks_early_release(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_RELEASE_AHEAD)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=True
+        )
+        grid = result.structure
+        # Columns 1 and 3 captured, column 2 clean.
+        context.population.force_malicious(
+            [grid.column(1)[0], grid.column(3)[1]]
+        )
+        overlay.loop.run(until=150.0)
+        assert attempt_early_release(context.pool, timeline.path_length) is None
+
+    def test_honest_run_leaks_nothing(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_RELEASE_AHEAD)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        alice.send_multipath(MESSAGE, timeline, bob.node_id, 2, joint=True)
+        overlay.loop.run()
+        assert context.pool.observation_count == 0
+        assert attempt_early_release(context.pool, 3) is None
+
+    def test_terminal_capture_leaks_secret_one_period_early(self):
+        overlay, context, _, alice, bob = make_world(attack=ATTACK_RELEASE_AHEAD)
+        timeline = ReleaseTimeline(0.0, 300.0, 3)
+        result = alice.send_multipath(
+            MESSAGE, timeline, bob.node_id, replication=2, joint=True
+        )
+        grid = result.structure
+        context.population.force_malicious([grid.column(3)[0]])
+        # The terminal holder peels the core on arrival at t = 200 and
+        # leaks it then — one holding period before tr.
+        overlay.loop.run(until=201.0)
+        assert context.pool.secret_key() == result.secret_key.material

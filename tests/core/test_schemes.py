@@ -1,0 +1,191 @@
+"""Scheme objects: analytics, structure sampling, Monte-Carlo agreement."""
+
+import pytest
+
+from repro.adversary.population import SybilPopulation
+from repro.core.analysis import disjoint_resilience, joint_resilience
+from repro.core.paths import HolderGrid, ShareLattice
+from repro.core.schemes import (
+    CentralizedScheme,
+    KeyShareScheme,
+    NodeDisjointScheme,
+    NodeJointScheme,
+    algorithm1,
+    plan_share_scheme,
+)
+from repro.core.schemes.keyshare import cumulative_success_rates
+from repro.util.rng import RandomSource
+
+POPULATION = [f"node-{i}" for i in range(2000)]
+
+
+def monte_carlo(scheme, p, trials=3000, seed=101):
+    root = RandomSource(seed, "scheme-mc")
+    release_hits = drop_hits = 0
+    for index in range(trials):
+        rng = root.fork(f"t{index}")
+        sybil = SybilPopulation(p, rng.fork("sybil"))
+        sybil.mark_population(POPULATION)
+        structure = scheme.sample_structure(POPULATION, rng.fork("structure"))
+        outcome = scheme.evaluate_attacks(structure, sybil)
+        release_hits += outcome.release_resisted
+        drop_hits += outcome.drop_resisted
+    return release_hits / trials, drop_hits / trials
+
+
+class TestCentralizedScheme:
+    def test_analytics(self):
+        pair = CentralizedScheme().resilience(0.3)
+        assert pair.release == pytest.approx(0.7)
+
+    def test_monte_carlo_matches(self):
+        release, drop = monte_carlo(CentralizedScheme(), 0.3)
+        assert release == pytest.approx(0.7, abs=0.03)
+        assert drop == pytest.approx(0.7, abs=0.03)
+
+    def test_structure_is_single_holder(self):
+        scheme = CentralizedScheme()
+        holder = scheme.sample_structure(POPULATION, RandomSource(1))
+        assert holder in POPULATION
+        assert scheme.node_cost == 1
+
+
+class TestDisjointScheme:
+    def test_analytics_delegate(self):
+        scheme = NodeDisjointScheme(3, 4)
+        assert scheme.resilience(0.2) == disjoint_resilience(0.2, 3, 4)
+
+    def test_monte_carlo_matches_equations(self):
+        scheme = NodeDisjointScheme(3, 3)
+        release, drop = monte_carlo(scheme, 0.25)
+        pair = disjoint_resilience(0.25, 3, 3)
+        assert release == pytest.approx(pair.release, abs=0.03)
+        assert drop == pytest.approx(pair.drop, abs=0.03)
+
+    def test_structure(self):
+        scheme = NodeDisjointScheme(2, 5)
+        grid = scheme.sample_structure(POPULATION, RandomSource(2))
+        assert isinstance(grid, HolderGrid)
+        assert grid.replication == 2
+        assert grid.path_length == 5
+        assert scheme.node_cost == 10
+
+
+class TestJointScheme:
+    def test_monte_carlo_matches_equations(self):
+        scheme = NodeJointScheme(3, 3)
+        release, drop = monte_carlo(scheme, 0.3)
+        pair = joint_resilience(0.3, 3, 3)
+        assert release == pytest.approx(pair.release, abs=0.03)
+        assert drop == pytest.approx(pair.drop, abs=0.03)
+
+    def test_joint_drop_beats_disjoint_empirically(self):
+        p = 0.3
+        _, disjoint_drop = monte_carlo(NodeDisjointScheme(3, 3), p, trials=2000)
+        _, joint_drop = monte_carlo(NodeJointScheme(3, 3), p, trials=2000)
+        assert joint_drop > disjoint_drop
+
+
+class TestAlgorithm1:
+    def test_plan_shape(self):
+        plan = algorithm1(5, 10, 1000, 3.0, 1.0, 0.2)
+        assert plan.shares_per_column == 100
+        assert len(plan.thresholds) == 9
+        assert len(plan.release_success_by_column) == 10
+        assert len(plan.drop_success_by_column) == 10
+        assert all(1 <= m <= 100 for m in plan.thresholds)
+        assert 0.0 <= plan.release_resilience <= 1.0
+        assert 0.0 <= plan.drop_resilience <= 1.0
+
+    def test_cumulative_rates_monotone(self):
+        plan = algorithm1(5, 10, 1000, 3.0, 1.0, 0.3)
+        release = plan.release_success_by_column
+        drop = plan.drop_success_by_column
+        assert list(release) == sorted(release)
+        assert list(drop) == sorted(drop)
+
+    def test_dead_share_estimate(self):
+        import math
+
+        plan = algorithm1(5, 10, 1000, 3.0, 1.0, 0.2)
+        expected_p_dead = 1 - math.exp(-0.3)
+        assert plan.death_probability == pytest.approx(expected_p_dead)
+        assert plan.dead_share_estimate == math.floor(expected_p_dead * 100)
+
+    def test_more_nodes_more_resilience(self):
+        small = algorithm1(5, 10, 100, 3.0, 1.0, 0.25)
+        large = algorithm1(5, 10, 10000, 3.0, 1.0, 0.25)
+        assert large.worst_resilience >= small.worst_resilience
+
+    def test_zero_rate_fully_resilient(self):
+        plan = algorithm1(5, 10, 1000, 3.0, 1.0, 0.0)
+        assert plan.release_resilience == pytest.approx(1.0)
+        assert plan.drop_resilience == pytest.approx(1.0)
+
+    def test_path_length_minimum(self):
+        with pytest.raises(ValueError):
+            algorithm1(5, 1, 1000, 3.0, 1.0, 0.1)
+
+    def test_budget_must_cover_columns(self):
+        with pytest.raises(ValueError):
+            algorithm1(5, 10, 5, 3.0, 1.0, 0.1)
+
+    def test_cumulative_success_rates_reproduce_plan(self):
+        plan = algorithm1(4, 8, 2000, 2.0, 1.0, 0.25)
+        release, drop = cumulative_success_rates(plan)
+        assert release == pytest.approx(plan.release_success_by_column)
+        assert drop == pytest.approx(plan.drop_success_by_column)
+
+    def test_cumulative_success_rates_at_other_rate(self):
+        plan = algorithm1(4, 8, 2000, 2.0, 1.0, 0.25)
+        release_low, _ = cumulative_success_rates(plan, 0.05)
+        release_high, _ = cumulative_success_rates(plan, 0.45)
+        assert release_low[-1] < release_high[-1]
+
+
+class TestPlanShareScheme:
+    def test_reasonable_plan(self):
+        plan = plan_share_scheme(0.2, 10000, emerging_time=3.0, mean_lifetime=1.0)
+        assert plan.worst_resilience > 0.99
+        assert plan.path_length <= 32
+
+    def test_fig8_shape_claims(self):
+        """Paper §IV-B.3: the cost sweep's headline numbers."""
+        def worst(p, budget):
+            return plan_share_scheme(p, budget, 3.0, 1.0).worst_resilience
+
+        assert worst(0.14, 100) > 0.9
+        assert worst(0.26, 1000) > 0.95
+        assert worst(0.30, 10000) > 0.95
+        # 5000 and 10000 nearly coincide below p = 0.3.
+        assert abs(worst(0.25, 5000) - worst(0.25, 10000)) < 0.02
+
+
+class TestKeyShareSchemeObject:
+    def test_resilience_uses_algorithm1(self):
+        scheme = KeyShareScheme(5, 10, 1000, 3.0, 1.0)
+        pair = scheme.resilience(0.2)
+        plan = scheme.plan(0.2)
+        assert pair.release == pytest.approx(plan.release_resilience)
+        assert pair.drop == pytest.approx(plan.drop_resilience)
+
+    def test_structure_sampling(self):
+        scheme = KeyShareScheme(3, 4, 1000, 3.0, 1.0, lattice_rows=6)
+        lattice = scheme.sample_structure(POPULATION, RandomSource(3))
+        assert isinstance(lattice, ShareLattice)
+        assert lattice.share_count == 6
+        assert lattice.path_length == 4
+
+    def test_static_attack_evaluation(self):
+        scheme = KeyShareScheme(3, 4, 1000, 3.0, 1.0, lattice_rows=6)
+        lattice = scheme.sample_structure(POPULATION, RandomSource(4))
+        all_honest = SybilPopulation(0.0, RandomSource(5))
+        outcome = scheme.evaluate_attacks(lattice, all_honest)
+        assert outcome.release_resisted
+        assert outcome.drop_resisted
+
+        all_malicious = SybilPopulation(0.0, RandomSource(6))
+        all_malicious.force_malicious(lattice.all_holders())
+        outcome = scheme.evaluate_attacks(lattice, all_malicious)
+        assert not outcome.release_resisted
+        assert not outcome.drop_resisted

@@ -1,0 +1,128 @@
+"""Authenticated encryption: round-trips, tamper detection, nonce handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import (
+    NONCE_SIZE,
+    TAG_SIZE,
+    AuthenticationError,
+    CipherText,
+    SymmetricCipher,
+    ciphertext_overhead,
+    decrypt,
+    encrypt,
+)
+from repro.util.rng import RandomSource
+
+KEY = b"k" * 32
+OTHER_KEY = b"j" * 32
+
+
+class TestRoundTrip:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=60)
+    def test_encrypt_decrypt(self, plaintext):
+        assert decrypt(KEY, encrypt(KEY, plaintext)) == plaintext
+
+    def test_empty_plaintext(self):
+        assert decrypt(KEY, encrypt(KEY, b"")) == b""
+
+    def test_large_plaintext(self):
+        data = bytes(range(256)) * 64  # 16 KiB
+        assert decrypt(KEY, encrypt(KEY, data)) == data
+
+    def test_blob_size_is_plaintext_plus_overhead(self):
+        blob = encrypt(KEY, b"x" * 100)
+        assert len(blob) == 100 + ciphertext_overhead()
+        assert ciphertext_overhead() == NONCE_SIZE + TAG_SIZE
+
+
+class TestKeys:
+    def test_wrong_key_fails_authentication(self):
+        blob = encrypt(KEY, b"classified")
+        with pytest.raises(AuthenticationError):
+            decrypt(OTHER_KEY, blob)
+
+    def test_distinct_keys_distinct_ciphertexts(self):
+        rng = RandomSource(1)
+        nonce = b"\x00" * NONCE_SIZE
+        a = SymmetricCipher(KEY, rng=rng).encrypt(b"same text", nonce=nonce)
+        b = SymmetricCipher(OTHER_KEY, rng=rng).encrypt(b"same text", nonce=nonce)
+        assert a != b
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricCipher(b"")
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(TypeError):
+            SymmetricCipher("string key")
+
+    def test_non_bytes_plaintext_rejected(self):
+        with pytest.raises(TypeError):
+            SymmetricCipher(KEY).encrypt("text")
+
+
+class TestTamperDetection:
+    @pytest.mark.parametrize(
+        "offset_kind", ["nonce", "body", "tag"]
+    )
+    def test_bit_flip_detected(self, offset_kind):
+        blob = bytearray(encrypt(KEY, b"integrity matters"))
+        offsets = {
+            "nonce": 0,
+            "body": NONCE_SIZE + 3,
+            "tag": len(blob) - 1,
+        }
+        blob[offsets[offset_kind]] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(ValueError):
+            decrypt(KEY, b"short")
+
+    def test_extended_blob_rejected(self):
+        blob = encrypt(KEY, b"payload") + b"extra"
+        with pytest.raises(AuthenticationError):
+            decrypt(KEY, blob)
+
+
+class TestNonces:
+    def test_fresh_nonces_differ(self):
+        cipher = SymmetricCipher(KEY, rng=RandomSource(5))
+        a = cipher.encrypt(b"same")
+        b = cipher.encrypt(b"same")
+        assert a != b
+        assert a[:NONCE_SIZE] != b[:NONCE_SIZE]
+
+    def test_explicit_nonce_is_deterministic(self):
+        nonce = b"\x07" * NONCE_SIZE
+        a = SymmetricCipher(KEY).encrypt(b"det", nonce=nonce)
+        b = SymmetricCipher(KEY).encrypt(b"det", nonce=nonce)
+        assert a == b
+
+    def test_bad_nonce_length_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricCipher(KEY).encrypt(b"x", nonce=b"short")
+
+
+class TestCipherTextParsing:
+    def test_parse_roundtrip(self):
+        blob = encrypt(KEY, b"parse me")
+        parsed = CipherText.from_blob(blob)
+        assert parsed.to_blob() == blob
+        assert len(parsed.nonce) == NONCE_SIZE
+        assert len(parsed.tag) == TAG_SIZE
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            CipherText.from_blob(b"\x00" * (NONCE_SIZE + TAG_SIZE - 1))
+
+    def test_keystream_confidentiality_smoke(self):
+        """Ciphertext body should not contain the plaintext verbatim."""
+        plaintext = b"very recognizable plaintext pattern"
+        blob = encrypt(KEY, plaintext)
+        assert plaintext not in blob

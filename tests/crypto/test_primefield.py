@@ -1,0 +1,85 @@
+"""Prime-field arithmetic used by the integer Shamir variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primefield import DEFAULT_PRIME, PrimeField
+
+SMALL_PRIME = 101
+field_elements = st.integers(min_value=0, max_value=SMALL_PRIME - 1)
+
+
+@pytest.fixture
+def field():
+    return PrimeField(SMALL_PRIME)
+
+
+class TestAxioms:
+    @given(field_elements, field_elements)
+    def test_add_commutative(self, a, b):
+        field = PrimeField(SMALL_PRIME)
+        assert field.add(a, b) == field.add(b, a)
+
+    @given(field_elements, field_elements, field_elements)
+    def test_mul_distributes(self, a, b, c):
+        field = PrimeField(SMALL_PRIME)
+        assert field.multiply(a, field.add(b, c)) == field.add(
+            field.multiply(a, b), field.multiply(a, c)
+        )
+
+    @given(st.integers(min_value=1, max_value=SMALL_PRIME - 1))
+    def test_inverse(self, a):
+        field = PrimeField(SMALL_PRIME)
+        assert field.multiply(a, field.inverse(a)) == 1
+
+    def test_zero_inverse_rejected(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inverse(0)
+
+    @given(field_elements, st.integers(min_value=1, max_value=SMALL_PRIME - 1))
+    def test_divide(self, a, b):
+        field = PrimeField(SMALL_PRIME)
+        quotient = field.divide(a, b)
+        assert field.multiply(quotient, b) == a % SMALL_PRIME
+
+
+class TestPolynomial:
+    def test_eval_constant(self, field):
+        assert field.eval_polynomial([7], 50) == 7
+
+    def test_eval_linear(self, field):
+        # 3 + 4x at x = 10 -> 43 mod 101
+        assert field.eval_polynomial([3, 4], 10) == 43
+
+    @given(st.lists(field_elements, min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_interpolation_recovers_secret(self, coefficients):
+        field = PrimeField(SMALL_PRIME)
+        degree = len(coefficients) - 1
+        points = [
+            (x, field.eval_polynomial(coefficients, x))
+            for x in range(1, degree + 2)
+        ]
+        assert field.interpolate_at_zero(points) == coefficients[0]
+
+    def test_interpolation_duplicate_x_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.interpolate_at_zero([(1, 1), (1, 2)])
+
+    def test_interpolation_x_zero_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.interpolate_at_zero([(0, 1), (2, 2)])
+
+
+class TestConstruction:
+    def test_default_prime_is_mersenne_521(self):
+        assert DEFAULT_PRIME == 2 ** 521 - 1
+
+    def test_tiny_prime_rejected(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_reduce(self, field):
+        assert field.reduce(SMALL_PRIME + 5) == 5
+        assert field.reduce(-1) == SMALL_PRIME - 1

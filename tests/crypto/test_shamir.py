@@ -1,0 +1,177 @@
+"""Shamir secret sharing: recovery, thresholds, hiding, error handling."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import (
+    IntegerShare,
+    Share,
+    combine_integer_shares,
+    combine_shares,
+    shares_by_index,
+    split_integer_secret,
+    split_secret,
+)
+from repro.util.rng import RandomSource
+
+
+def rng(label="shamir-test"):
+    return RandomSource(99, label=label)
+
+
+class TestRoundTrip:
+    @given(
+        st.binary(min_size=1, max_size=48),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60)
+    def test_any_threshold_subset_recovers(self, secret, threshold, extra):
+        share_count = threshold + extra
+        shares = split_secret(secret, threshold, share_count, rng())
+        assert combine_shares(shares[:threshold]) == secret
+
+    def test_every_threshold_subset_recovers(self):
+        secret = b"exact subsets"
+        shares = split_secret(secret, 3, 5, rng())
+        for subset in itertools.combinations(shares, 3):
+            assert combine_shares(subset) == secret
+
+    def test_all_shares_recover(self):
+        secret = b"everyone"
+        shares = split_secret(secret, 2, 6, rng())
+        assert combine_shares(shares) == secret
+
+    def test_empty_secret(self):
+        shares = split_secret(b"", 2, 3, rng())
+        assert combine_shares(shares[:2]) == b""
+
+    def test_shares_differ_from_secret(self):
+        secret = b"\x42" * 16
+        shares = split_secret(secret, 2, 3, rng())
+        assert all(share.payload != secret for share in shares)
+
+    def test_threshold_one_shares_equal_secret(self):
+        # Degree-0 polynomial: every share IS the secret.
+        secret = b"degenerate"
+        shares = split_secret(secret, 1, 3, rng())
+        assert all(share.payload == secret for share in shares)
+
+
+class TestThresholdEnforcement:
+    def test_below_threshold_rejected(self):
+        shares = split_secret(b"secret!", 3, 5, rng())
+        with pytest.raises(ValueError, match="at least 3"):
+            combine_shares(shares[:2])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            combine_shares([])
+
+    def test_below_threshold_reveals_nothing(self):
+        """Information-theoretic hiding: with m-1 shares, every candidate
+        secret byte is consistent — check that two different secrets can
+        produce the identical share payload under some polynomial."""
+        # Statistical smoke test: the first share byte of a random secret
+        # should be ~uniform across repeated splits.
+        secret = b"\x00"
+        seen = set()
+        root = RandomSource(99, label="hiding")
+        for index in range(200):
+            shares = split_secret(secret, 2, 2, root.fork(f"hide-{index}"))
+            seen.add(shares[0].payload[0])
+        assert len(seen) > 100  # far from constant
+
+
+class TestValidation:
+    def test_threshold_above_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_secret(b"x", 4, 3, rng())
+
+    def test_too_many_shares_rejected(self):
+        with pytest.raises(ValueError):
+            split_secret(b"x", 2, 256, rng())
+
+    def test_non_bytes_secret_rejected(self):
+        with pytest.raises(TypeError):
+            split_secret("text", 2, 3, rng())
+
+    def test_duplicate_indices_rejected(self):
+        shares = split_secret(b"dup", 2, 3, rng())
+        with pytest.raises(ValueError, match="duplicate"):
+            combine_shares([shares[0], shares[0]])
+
+    def test_mixed_thresholds_rejected(self):
+        a = split_secret(b"aa", 2, 3, rng("a"))
+        b = split_secret(b"aa", 3, 3, rng("b"))
+        with pytest.raises(ValueError, match="threshold"):
+            combine_shares([a[0], b[1], b[2]])
+
+    def test_mixed_lengths_rejected(self):
+        a = Share(index=1, payload=b"ab", threshold=2)
+        b = Share(index=2, payload=b"abc", threshold=2)
+        with pytest.raises(ValueError, match="length"):
+            combine_shares([a, b])
+
+    def test_share_index_bounds(self):
+        with pytest.raises(ValueError):
+            Share(index=0, payload=b"x", threshold=1)
+        with pytest.raises(ValueError):
+            Share(index=256, payload=b"x", threshold=1)
+
+    def test_share_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            Share(index=1, payload=b"x", threshold=0)
+
+
+class TestShareIndexing:
+    def test_shares_by_index(self):
+        shares = split_secret(b"idx", 2, 4, rng())
+        indexed = shares_by_index(shares)
+        assert sorted(indexed) == [1, 2, 3, 4]
+
+    def test_shares_by_index_rejects_duplicates(self):
+        shares = split_secret(b"idx", 2, 4, rng())
+        with pytest.raises(ValueError):
+            shares_by_index([shares[0], shares[0]])
+
+    def test_combination_order_independent(self):
+        secret = b"order free"
+        shares = split_secret(secret, 3, 5, rng())
+        assert combine_shares([shares[4], shares[1], shares[2]]) == secret
+
+
+class TestIntegerVariant:
+    @given(st.integers(min_value=0, max_value=2 ** 128))
+    @settings(max_examples=30)
+    def test_roundtrip(self, secret):
+        shares = split_integer_secret(secret, 3, 5, rng())
+        assert combine_integer_shares(shares[1:4]) == secret
+
+    def test_below_threshold_rejected(self):
+        shares = split_integer_secret(12345, 3, 5, rng())
+        with pytest.raises(ValueError):
+            combine_integer_shares(shares[:2])
+
+    def test_secret_out_of_field_rejected(self):
+        with pytest.raises(ValueError):
+            split_integer_secret(-1, 2, 3, rng())
+
+    def test_mixed_fields_rejected(self):
+        a = IntegerShare(index=1, value=10, threshold=2, prime=101)
+        b = IntegerShare(index=2, value=20, threshold=2, prime=103)
+        with pytest.raises(ValueError):
+            combine_integer_shares([a, b])
+
+    def test_cross_check_byte_and_integer_variants(self):
+        """The two independent implementations agree on a common encoding."""
+        secret_bytes = b"\x07\x15\x2a"
+        secret_int = int.from_bytes(secret_bytes, "big")
+        byte_shares = split_secret(secret_bytes, 2, 3, rng("bytes"))
+        int_shares = split_integer_secret(secret_int, 2, 3, rng("ints"))
+        recovered_bytes = combine_shares(byte_shares[:2])
+        recovered_int = combine_integer_shares(int_shares[:2])
+        assert int.from_bytes(recovered_bytes, "big") == recovered_int

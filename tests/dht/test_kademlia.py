@@ -1,0 +1,133 @@
+"""Kademlia protocol logic: handlers, lookups, stores."""
+
+import pytest
+
+from repro.dht.bootstrap import build_network
+from repro.dht.node_id import NodeId, sort_by_distance
+from repro.dht.rpc import FindNode, FindValue, FoundNodes, FoundValue, Store, StoreAck
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return build_network(150, seed=21)
+
+
+class TestHandlers:
+    def test_store_and_find_value(self, overlay):
+        node = overlay.any_node()
+        other = overlay.nodes[overlay.node_ids[5]]
+        key = NodeId.hash_of(b"stored-key")
+        ack = node.handle_request(
+            Store(sender=other.node_id, key=key, value=b"data")
+        )
+        assert isinstance(ack, StoreAck)
+        response = node.handle_request(FindValue(sender=other.node_id, key=key))
+        assert isinstance(response, FoundValue)
+        assert response.value == b"data"
+
+    def test_find_value_miss_returns_contacts(self, overlay):
+        node = overlay.any_node()
+        other = overlay.nodes[overlay.node_ids[5]]
+        response = node.handle_request(
+            FindValue(sender=other.node_id, key=NodeId.hash_of(b"missing"))
+        )
+        assert response.value is None
+        assert len(response.contacts) > 0
+
+    def test_find_node_returns_closest_known(self, overlay):
+        node = overlay.any_node()
+        other = overlay.nodes[overlay.node_ids[5]]
+        target = NodeId.random(RandomSource(50))
+        response = node.handle_request(FindNode(sender=other.node_id, target=target))
+        assert isinstance(response, FoundNodes)
+        contacts = list(response.contacts)
+        assert contacts == sort_by_distance(contacts, target)
+        assert other.node_id not in contacts
+
+    def test_handler_learns_sender(self, overlay):
+        node = overlay.any_node()
+        stranger_id = overlay.node_ids[-1]
+        node.routing_table.remove_contact(stranger_id)
+        node.handle_request(FindNode(sender=stranger_id, target=node.node_id))
+        assert stranger_id in node.routing_table
+
+
+class TestIterativeLookup:
+    def test_finds_globally_closest_nodes(self, overlay):
+        node = overlay.any_node()
+        target = NodeId.random(RandomSource(31))
+        result = node.iterative_find_node(target)
+        expected = sort_by_distance(overlay.node_ids, target)[:5]
+        # The lookup should find at least the overall closest node, and
+        # most of the top 5 (iterative lookups are approximate at the tail).
+        assert result.closest[0] == expected[0]
+        assert len(set(result.closest[:5]) & set(expected)) >= 3
+
+    def test_lookup_reports_effort(self, overlay):
+        node = overlay.any_node()
+        result = node.iterative_find_node(NodeId.random(RandomSource(32)))
+        assert result.rounds >= 1
+        assert result.contacted >= 1
+        assert result.elapsed > 0
+
+    def test_store_value_replicates(self, overlay):
+        node = overlay.any_node()
+        key = NodeId.hash_of(b"replicated")
+        stored = node.store_value(key, b"payload")
+        assert stored >= 5  # most of the k closest should ack
+
+    def test_find_value_after_store(self, overlay):
+        writer = overlay.nodes[overlay.node_ids[3]]
+        reader = overlay.nodes[overlay.node_ids[120]]
+        key = NodeId.hash_of(b"published")
+        writer.store_value(key, b"published-value")
+        result = reader.iterative_find_value(key)
+        assert result.value == b"published-value"
+
+    def test_local_hit_short_circuits(self, overlay):
+        node = overlay.any_node()
+        key = NodeId.hash_of(b"local")
+        node.store.put(key, b"mine")
+        result = node.iterative_find_value(key)
+        assert result.value == b"mine"
+        assert result.contacted == 0
+
+
+class TestLiveResolution:
+    def test_find_closest_online_skips_offline(self):
+        overlay = build_network(60, seed=33)
+        node = overlay.any_node()
+        target = NodeId.random(RandomSource(44))
+        first = node.find_closest_online(target)
+        overlay.network.set_offline(first)
+        second = node.find_closest_online(target)
+        assert second is not None
+        assert second != first
+
+    def test_ping_dead_node_removes_contact(self):
+        overlay = build_network(30, seed=34)
+        node = overlay.any_node()
+        victim = next(
+            contact
+            for contact in node.routing_table.all_contacts()
+        )
+        overlay.network.kill(victim)
+        assert not node.ping(victim)
+        assert victim not in node.routing_table
+
+
+class TestFullJoin:
+    def test_bootstrap_procedure_converges(self):
+        overlay = build_network(25, seed=35, full_join=True)
+        # After joining, every node can locate every key's neighbourhood.
+        key = NodeId.hash_of(b"post-join")
+        writer = overlay.any_node()
+        writer.store_value(key, b"v")
+        reader = overlay.nodes[overlay.node_ids[-1]]
+        assert reader.iterative_find_value(key).value == b"v"
+
+    def test_joined_tables_nonempty(self):
+        overlay = build_network(20, seed=36, full_join=True)
+        for node in overlay.nodes.values():
+            assert node.routing_table.contact_count >= 3

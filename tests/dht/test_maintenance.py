@@ -1,0 +1,110 @@
+"""Bucket refresh and storage republish."""
+
+import pytest
+
+from repro.churn.lifetime import ExponentialLifetime
+from repro.churn.process import ChurnProcess
+from repro.dht.bootstrap import build_network
+from repro.dht.maintenance import MaintenanceScheduler
+from repro.dht.node_id import NodeId
+from repro.util.rng import RandomSource
+
+
+def make_maintained_overlay(size=60, seed=91, refresh=50.0, republish=50.0):
+    overlay = build_network(size, seed=seed)
+    scheduler = MaintenanceScheduler(
+        overlay.loop,
+        RandomSource(seed + 1, "maintenance"),
+        refresh_interval=refresh,
+        republish_interval=republish,
+    )
+    for node in overlay.nodes.values():
+        scheduler.manage(node)
+    return overlay, scheduler
+
+
+class TestScheduling:
+    def test_refreshes_happen(self):
+        overlay, scheduler = make_maintained_overlay()
+        scheduler.start()
+        overlay.loop.run(until=120.0)
+        assert scheduler.stats.refreshes > 60  # ~2 rounds per node
+
+    def test_staggering_spreads_first_runs(self):
+        overlay, scheduler = make_maintained_overlay()
+        scheduler.start()
+        # Nothing at t=0; work appears spread over the first interval.
+        first = overlay.loop.peek_next_time()
+        assert first is not None and first > 0.0
+
+    def test_double_start_rejected(self):
+        _, scheduler = make_maintained_overlay()
+        scheduler.start()
+        with pytest.raises(RuntimeError):
+            scheduler.start()
+
+    def test_stop_cancels(self):
+        overlay, scheduler = make_maintained_overlay()
+        scheduler.start()
+        scheduler.stop()
+        overlay.loop.run(until=500.0)
+        assert scheduler.stats.refreshes == 0
+
+
+class TestRepublish:
+    def test_values_survive_replica_death(self):
+        overlay, scheduler = make_maintained_overlay(size=80, republish=20.0)
+        scheduler.start()
+        writer = overlay.any_node()
+        key = NodeId.hash_of(b"durable-value")
+        writer.store_value(key, b"precious")
+
+        # Kill the current replica set; republish must restore coverage
+        # from surviving copies.
+        overlay.loop.run(until=5.0)
+        lookup = writer.iterative_find_node(key)
+        for victim in lookup.closest[:10]:
+            if victim != writer.node_id:
+                overlay.network.kill(victim)
+        overlay.loop.run(until=100.0)
+        assert scheduler.stats.republished_values > 0
+
+        reader_id = next(
+            node_id
+            for node_id in overlay.node_ids
+            if overlay.network.is_online(node_id) and node_id != writer.node_id
+        )
+        result = overlay.nodes[reader_id].iterative_find_value(key)
+        assert result.value == b"precious"
+
+    def test_dead_nodes_drop_out_of_rotation(self):
+        overlay, scheduler = make_maintained_overlay(size=30, refresh=10.0)
+        scheduler.start()
+        victim = overlay.node_ids[5]
+        overlay.network.kill(victim)
+        overlay.loop.run(until=100.0)
+        # No crash, and maintenance continued for the survivors.
+        assert scheduler.stats.refreshes > 0
+
+
+class TestWithChurn:
+    def test_refresh_keeps_lookups_working_under_churn(self):
+        overlay, scheduler = make_maintained_overlay(size=80, refresh=25.0)
+        scheduler.start()
+        churn = ChurnProcess(
+            overlay.network,
+            ExponentialLifetime(300.0),
+            RandomSource(92, "churn"),
+        )
+        churn.start()
+        overlay.loop.run(until=400.0)
+        assert churn.deaths > 20
+        # A surviving node can still resolve random targets.
+        survivor_id = next(
+            node_id
+            for node_id in overlay.node_ids
+            if overlay.network.is_online(node_id)
+        )
+        survivor = overlay.nodes[survivor_id]
+        result = survivor.iterative_find_node(NodeId.random(RandomSource(93)))
+        assert len(result.closest) >= 5

@@ -1,0 +1,117 @@
+"""Node ids and the XOR metric."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dht.node_id import (
+    ID_BITS,
+    NodeId,
+    closest,
+    sort_by_distance,
+    unique_random_ids,
+)
+from repro.util.rng import RandomSource
+
+id_values = st.integers(min_value=0, max_value=2 ** ID_BITS - 1)
+
+
+class TestConstruction:
+    def test_range_enforced(self):
+        NodeId(0)
+        NodeId(2 ** ID_BITS - 1)
+        with pytest.raises(ValueError):
+            NodeId(2 ** ID_BITS)
+        with pytest.raises(ValueError):
+            NodeId(-1)
+
+    def test_type_enforced(self):
+        with pytest.raises(TypeError):
+            NodeId("abc")
+
+    def test_bytes_roundtrip(self):
+        node_id = NodeId.random(RandomSource(1))
+        assert NodeId.from_bytes(node_id.to_bytes()) == node_id
+
+    def test_from_bytes_length_checked(self):
+        with pytest.raises(ValueError):
+            NodeId.from_bytes(b"\x00" * 19)
+
+    def test_hash_of_deterministic(self):
+        assert NodeId.hash_of(b"key") == NodeId.hash_of(b"key")
+        assert NodeId.hash_of(b"key") != NodeId.hash_of(b"other")
+
+    def test_random_uses_rng(self):
+        assert NodeId.random(RandomSource(5)) == NodeId.random(RandomSource(5))
+
+
+class TestMetric:
+    @given(id_values, id_values)
+    def test_symmetry(self, a, b):
+        assert NodeId(a).distance_to(NodeId(b)) == NodeId(b).distance_to(NodeId(a))
+
+    @given(id_values)
+    def test_identity(self, a):
+        assert NodeId(a).distance_to(NodeId(a)) == 0
+
+    @given(id_values, id_values, id_values)
+    def test_triangle_inequality(self, a, b, c):
+        # XOR satisfies d(a,c) <= d(a,b) + d(b,c).
+        d_ac = NodeId(a).distance_to(NodeId(c))
+        d_ab = NodeId(a).distance_to(NodeId(b))
+        d_bc = NodeId(b).distance_to(NodeId(c))
+        assert d_ac <= d_ab + d_bc
+
+    @given(id_values, id_values)
+    def test_unidirectional(self, a, b):
+        # For a given a and distance there is exactly one b.
+        distance = NodeId(a).distance_to(NodeId(b))
+        recovered = NodeId(a.__xor__(distance))
+        assert recovered == NodeId(b)
+
+    def test_bucket_index(self):
+        origin = NodeId(0)
+        assert origin.bucket_index_for(NodeId(1)) == 0
+        assert origin.bucket_index_for(NodeId(2)) == 1
+        assert origin.bucket_index_for(NodeId(3)) == 1
+        assert origin.bucket_index_for(NodeId(2 ** 159)) == 159
+
+    def test_bucket_index_self_rejected(self):
+        node_id = NodeId(42)
+        with pytest.raises(ValueError):
+            node_id.bucket_index_for(node_id)
+
+
+class TestOrderingHelpers:
+    def test_sort_by_distance(self):
+        target = NodeId(8)
+        ids = [NodeId(0), NodeId(9), NodeId(12), NodeId(8)]
+        ordered = sort_by_distance(ids, target)
+        assert ordered[0] == NodeId(8)  # distance 0
+        assert ordered[1] == NodeId(9)  # distance 1
+
+    def test_closest(self):
+        target = NodeId(0)
+        ids = [NodeId(100), NodeId(5), NodeId(50)]
+        assert closest(ids, target, count=1) == [NodeId(5)]
+        assert len(closest(ids, target, count=2)) == 2
+
+    def test_unique_random_ids_distinct(self):
+        ids = unique_random_ids(RandomSource(3), 500)
+        assert len(set(ids)) == 500
+
+    def test_unique_random_ids_respects_exclusion(self):
+        rng_a = RandomSource(3)
+        first_batch = unique_random_ids(rng_a, 10)
+        rng_b = RandomSource(3)
+        second_batch = unique_random_ids(rng_b, 10, exclude=set(first_batch))
+        assert not (set(first_batch) & set(second_batch))
+
+
+class TestDisplay:
+    def test_str_is_short_hex(self):
+        node_id = NodeId.random(RandomSource(1))
+        assert str(node_id) == node_id.hex()[:12]
+
+    def test_repr(self):
+        assert "NodeId(" in repr(NodeId(7))

@@ -1,0 +1,124 @@
+"""k-bucket routing tables."""
+
+import pytest
+
+from repro.dht.node_id import NodeId, sort_by_distance
+from repro.dht.routing_table import KBucket, RoutingTable
+from repro.util.rng import RandomSource
+
+
+def make_ids(count, seed=1):
+    rng = RandomSource(seed)
+    return [NodeId.random(rng) for _ in range(count)]
+
+
+class TestKBucket:
+    def test_insert_until_full(self):
+        bucket = KBucket(capacity=3)
+        ids = make_ids(3)
+        for node_id in ids:
+            assert bucket.touch(node_id)
+        assert len(bucket) == 3
+
+    def test_full_bucket_rejects_newcomer_without_probe(self):
+        bucket = KBucket(capacity=2)
+        a, b, c = make_ids(3)
+        bucket.touch(a)
+        bucket.touch(b)
+        assert not bucket.touch(c)
+        assert c not in bucket
+
+    def test_full_bucket_refreshes_stalest_when_alive(self):
+        bucket = KBucket(capacity=2)
+        a, b, c = make_ids(3)
+        bucket.touch(a)
+        bucket.touch(b)
+        assert not bucket.touch(c, probe=lambda node: True)
+        # a (stalest) was probed alive and moved to the tail.
+        assert bucket.stalest == b
+
+    def test_full_bucket_evicts_dead_stalest(self):
+        bucket = KBucket(capacity=2)
+        a, b, c = make_ids(3)
+        bucket.touch(a)
+        bucket.touch(b)
+        assert bucket.touch(c, probe=lambda node: False)
+        assert a not in bucket
+        assert c in bucket
+
+    def test_touch_moves_to_tail(self):
+        bucket = KBucket(capacity=3)
+        a, b, c = make_ids(3)
+        for node_id in (a, b, c):
+            bucket.touch(node_id)
+        bucket.touch(a)  # re-seen
+        assert bucket.stalest == b
+
+    def test_remove(self):
+        bucket = KBucket(capacity=2)
+        a, b = make_ids(2)
+        bucket.touch(a)
+        assert bucket.remove(a)
+        assert not bucket.remove(b)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            KBucket(capacity=0)
+
+
+class TestRoutingTable:
+    def test_own_id_never_added(self):
+        ids = make_ids(2)
+        table = RoutingTable(ids[0])
+        assert not table.add_contact(ids[0])
+        assert ids[0] not in table
+
+    def test_add_and_contains(self):
+        owner, other = make_ids(2)
+        table = RoutingTable(owner)
+        assert table.add_contact(other)
+        assert other in table
+
+    def test_closest_contacts_match_brute_force(self):
+        ids = make_ids(200, seed=9)
+        owner = ids[0]
+        table = RoutingTable(owner, bucket_size=20)
+        for node_id in ids[1:]:
+            table.add_contact(node_id)
+        target = NodeId.random(RandomSource(77))
+        expected = sort_by_distance(table.all_contacts(), target)[:10]
+        assert table.closest_contacts(target, 10) == expected
+
+    def test_contact_count(self):
+        # A wide bucket size guarantees nothing overflows (random ids pile
+        # into the top distance buckets).
+        ids = make_ids(50, seed=2)
+        table = RoutingTable(ids[0], bucket_size=64)
+        for node_id in ids[1:]:
+            table.add_contact(node_id)
+        assert table.contact_count == 49
+
+    def test_remove_contact(self):
+        owner, other = make_ids(2)
+        table = RoutingTable(owner)
+        table.add_contact(other)
+        assert table.remove_contact(other)
+        assert other not in table
+
+    def test_remove_own_id_is_noop(self):
+        owner = make_ids(1)[0]
+        table = RoutingTable(owner)
+        assert not table.remove_contact(owner)
+
+    def test_bucket_sizes_sum_to_contacts(self):
+        ids = make_ids(100, seed=5)
+        table = RoutingTable(ids[0])
+        for node_id in ids[1:]:
+            table.add_contact(node_id)
+        assert sum(table.bucket_sizes()) == table.contact_count
+
+    def test_nearby_ids_land_in_low_buckets(self):
+        owner = NodeId(2 ** 100)
+        table = RoutingTable(owner)
+        table.add_contact(NodeId(2 ** 100 + 1))  # distance 1 -> bucket 0
+        assert table.bucket_sizes()[0] == 1

@@ -1,0 +1,170 @@
+"""Per-node storage and the simulated transport."""
+
+import pytest
+
+from repro.dht.kademlia import KademliaNode
+from repro.dht.network import Liveness, NodeUnreachable, SimulatedNetwork
+from repro.dht.node_id import NodeId
+from repro.dht.rpc import Deliver, Ping, Pong
+from repro.dht.storage import ValueStore
+from repro.sim.clock import Clock
+from repro.sim.event_loop import EventLoop
+from repro.sim.latency import ConstantLatency
+from repro.util.rng import RandomSource
+
+
+def make_network(node_count=3, seed=4, latency=0.05):
+    loop = EventLoop()
+    network = SimulatedNetwork(loop, latency=ConstantLatency(latency))
+    rng = RandomSource(seed)
+    nodes = []
+    for _ in range(node_count):
+        node = KademliaNode(NodeId.random(rng), network)
+        network.register(node)
+        nodes.append(node)
+    return loop, network, nodes
+
+
+class TestValueStore:
+    def test_put_get(self):
+        store = ValueStore(Clock())
+        key = NodeId(1)
+        store.put(key, b"value")
+        assert store.get(key) == b"value"
+        assert key in store
+
+    def test_missing_key(self):
+        store = ValueStore(Clock())
+        assert store.get(NodeId(1)) is None
+
+    def test_overwrite(self):
+        store = ValueStore(Clock())
+        key = NodeId(1)
+        store.put(key, b"old")
+        store.put(key, b"new")
+        assert store.get(key) == b"new"
+
+    def test_ttl_expiry(self):
+        clock = Clock()
+        store = ValueStore(clock)
+        key = NodeId(1)
+        store.put(key, b"ephemeral", ttl=10.0)
+        assert store.get(key) == b"ephemeral"
+        clock.advance_to(10.0)
+        assert store.get(key) is None
+        assert len(store) == 0
+
+    def test_delete(self):
+        store = ValueStore(Clock())
+        key = NodeId(1)
+        store.put(key, b"v")
+        assert store.delete(key)
+        assert not store.delete(key)
+
+    def test_clear(self):
+        store = ValueStore(Clock())
+        store.put(NodeId(1), b"a")
+        store.put(NodeId(2), b"b")
+        store.clear()
+        assert len(store) == 0
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            ValueStore(Clock()).put(NodeId(1), "text")
+
+
+class TestLiveness:
+    def test_initially_online(self):
+        _, network, nodes = make_network()
+        assert network.is_online(nodes[0].node_id)
+
+    def test_offline_and_rejoin(self):
+        _, network, nodes = make_network()
+        target = nodes[0].node_id
+        network.set_offline(target)
+        assert network.liveness_of(target) is Liveness.OFFLINE
+        network.set_online(target)
+        assert network.is_online(target)
+
+    def test_kill_is_permanent(self):
+        _, network, nodes = make_network()
+        target = nodes[0].node_id
+        network.kill(target)
+        assert network.liveness_of(target) is Liveness.DEAD
+        with pytest.raises(ValueError):
+            network.set_online(target)
+        with pytest.raises(ValueError):
+            network.set_offline(target)
+
+    def test_kill_wipes_storage(self):
+        _, network, nodes = make_network()
+        node = nodes[0]
+        node.store.put(NodeId(5), b"stored data")
+        network.kill(node.node_id)
+        assert node.store.get(NodeId(5)) is None
+
+    def test_unknown_node_rejected(self):
+        _, network, _ = make_network()
+        with pytest.raises(KeyError):
+            network.liveness_of(NodeId(12345))
+
+    def test_duplicate_registration_rejected(self):
+        _, network, nodes = make_network()
+        with pytest.raises(ValueError):
+            network.register(nodes[0])
+
+
+class TestRpc:
+    def test_ping_pong(self):
+        _, network, nodes = make_network()
+        response, rtt = network.rpc(
+            Ping(sender=nodes[0].node_id), nodes[1].node_id
+        )
+        assert isinstance(response, Pong)
+        assert rtt == pytest.approx(0.1)  # 2x one-way
+
+    def test_rpc_to_offline_raises(self):
+        _, network, nodes = make_network()
+        network.set_offline(nodes[1].node_id)
+        with pytest.raises(NodeUnreachable):
+            network.rpc(Ping(sender=nodes[0].node_id), nodes[1].node_id)
+
+    def test_rpc_counter(self):
+        _, network, nodes = make_network()
+        before = network.rpc_count
+        network.rpc(Ping(sender=nodes[0].node_id), nodes[1].node_id)
+        assert network.rpc_count == before + 1
+
+
+class TestScheduledSend:
+    def test_send_at_delivers_with_latency(self):
+        loop, network, nodes = make_network(latency=0.5)
+        request = Deliver(sender=nodes[0].node_id, channel="test", payload=b"hi")
+        delivered = []
+        network.send_at(
+            10.0, request, nodes[1].node_id, on_delivered=delivered.append
+        )
+        loop.run()
+        assert len(delivered) == 1
+        assert loop.clock.now == pytest.approx(10.5)
+        assert nodes[1].delivered_payloads == [("test", b"hi")]
+
+    def test_send_to_dead_node_dropped(self):
+        loop, network, nodes = make_network()
+        failures = []
+        request = Deliver(sender=nodes[0].node_id, channel="test", payload=b"x")
+        network.send_at(1.0, request, nodes[1].node_id, on_failed=failures.append)
+        network.kill(nodes[1].node_id)
+        loop.run()
+        assert failures == [nodes[1].node_id]
+        assert network.dropped_sends == 1
+
+    def test_send_to_offline_node_dropped_but_storage_kept(self):
+        loop, network, nodes = make_network()
+        nodes[1].store.put(NodeId(9), b"persisted")
+        network.set_offline(nodes[1].node_id)
+        request = Deliver(sender=nodes[0].node_id, channel="t", payload=b"x")
+        network.send_at(1.0, request, nodes[1].node_id)
+        loop.run()
+        assert nodes[1].delivered_payloads == []
+        assert nodes[1].store.get(NodeId(9)) == b"persisted"

@@ -1,0 +1,109 @@
+"""The transient-unavailability extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes.keyshare import algorithm1
+from repro.experiments.availability import (
+    run_availability_sweep,
+    simulate_key_share_availability,
+    simulate_multipath_availability,
+)
+
+TRIALS = 3000
+
+
+def rng(seed=5):
+    return np.random.default_rng(seed)
+
+
+class TestMultipathAvailability:
+    def test_full_uptime_matches_static_model(self):
+        from repro.core.analysis import joint_resilience
+
+        outcome = simulate_multipath_availability(
+            0.3, 1.0, 3, 3, TRIALS, rng(1), joint=True
+        )
+        pair = joint_resilience(0.3, 3, 3)
+        assert outcome.release_resilience == pytest.approx(pair.release, abs=0.03)
+        assert outcome.drop_resilience == pytest.approx(pair.drop, abs=0.03)
+
+    def test_offline_holders_hit_only_drop(self):
+        honest_world = simulate_multipath_availability(
+            0.2, 1.0, 3, 4, TRIALS, rng(2), joint=True
+        )
+        flaky_world = simulate_multipath_availability(
+            0.2, 0.8, 3, 4, TRIALS, rng(3), joint=True
+        )
+        assert flaky_world.drop_resilience < honest_world.drop_resilience
+        assert flaky_world.release_resilience == pytest.approx(
+            honest_world.release_resilience, abs=0.03
+        )
+
+    def test_disjoint_suffers_more_than_joint(self):
+        disjoint = simulate_multipath_availability(
+            0.0, 0.8, 3, 5, TRIALS, rng(4), joint=False
+        )
+        joint = simulate_multipath_availability(
+            0.0, 0.8, 3, 5, TRIALS, rng(5), joint=True
+        )
+        assert joint.drop_resilience > disjoint.drop_resilience
+
+    def test_zero_uptime_always_drops(self):
+        outcome = simulate_multipath_availability(
+            0.0, 0.0, 3, 3, 500, rng(6), joint=True
+        )
+        assert outcome.drop_resilience == 0.0
+        assert outcome.release_resilience == 1.0
+
+
+class TestKeyShareAvailability:
+    def test_full_uptime_matches_churn_free_plan(self):
+        plan = algorithm1(5, 10, 2000, 0.001, 1.0, 0.2)  # negligible churn
+        outcome = simulate_key_share_availability(
+            plan, 1.0, TRIALS, rng(7), malicious_rate=0.2
+        )
+        assert outcome.release_resilience == pytest.approx(
+            plan.release_resilience, abs=0.03
+        )
+
+    def test_threshold_absorbs_moderate_flakiness(self):
+        plan = algorithm1(5, 10, 2000, 3.0, 1.0, 0.15)
+        steady = simulate_key_share_availability(
+            plan, 1.0, TRIALS, rng(8), malicious_rate=0.15
+        )
+        flaky = simulate_key_share_availability(
+            plan, 0.9, TRIALS, rng(9), malicious_rate=0.15
+        )
+        # 10% offline carriers sit well inside the (m, n) slack.
+        assert flaky.worst > steady.worst - 0.05
+
+    def test_extreme_flakiness_starves_columns(self):
+        plan = algorithm1(5, 10, 2000, 3.0, 1.0, 0.15)
+        broken = simulate_key_share_availability(
+            plan, 0.3, TRIALS, rng(10), malicious_rate=0.15
+        )
+        assert broken.drop_resilience < 0.2
+
+
+class TestSweep:
+    def test_sweep_shape_and_ordering(self):
+        points = run_availability_sweep(
+            population_size=2000,
+            uptimes=(1.0, 0.8),
+            p_sweep=(0.0, 0.2),
+            trials=500,
+        )
+        assert len(points) == 2 * 2 * 3  # uptimes x p values x schemes
+        by_key = {
+            (point.scheme, point.uptime, point.malicious_rate): point.resilience
+            for point in points
+        }
+        # Lower uptime can only hurt (within Monte-Carlo noise).
+        for scheme in ("disjoint", "joint", "share"):
+            for p in (0.0, 0.2):
+                assert by_key[(scheme, 0.8, p)] <= by_key[(scheme, 1.0, p)] + 0.03
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            run_availability_sweep(schemes=("bogus",), trials=10)

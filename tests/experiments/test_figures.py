@@ -1,0 +1,131 @@
+"""Figure drivers: reduced sweeps asserting the paper's qualitative claims."""
+
+import pytest
+
+from repro.experiments.attack_resilience import (
+    run_attack_resilience,
+    series_by_scheme,
+)
+from repro.experiments.churn_resilience import panel, run_churn_resilience
+from repro.experiments.cost import run_share_cost, series_by_budget
+
+
+class TestFig6Analytic:
+    """Fast analytic-only checks (measure=False)."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_attack_resilience(
+            population_size=10000,
+            p_sweep=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+            measure=False,
+        )
+
+    def test_all_schemes_swept(self, points):
+        series = series_by_scheme(points)
+        assert set(series) == {"central", "disjoint", "joint"}
+        assert all(len(entries) == 6 for entries in series.values())
+
+    def test_scheme_ordering(self, points):
+        series = series_by_scheme(points)
+        for index in range(6):
+            central = series["central"][index][1]
+            disjoint = series["disjoint"][index][1]
+            joint = series["joint"][index][1]
+            assert joint >= disjoint - 1e-9
+            assert disjoint >= central - 1e-9
+
+    def test_costs_within_budget(self, points):
+        for point in points:
+            assert point.cost <= 10000
+
+    def test_joint_cost_growth(self, points):
+        series = series_by_scheme(points)
+        joint_costs = [cost for _, _, _, cost in series["joint"]]
+        assert joint_costs[1] < 100  # p = 0.1
+        assert joint_costs[3] > 3000  # p = 0.3
+
+
+class TestFig6Measured:
+    def test_monte_carlo_confirms_analytics(self):
+        points = run_attack_resilience(
+            population_size=2000,
+            p_sweep=(0.1, 0.3),
+            trials=300,
+            measure=True,
+        )
+        for point in points:
+            if point.measured is None:
+                continue
+            assert point.measured.release.estimate == pytest.approx(
+                point.analytic_release, abs=0.08
+            )
+            assert point.measured.drop.estimate == pytest.approx(
+                point.analytic_drop, abs=0.08
+            )
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_churn_resilience(
+            trials=600,
+            alphas=(1.0, 5.0),
+            p_sweep=(0.0, 0.1, 0.2, 0.3),
+        )
+
+    def test_panel_extraction(self, points):
+        one = panel(points, 1.0)
+        assert set(one) == {"central", "disjoint", "joint", "share"}
+
+    def test_share_scheme_flat_under_churn(self, points):
+        for alpha in (1.0, 5.0):
+            share = dict(panel(points, alpha)["share"])
+            for p in (0.0, 0.1, 0.2):
+                assert share[p] > 0.9, f"share at p={p}, alpha={alpha}"
+
+    def test_multipath_schemes_decay_with_alpha(self, points):
+        joint_1 = dict(panel(points, 1.0)["joint"])
+        joint_5 = dict(panel(points, 5.0)["joint"])
+        assert joint_5[0.1] < joint_1[0.1] - 0.1
+
+    def test_central_is_baseline(self, points):
+        for alpha in (1.0, 5.0):
+            central = dict(panel(points, alpha)["central"])
+            share = dict(panel(points, alpha)["share"])
+            for p in (0.1, 0.2, 0.3):
+                assert central[p] <= share[p] + 0.02
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_share_cost(
+            budgets=(100, 1000, 10000),
+            p_sweep=(0.1, 0.14, 0.26, 0.3, 0.45),
+            trials=600,
+        )
+
+    def test_paper_claims(self, points):
+        series = {
+            budget: dict((p, measured) for p, measured, _ in entries)
+            for budget, entries in series_by_budget(points).items()
+        }
+        assert series[100][0.14] > 0.9
+        assert series[1000][0.26] > 0.9
+        assert series[10000][0.3] > 0.9
+        assert series[10000][0.45] < 0.2
+
+    def test_bigger_budget_never_much_worse(self, points):
+        series = {
+            budget: dict((p, measured) for p, measured, _ in entries)
+            for budget, entries in series_by_budget(points).items()
+        }
+        for p in (0.1, 0.14, 0.26, 0.3):
+            assert series[10000][p] >= series[100][p] - 0.05
+
+    def test_measured_matches_algorithm1(self, points):
+        for point in points:
+            assert point.resilience == pytest.approx(
+                point.analytic_resilience, abs=0.06
+            )

@@ -1,0 +1,87 @@
+"""Latency models and trace recording."""
+
+import pytest
+
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.trace import TraceEvent, TraceRecorder
+from repro.util.rng import RandomSource
+
+
+class TestConstantLatency:
+    def test_fixed_delay(self):
+        model = ConstantLatency(0.25)
+        assert model.delay(1, 2) == 0.25
+        assert model.delay(99, 100) == 0.25
+
+    def test_zero_allowed(self):
+        assert ConstantLatency(0.0).delay(1, 2) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(0.1, 0.5, rng=RandomSource(1))
+        for _ in range(200):
+            delay = model.delay(1, 2)
+            assert 0.1 <= delay <= 0.5
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_deterministic_with_seed(self):
+        a = UniformLatency(0.0, 1.0, rng=RandomSource(7))
+        b = UniformLatency(0.0, 1.0, rng=RandomSource(7))
+        assert [a.delay(0, 0) for _ in range(5)] == [b.delay(0, 0) for _ in range(5)]
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "rpc", "ping sent")
+        trace.record(2.0, "churn", "node died")
+        trace.record(3.0, "rpc", "pong received")
+        assert len(trace) == 3
+        assert [e.message for e in trace.filter("rpc")] == [
+            "ping sent",
+            "pong received",
+        ]
+
+    def test_first(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a", "one")
+        trace.record(2.0, "a", "two")
+        assert trace.first("a").message == "one"
+        assert trace.first("missing") is None
+
+    def test_disabled_recorder_drops_events(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "x", "ignored")
+        assert len(trace) == 0
+
+    def test_details_stored(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "x", "msg", column=3)
+        assert trace.events[0].details == {"column": 3}
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "x", "msg")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_format_timeline_limits(self):
+        trace = TraceRecorder()
+        for i in range(5):
+            trace.record(float(i), "x", f"event {i}")
+        text = trace.format_timeline(limit=2)
+        assert "event 0" in text
+        assert "event 4" not in text
+        assert "3 more events" in text
+
+    def test_event_str_includes_time(self):
+        event = TraceEvent(time=1.5, category="cat", message="msg")
+        assert "1.500" in str(event)

@@ -1,0 +1,84 @@
+"""Tests for byte-string helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bytes_util import (
+    bytes_to_int,
+    chunk_bytes,
+    constant_time_equal,
+    int_to_bytes,
+    xor_bytes,
+)
+
+
+class TestXor:
+    def test_xor_roundtrip(self):
+        a = b"hello world!"
+        b = b"\x01\x02\x03\x04\x05\x06\x07\x08\x09\x0a\x0b\x0c"
+        assert xor_bytes(xor_bytes(a, b), b) == a
+
+    def test_xor_with_zero_is_identity(self):
+        data = b"payload"
+        assert xor_bytes(data, b"\x00" * len(data)) == data
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(max_size=64))
+    def test_xor_self_is_zero(self, data):
+        assert xor_bytes(data, data) == b"\x00" * len(data)
+
+    @given(st.binary(min_size=1, max_size=64), st.data())
+    def test_xor_commutative(self, left, data):
+        right = data.draw(st.binary(min_size=len(left), max_size=len(left)))
+        assert xor_bytes(left, right) == xor_bytes(right, left)
+
+
+class TestIntConversion:
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_roundtrip(self, value):
+        assert bytes_to_int(int_to_bytes(value, 8)) == value
+
+    def test_big_endian(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1, 4)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            int_to_bytes(256, 1)
+
+
+class TestChunking:
+    def test_even_chunks(self):
+        assert chunk_bytes(b"abcdef", 2) == [b"ab", b"cd", b"ef"]
+
+    def test_ragged_tail(self):
+        assert chunk_bytes(b"abcde", 2) == [b"ab", b"cd", b"e"]
+
+    def test_empty_input(self):
+        assert chunk_bytes(b"", 4) == []
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_bytes(b"abc", 0)
+
+    @given(st.binary(max_size=100), st.integers(min_value=1, max_value=10))
+    def test_chunks_reassemble(self, data, size):
+        assert b"".join(chunk_bytes(data, size)) == data
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"same", b"same")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"same", b"diff")
+
+    def test_length_difference(self):
+        assert not constant_time_equal(b"a", b"ab")

@@ -1,0 +1,150 @@
+"""Tests for the deterministic random source."""
+
+import pytest
+
+from repro.util.rng import RandomSource, derive_seed, optional_source, spawn_sources
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(42)
+        b = RandomSource(43)
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, "x") == derive_seed(7, "x")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(7, "x") != derive_seed(7, "y")
+
+    def test_derive_seed_parent_sensitive(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_derive_seed_non_negative(self):
+        for seed in (-5, 0, 123456789):
+            assert derive_seed(seed, "label") >= 0
+
+
+class TestForking:
+    def test_fork_same_label_same_stream(self):
+        root = RandomSource(1)
+        a = root.fork("child")
+        b = root.fork("child")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        root_a = RandomSource(1)
+        root_b = RandomSource(1)
+        for _ in range(100):
+            root_b.random()  # consume parent draws
+        child_a = root_a.fork("c")
+        child_b = root_b.fork("c")
+        assert child_a.random() == child_b.random()
+
+    def test_distinct_labels_distinct_streams(self):
+        root = RandomSource(1)
+        assert root.fork("a").random() != root.fork("b").random()
+
+    def test_spawn_sources(self):
+        sources = spawn_sources(5, ["x", "y", "z"])
+        assert len(sources) == 3
+        assert len({source.seed for source in sources}) == 3
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = RandomSource(3)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert set(values) <= {2, 3, 4, 5}
+        assert set(values) == {2, 3, 4, 5}  # all hit with 200 draws
+
+    def test_random_bytes_length(self):
+        rng = RandomSource(3)
+        assert len(rng.random_bytes(17)) == 17
+        assert rng.random_bytes(0) == b""
+
+    def test_random_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(3).random_bytes(-1)
+
+    def test_exponential_mean(self):
+        rng = RandomSource(11)
+        draws = [rng.exponential(10.0) for _ in range(20000)]
+        mean = sum(draws) / len(draws)
+        assert 9.5 < mean < 10.5
+
+    def test_exponential_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).exponential(0.0)
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(1)
+        assert not any(rng.bernoulli(0.0) for _ in range(100))
+        assert all(rng.bernoulli(1.0) for _ in range(100))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).bernoulli(1.5)
+
+    def test_bernoulli_rate(self):
+        rng = RandomSource(5)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+
+class TestCollections:
+    def test_choice_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).choice([])
+
+    def test_sample_distinct(self):
+        rng = RandomSource(2)
+        sample = rng.sample(list(range(100)), 30)
+        assert len(set(sample)) == 30
+
+    def test_sample_indices_distinct_and_in_range(self):
+        rng = RandomSource(2)
+        indices = rng.sample_indices(1000, 100)
+        assert len(set(indices)) == 100
+        assert all(0 <= i < 1000 for i in indices)
+
+    def test_sample_indices_over_population_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).sample_indices(5, 6)
+
+    def test_shuffled_preserves_input(self):
+        rng = RandomSource(4)
+        original = list(range(50))
+        shuffled = rng.shuffled(original)
+        assert original == list(range(50))
+        assert sorted(shuffled) == original
+        assert shuffled != original  # astronomically unlikely to be equal
+
+    def test_shuffle_in_place(self):
+        rng = RandomSource(4)
+        items = list(range(50))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(50))
+
+
+class TestMisc:
+    def test_seed_type_checked(self):
+        with pytest.raises(TypeError):
+            RandomSource("not an int")
+
+    def test_repr_mentions_label(self):
+        assert "my-label" in repr(RandomSource(1, label="my-label"))
+
+    def test_optional_source_passthrough(self):
+        source = RandomSource(9)
+        assert optional_source(source, 1, "x") is source
+
+    def test_optional_source_creates(self):
+        created = optional_source(None, 1, "x")
+        assert isinstance(created, RandomSource)
+        assert created.label == "x"

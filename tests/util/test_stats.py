@@ -1,0 +1,101 @@
+"""Tests for the statistics helpers (cross-checked against scipy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.util.stats import (
+    binomial_pmf,
+    binomial_tail_at_least,
+    mean,
+    sample_proportion_ci,
+)
+
+
+class TestBinomialPmf:
+    def test_certain_success(self):
+        assert binomial_pmf(3, 3, 1.0) == pytest.approx(1.0)
+
+    def test_certain_failure(self):
+        assert binomial_pmf(0, 3, 0.0) == pytest.approx(1.0)
+
+    def test_out_of_support_is_zero(self):
+        assert binomial_pmf(4, 3, 0.5) == 0.0
+        assert binomial_pmf(-1, 3, 0.5) == 0.0
+
+    def test_hand_computed(self):
+        # P[Bin(2, 0.5) = 1] = 0.5
+        assert binomial_pmf(1, 2, 0.5) == pytest.approx(0.5)
+
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=30),
+        # scipy's pmf overflows on subnormal probabilities; stay in the
+        # sane range (our implementation handles the extremes exactly and
+        # those are pinned in the non-property tests).
+        st.floats(min_value=1e-9, max_value=1.0 - 1e-9),
+    )
+    def test_matches_scipy(self, successes, trials, probability):
+        ours = binomial_pmf(successes, trials, probability)
+        reference = float(scipy_stats.binom.pmf(successes, trials, probability))
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(0, -1, 0.5)
+
+
+class TestBinomialTail:
+    def test_threshold_zero_is_one(self):
+        assert binomial_tail_at_least(0, 10, 0.3) == 1.0
+
+    def test_threshold_above_trials_is_zero(self):
+        assert binomial_tail_at_least(11, 10, 0.3) == 0.0
+
+    @given(
+        st.integers(min_value=1, max_value=25),
+        st.integers(min_value=1, max_value=25),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_matches_scipy_sf(self, threshold, trials, probability):
+        ours = binomial_tail_at_least(threshold, trials, probability)
+        reference = float(scipy_stats.binom.sf(threshold - 1, trials, probability))
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_monotone_in_threshold(self):
+        tails = [binomial_tail_at_least(m, 20, 0.4) for m in range(21)]
+        assert tails == sorted(tails, reverse=True)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestProportionCi:
+    def test_interval_contains_estimate(self):
+        estimate, low, high = sample_proportion_ci(70, 100)
+        assert low <= estimate <= high
+        assert estimate == pytest.approx(0.7)
+
+    def test_clamped_to_unit_interval(self):
+        _, low, _ = sample_proportion_ci(0, 10)
+        _, _, high = sample_proportion_ci(10, 10)
+        assert low == 0.0
+        assert high == 1.0
+
+    def test_width_shrinks_with_trials(self):
+        _, low_small, high_small = sample_proportion_ci(50, 100)
+        _, low_large, high_large = sample_proportion_ci(5000, 10000)
+        assert (high_large - low_large) < (high_small - low_small)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            sample_proportion_ci(11, 10)
+        with pytest.raises(ValueError):
+            sample_proportion_ci(0, 0)
