@@ -6,7 +6,7 @@
 - per-scheme communication/storage cost table.
 """
 
-from conftest import bench_trials, run_once
+from conftest import bench_engine, bench_trials, run_once
 
 from repro.adversary.adaptive import adaptive_resilience_sweep
 from repro.core.schemes import NodeDisjointScheme, NodeJointScheme
@@ -23,6 +23,7 @@ def test_extension_availability(benchmark):
         uptimes=(1.0, 0.95, 0.9, 0.8),
         p_sweep=(0.0, 0.1, 0.2, 0.3),
         trials=bench_trials(),
+        engine=bench_engine(),
     )
     by_key = {
         (point.scheme, point.uptime, point.malicious_rate): point.resilience

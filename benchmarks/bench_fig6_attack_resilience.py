@@ -10,7 +10,7 @@ scheme (central / disjoint / joint), analytic values with Monte-Carlo
 verification at the paper's sweep points.
 """
 
-from conftest import bench_trials, run_once
+from conftest import bench_engine, bench_trials, run_once
 
 from repro.experiments.attack_resilience import (
     DEFAULT_P_SWEEP,
@@ -46,6 +46,7 @@ def test_fig6a_resilience_10000(benchmark):
         population_size=10000,
         p_sweep=DEFAULT_P_SWEEP,
         trials=bench_trials(),
+        engine=bench_engine(),
     )
     x_values, series = _resilience_series(points)
     print()
@@ -86,6 +87,7 @@ def test_fig6c_resilience_100(benchmark):
         population_size=100,
         p_sweep=DEFAULT_P_SWEEP,
         trials=bench_trials(),
+        engine=bench_engine(),
     )
     x_values, series = _resilience_series(points)
     print()

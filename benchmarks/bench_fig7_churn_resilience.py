@@ -5,7 +5,7 @@ One benchmark per panel; each prints R vs p for the four schemes
 """
 
 import pytest
-from conftest import bench_trials, run_once
+from conftest import bench_engine, bench_trials, run_once
 
 from repro.experiments.churn_resilience import (
     DEFAULT_P_SWEEP,
@@ -45,6 +45,7 @@ def test_fig7_panel(benchmark, label):
         alphas=(alpha,),
         p_sweep=DEFAULT_P_SWEEP,
         trials=bench_trials(),
+        engine=bench_engine(),
     )
     series = _print_panel(points, alpha, label)
     # Paper claims: the share scheme keeps nearly unchanged high
@@ -63,6 +64,7 @@ def test_fig7_share_flatness_across_alphas(benchmark):
         p_sweep=(0.1, 0.2, 0.25),
         trials=bench_trials(),
         schemes=("share",),
+        engine=bench_engine(),
     )
     calm = dict(panel(points, 1.0)["share"])
     harsh = dict(panel(points, 5.0)["share"])

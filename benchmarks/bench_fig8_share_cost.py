@@ -4,7 +4,7 @@
 (Monte Carlo) plus Algorithm 1's analytic prediction.
 """
 
-from conftest import bench_trials, run_once
+from conftest import bench_engine, bench_trials, run_once
 
 from repro.experiments.cost import (
     DEFAULT_BUDGETS,
@@ -22,6 +22,7 @@ def test_fig8_share_cost(benchmark):
         budgets=DEFAULT_BUDGETS,
         p_sweep=DEFAULT_P_SWEEP,
         trials=bench_trials(),
+        engine=bench_engine(),
     )
     grouped = series_by_budget(points)
     x_values = [p for p, _, _ in grouped[DEFAULT_BUDGETS[0]]]

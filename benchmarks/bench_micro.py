@@ -1,22 +1,87 @@
 """Micro-benchmarks for the substrates the figures rest on.
 
 These are conventional pytest-benchmark timings (many rounds): the crypto
-primitives, Algorithm 1, the planner's grid search, DHT lookups and the
-end-to-end protocol run.  They guard against performance regressions that
-would make the figure sweeps impractically slow.
+primitives, Algorithm 1, the planner's grid search, DHT lookups, the
+end-to-end protocol run, and the Monte-Carlo trial engine (serial vs
+process-pool vs adaptive early stopping on a 1,000-trial figure-style
+sweep).  They guard against performance regressions that would make the
+figure sweeps impractically slow.
 """
 
+import pytest
+
+from repro.adversary.population import SybilPopulation
 from repro.core.onion import OnionCore, build_onion, peel_onion
 from repro.core.planner import plan_configuration
+from repro.core.schemes import NodeJointScheme
 from repro.core.schemes.keyshare import algorithm1
 from repro.crypto.cipher import decrypt, encrypt
 from repro.crypto.shamir import combine_shares, split_secret
 from repro.dht.bootstrap import build_network
 from repro.dht.node_id import NodeId
+from repro.experiments.engine import TrialEngine
 from repro.util.rng import RandomSource
 
 KEY = b"k" * 32
 PAYLOAD = b"p" * 1024
+
+ENGINE_TRIALS = 1000
+ENGINE_POPULATION = 2000
+
+
+def _fig6_style_trial(rng: RandomSource):
+    """One attack-resilience trial, the engine's hot-path workload."""
+    population_ids = list(range(ENGINE_POPULATION))
+    scheme = NodeJointScheme(3, 4)
+    sybil = SybilPopulation(0.1, rng.fork("sybil"))
+    sybil.mark_population(population_ids)
+    structure = scheme.sample_structure(population_ids, rng.fork("structure"))
+    outcome = scheme.evaluate_attacks(structure, sybil)
+    return outcome.release_resisted, outcome.drop_resisted
+
+
+def _engine_sweep(engine: TrialEngine):
+    return engine.run(
+        _fig6_style_trial,
+        trials=ENGINE_TRIALS,
+        seed=2017,
+        label="bench-engine",
+        channels=2,
+    )
+
+
+def test_trial_engine_serial_1000(benchmark):
+    result = benchmark.pedantic(
+        _engine_sweep, args=(TrialEngine(),), rounds=1, iterations=1
+    )
+    assert result.trials == ENGINE_TRIALS
+
+
+def test_trial_engine_pool_1000(benchmark):
+    """--jobs 4 sweep: byte-identical to serial; ≥ 2× faster with ≥ 4 cores."""
+    result = benchmark.pedantic(
+        _engine_sweep, args=(TrialEngine(jobs=4),), rounds=1, iterations=1
+    )
+    # The determinism contract: the pool result matches serial exactly.
+    # The ≥ 2× wall-clock claim needs ≥ 4 real cores; the pytest-benchmark
+    # table prints the measured serial-vs-pool ratio on any machine.
+    assert result == _engine_sweep(TrialEngine())
+    assert result.trials == ENGINE_TRIALS
+
+
+def test_trial_engine_adaptive_stopping(benchmark):
+    """Tolerance 0.02 cuts the 1,000-trial sweep ≥ 3× on this workload."""
+    engine = TrialEngine(tolerance=0.02)
+    result = benchmark.pedantic(
+        _engine_sweep, args=(engine,), rounds=1, iterations=1
+    )
+    assert result.stopped_early
+    assert result.trials * 3 <= ENGINE_TRIALS
+    # Still within tolerance of the full-run estimate.
+    full = _engine_sweep(TrialEngine())
+    assert result.estimates[0].estimate == pytest.approx(
+        full.estimates[0].estimate, abs=3 * 0.02
+    )
 
 
 def test_cipher_roundtrip(benchmark):

@@ -6,16 +6,43 @@ figure as a textual series table — the same rows EXPERIMENTS.md records.
 
 Trial counts default to a reduced-but-stable setting so the whole harness
 finishes in minutes; set REPRO_BENCH_TRIALS=1000 to match the paper's
-1,000-run averages exactly.
+1,000-run averages exactly.  The Monte-Carlo trial engine is configurable
+the same way:
+
+- ``REPRO_BENCH_JOBS=4`` fans trials out over a process pool (results are
+  identical to serial for the same trial count — the engine's determinism
+  contract);
+- ``REPRO_BENCH_TOLERANCE=0.02`` enables adaptive early stopping, cutting
+  trial counts per point once the CI half-width is within tolerance.
 """
 
 import os
 
 import pytest
 
+from repro.experiments.engine import TrialEngine
+
 
 def bench_trials(default: int = 300) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
+
+
+def bench_jobs(default: int = 1) -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+def bench_tolerance():
+    raw = os.environ.get("REPRO_BENCH_TOLERANCE")
+    if not raw:
+        return None
+    value = float(raw)
+    # 0 is the natural "off" spelling (REPRO_BENCH_JOBS=1 is), not an error.
+    return value if value > 0 else None
+
+
+def bench_engine() -> TrialEngine:
+    """The trial engine every figure benchmark drives its sweep through."""
+    return TrialEngine(jobs=bench_jobs(), tolerance=bench_tolerance())
 
 
 @pytest.fixture

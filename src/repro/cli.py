@@ -58,6 +58,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figure", choices=["6a", "6b", "6c", "6d", "7", "8"], required=True
     )
     figures.add_argument("--trials", type=int, default=300)
+    figures.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo trial engine "
+        "(1 = serial; results are identical for any value)",
+    )
+    figures.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="adaptive early stopping: stop a point once its CI "
+        "half-width is at most this value (default: run all trials)",
+    )
 
     cost = subparsers.add_parser(
         "cost", help="communication/storage cost per scheme"
@@ -130,7 +144,10 @@ def _command_figures(args) -> int:
     )
     from repro.experiments.churn_resilience import panel, run_churn_resilience
     from repro.experiments.cost import run_share_cost, series_by_budget
+    from repro.experiments.engine import TrialEngine
     from repro.experiments.reporting import format_cost_table, format_series_table
+
+    engine = TrialEngine(jobs=args.jobs, tolerance=args.tolerance)
 
     if args.figure in ("6a", "6b", "6c", "6d"):
         population = 10000 if args.figure in ("6a", "6b") else 100
@@ -139,6 +156,7 @@ def _command_figures(args) -> int:
             population_size=population,
             trials=args.trials,
             measure=not wants_cost,
+            engine=engine,
         )
         series = series_by_scheme(points)
         x_values = [entry[0] for entry in series["central"]]
@@ -162,7 +180,7 @@ def _command_figures(args) -> int:
         return 0
 
     if args.figure == "7":
-        points = run_churn_resilience(trials=args.trials)
+        points = run_churn_resilience(trials=args.trials, engine=engine)
         for alpha in (1.0, 2.0, 3.0, 5.0):
             data = panel(points, alpha)
             x_values = [p for p, _ in data["central"]]
@@ -178,7 +196,7 @@ def _command_figures(args) -> int:
         return 0
 
     if args.figure == "8":
-        points = run_share_cost(trials=args.trials)
+        points = run_share_cost(trials=args.trials, engine=engine)
         grouped = series_by_budget(points)
         budgets = sorted(grouped)
         x_values = [p for p, _, _ in grouped[budgets[0]]]

@@ -11,8 +11,13 @@ One module per figure:
 
 plus shared machinery:
 
-- :mod:`repro.experiments.runner` — seeded Monte-Carlo loops with
-  confidence intervals;
+- :mod:`repro.experiments.engine` — the batched parallel Monte-Carlo
+  trial engine (pluggable executors, streaming aggregation, adaptive
+  early stopping) every experiment runs through;
+- :mod:`repro.experiments.executors` — serial / chunked / process-pool
+  trial executors with a shared determinism contract;
+- :mod:`repro.experiments.runner` — the original two-function estimation
+  API, kept as thin wrappers over a default engine;
 - :mod:`repro.experiments.churn_model` — the vectorised epoch churn model
   (DESIGN.md §5);
 - :mod:`repro.experiments.reporting` — textual tables and series, the
@@ -26,8 +31,14 @@ from repro.experiments.attack_resilience import (
 from repro.experiments.availability import AvailabilityPoint, run_availability_sweep
 from repro.experiments.churn_resilience import ChurnPoint, run_churn_resilience
 from repro.experiments.cost import CostPoint, run_share_cost
+from repro.experiments.engine import (
+    EngineResult,
+    MonteCarloEstimate,
+    PairedEstimate,
+    TrialEngine,
+)
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import MonteCarloEstimate, estimate_probability
+from repro.experiments.runner import estimate_probability, estimate_resilience_pair
 
 __all__ = [
     "run_attack_resilience",
@@ -38,7 +49,11 @@ __all__ = [
     "CostPoint",
     "run_availability_sweep",
     "AvailabilityPoint",
+    "TrialEngine",
+    "EngineResult",
     "estimate_probability",
+    "estimate_resilience_pair",
     "MonteCarloEstimate",
+    "PairedEstimate",
     "format_series_table",
 ]

@@ -26,7 +26,7 @@ from repro.core.schemes import (
     NodeJointScheme,
     Scheme,
 )
-from repro.experiments.runner import PairedEstimate, estimate_resilience_pair
+from repro.experiments.engine import PairedEstimate, TrialEngine
 from repro.util.rng import RandomSource
 
 DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))  # 0.00 .. 0.50
@@ -77,6 +77,7 @@ def _measure(
     population_size: int,
     trials: int,
     seed: int,
+    engine: TrialEngine,
 ) -> PairedEstimate:
     """Finite-population Monte Carlo for one configuration."""
     population_ids = list(range(population_size))
@@ -88,7 +89,7 @@ def _measure(
         outcome = scheme.evaluate_attacks(structure, sybil)
         return outcome.release_resisted, outcome.drop_resisted
 
-    return estimate_resilience_pair(
+    return engine.estimate_pair(
         trial, trials=trials, seed=seed, label=f"fig6-{scheme.name}-{malicious_rate}"
     )
 
@@ -100,12 +101,20 @@ def run_attack_resilience(
     target: float = DEFAULT_TARGET,
     measure: bool = True,
     seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    jobs: int = 1,
+    tolerance: Optional[float] = None,
 ) -> List[AttackResiliencePoint]:
     """Produce the Fig. 6 series for one population size.
 
     Set ``measure=False`` for the analytic-only variant (instant; used by
-    tests that pin exact values).
+    tests that pin exact values).  Pass an ``engine`` (or ``jobs`` /
+    ``tolerance`` to build a default one) to parallelise the Monte Carlo
+    or stop each point adaptively; executors never change the estimates
+    for a fixed trial count.
     """
+    if engine is None:
+        engine = TrialEngine(jobs=jobs, tolerance=tolerance)
     points: List[AttackResiliencePoint] = []
     for scheme_name in SCHEME_ORDER:
         for p in p_sweep:
@@ -116,7 +125,7 @@ def run_attack_resilience(
             measured = None
             if measure and configuration.cost <= population_size:
                 measured = _measure(
-                    scheme, p, population_size, trials, seed=seed
+                    scheme, p, population_size, trials, seed=seed, engine=engine
                 )
             points.append(
                 AttackResiliencePoint(

@@ -22,14 +22,18 @@ is untouched — which is exactly why the effect is interesting: it shifts
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.planner import plan_configuration
 from repro.core.schemes.keyshare import SharePlan, plan_share_scheme
-from repro.experiments.churn_model import ChurnOutcome
-from repro.util.rng import derive_seed
+from repro.experiments.churn_model import (
+    ChurnOutcome,
+    outcome_from_counts,
+    outcome_from_result,
+)
+from repro.experiments.engine import TrialEngine
 from repro.util.validation import check_positive_int, check_probability
 
 DEFAULT_UPTIMES = (1.0, 0.95, 0.9, 0.8)
@@ -49,7 +53,7 @@ class AvailabilityPoint:
         return self.outcome.worst
 
 
-def simulate_multipath_availability(
+def simulate_multipath_availability_counts(
     malicious_rate: float,
     uptime: float,
     replication: int,
@@ -57,8 +61,8 @@ def simulate_multipath_availability(
     trials: int,
     rng: np.random.Generator,
     joint: bool,
-) -> ChurnOutcome:
-    """Static grid + per-boundary offline draws (no deaths)."""
+) -> Tuple[int, int]:
+    """Attack-success counts for the multipath sweep (engine batch unit)."""
     p = check_probability(malicious_rate, "malicious_rate")
     up = check_probability(uptime, "uptime")
     k = check_positive_int(replication, "replication")
@@ -79,21 +83,33 @@ def simulate_multipath_availability(
     column_captured = malicious.any(axis=2)
     release_success = column_captured.all(axis=1)
 
-    return ChurnOutcome(
-        release_resilience=float(1.0 - release_success.mean()),
-        drop_resilience=float(1.0 - drop_success.mean()),
-        trials=trials,
+    return int(release_success.sum()), int(drop_success.sum())
+
+
+def simulate_multipath_availability(
+    malicious_rate: float,
+    uptime: float,
+    replication: int,
+    path_length: int,
+    trials: int,
+    rng: np.random.Generator,
+    joint: bool,
+) -> ChurnOutcome:
+    """Static grid + per-boundary offline draws (no deaths)."""
+    release, drop = simulate_multipath_availability_counts(
+        malicious_rate, uptime, replication, path_length, trials, rng, joint
     )
+    return outcome_from_counts(release, drop, trials)
 
 
-def simulate_key_share_availability(
+def simulate_key_share_availability_counts(
     plan: SharePlan,
     uptime: float,
     trials: int,
     rng: np.random.Generator,
     malicious_rate: float,
-) -> ChurnOutcome:
-    """Offline carriers behave as per-boundary dead shares."""
+) -> Tuple[int, int]:
+    """Attack-success counts for the key-share sweep (engine batch unit)."""
     up = check_probability(uptime, "uptime")
     p = check_probability(malicious_rate, "malicious_rate")
     n = plan.shares_per_column
@@ -118,11 +134,21 @@ def simulate_key_share_availability(
 
     release_success = captured.any(axis=2).all(axis=1)
     drop_success = starved.all(axis=2).any(axis=1)
-    return ChurnOutcome(
-        release_resilience=float(1.0 - release_success.mean()),
-        drop_resilience=float(1.0 - drop_success.mean()),
-        trials=trials,
+    return int(release_success.sum()), int(drop_success.sum())
+
+
+def simulate_key_share_availability(
+    plan: SharePlan,
+    uptime: float,
+    trials: int,
+    rng: np.random.Generator,
+    malicious_rate: float,
+) -> ChurnOutcome:
+    """Offline carriers behave as per-boundary dead shares."""
+    release, drop = simulate_key_share_availability_counts(
+        plan, uptime, trials, rng, malicious_rate
     )
+    return outcome_from_counts(release, drop, trials)
 
 
 def run_availability_sweep(
@@ -132,38 +158,57 @@ def run_availability_sweep(
     trials: int = 1000,
     schemes: Sequence[str] = ("disjoint", "joint", "share"),
     seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    jobs: int = 1,
+    tolerance: Optional[float] = None,
+    batch_size: Optional[int] = None,
 ) -> List[AvailabilityPoint]:
     """The extension sweep: resilience vs p per uptime level."""
+    if engine is None:
+        engine = TrialEngine(jobs=jobs, tolerance=tolerance)
     points: List[AvailabilityPoint] = []
     for uptime in uptimes:
         for p in p_sweep:
             planning_rate = max(p, 0.05)
             for scheme in schemes:
-                rng = np.random.default_rng(
-                    derive_seed(seed, f"avail-{scheme}-{uptime}-{p}")
-                )
                 if scheme in ("disjoint", "joint"):
                     configuration = plan_configuration(
                         scheme, planning_rate, population_size
                     )
-                    outcome = simulate_multipath_availability(
-                        p,
-                        uptime,
-                        configuration.replication,
-                        configuration.path_length,
-                        trials,
-                        rng,
-                        joint=(scheme == "joint"),
+                    batch = (
+                        lambda gen, count, p=p, uptime=uptime, c=configuration,
+                        joint=(scheme == "joint"):
+                        simulate_multipath_availability_counts(
+                            p,
+                            uptime,
+                            c.replication,
+                            c.path_length,
+                            count,
+                            gen,
+                            joint,
+                        )
                     )
                 elif scheme == "share":
                     plan = plan_share_scheme(
                         planning_rate, population_size, 1.0, 1.0
                     )
-                    outcome = simulate_key_share_availability(
-                        plan, uptime, trials, rng, malicious_rate=p
+                    batch = (
+                        lambda gen, count, plan=plan, uptime=uptime, p=p:
+                        simulate_key_share_availability_counts(
+                            plan, uptime, count, gen, malicious_rate=p
+                        )
                     )
                 else:
                     raise ValueError(f"unknown scheme {scheme!r}")
+                result = engine.run_batched(
+                    batch,
+                    trials=trials,
+                    seed=seed,
+                    label=f"avail-{scheme}-{uptime}-{p}",
+                    channels=2,
+                    batch_size=batch_size,
+                )
+                outcome = outcome_from_result(result)
                 points.append(
                     AvailabilityPoint(
                         scheme=scheme,

@@ -56,6 +56,49 @@ def _death_probability(alpha: float, path_length: int) -> float:
     return 1.0 - math.exp(-alpha / path_length)
 
 
+def outcome_from_counts(
+    release_successes: int, drop_successes: int, trials: int
+) -> ChurnOutcome:
+    """Resilience from attack-success counts: the one aggregation rule."""
+    return ChurnOutcome(
+        release_resilience=1.0 - release_successes / trials,
+        drop_resilience=1.0 - drop_successes / trials,
+        trials=trials,
+    )
+
+
+def outcome_from_result(result) -> ChurnOutcome:
+    """A two-channel engine result (release, drop attack successes) → outcome.
+
+    The adapter every engine-batched figure driver (Fig. 7, Fig. 8, the
+    availability extension) uses to turn a
+    :class:`~repro.experiments.engine.EngineResult` into the figure's
+    resilience pair through the same aggregation rule the direct
+    ``simulate_*`` wrappers apply.
+    """
+    release, drop = result.estimates
+    return outcome_from_counts(
+        release.successes, drop.successes, release.trials
+    )
+
+
+def simulate_centralized_counts(
+    malicious_rate: float,
+    alpha: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> Tuple[int, int]:
+    """Attack-success counts for the centralized scheme (engine batch unit)."""
+    p = check_probability(malicious_rate, "malicious_rate")
+    check_positive(alpha, "alpha", allow_zero=True)
+    check_positive_int(trials, "trials")
+    malicious = rng.random(trials) < p
+    survives = rng.random(trials) < math.exp(-alpha)
+    release_success = malicious
+    drop_success = malicious | ~survives
+    return int(release_success.sum()), int(drop_success.sum())
+
+
 def simulate_centralized(
     malicious_rate: float,
     alpha: float,
@@ -63,21 +106,11 @@ def simulate_centralized(
     rng: np.random.Generator,
 ) -> ChurnOutcome:
     """Single holder, no repair: survival of the whole period required."""
-    p = check_probability(malicious_rate, "malicious_rate")
-    check_positive(alpha, "alpha", allow_zero=True)
-    check_positive_int(trials, "trials")
-    malicious = rng.random(trials) < p
-    survives = rng.random(trials) < math.exp(-alpha)
-    release_resisted = ~malicious
-    drop_resisted = ~malicious & survives
-    return ChurnOutcome(
-        release_resilience=float(release_resisted.mean()),
-        drop_resilience=float(drop_resisted.mean()),
-        trials=trials,
-    )
+    release, drop = simulate_centralized_counts(malicious_rate, alpha, trials, rng)
+    return outcome_from_counts(release, drop, trials)
 
 
-def simulate_multipath(
+def simulate_multipath_counts(
     malicious_rate: float,
     alpha: float,
     replication: int,
@@ -85,8 +118,8 @@ def simulate_multipath(
     trials: int,
     rng: np.random.Generator,
     joint: bool,
-) -> ChurnOutcome:
-    """Epoch Monte Carlo for the node-disjoint / node-joint schemes."""
+) -> Tuple[int, int]:
+    """Attack-success counts for the multipath schemes (engine batch unit)."""
     p = check_probability(malicious_rate, "malicious_rate")
     check_positive(alpha, "alpha", allow_zero=True)
     k = check_positive_int(replication, "replication")
@@ -126,21 +159,33 @@ def simulate_multipath(
         maliciously_blocked = rng.random(trials) < row_cut ** k
     drop_success = churn_lost | maliciously_blocked
 
-    return ChurnOutcome(
-        release_resilience=float(1.0 - release_success.mean()),
-        drop_resilience=float(1.0 - drop_success.mean()),
-        trials=trials,
+    return int(release_success.sum()), int(drop_success.sum())
+
+
+def simulate_multipath(
+    malicious_rate: float,
+    alpha: float,
+    replication: int,
+    path_length: int,
+    trials: int,
+    rng: np.random.Generator,
+    joint: bool,
+) -> ChurnOutcome:
+    """Epoch Monte Carlo for the node-disjoint / node-joint schemes."""
+    release, drop = simulate_multipath_counts(
+        malicious_rate, alpha, replication, path_length, trials, rng, joint
     )
+    return outcome_from_counts(release, drop, trials)
 
 
-def simulate_key_share(
+def simulate_key_share_counts(
     plan: SharePlan,
     alpha: float,
     trials: int,
     rng: np.random.Generator,
     malicious_rate: Optional[float] = None,
-) -> ChurnOutcome:
-    """Epoch Monte Carlo for key-share routing, mirroring Algorithm 1.
+) -> Tuple[int, int]:
+    """Attack-success counts for key-share routing (engine batch unit).
 
     The sampled model is Algorithm 1's own (see the keyshare module
     docstring and DESIGN.md §5): per column ``j`` the *cumulative*
@@ -172,8 +217,22 @@ def simulate_key_share(
     release_success = captured.any(axis=2).all(axis=1)
     drop_success = starved.all(axis=2).any(axis=1)
 
-    return ChurnOutcome(
-        release_resilience=float(1.0 - release_success.mean()),
-        drop_resilience=float(1.0 - drop_success.mean()),
-        trials=trials,
+    return int(release_success.sum()), int(drop_success.sum())
+
+
+def simulate_key_share(
+    plan: SharePlan,
+    alpha: float,
+    trials: int,
+    rng: np.random.Generator,
+    malicious_rate: Optional[float] = None,
+) -> ChurnOutcome:
+    """Epoch Monte Carlo for key-share routing, mirroring Algorithm 1.
+
+    See :func:`simulate_key_share_counts` for the sampled model; this
+    wrapper converts its attack-success counts into resiliences.
+    """
+    release, drop = simulate_key_share_counts(
+        plan, alpha, trials, rng, malicious_rate
     )
+    return outcome_from_counts(release, drop, trials)

@@ -5,6 +5,12 @@ For each (α, p) the four schemes run through the epoch churn model
 configuration the no-churn planner would have picked (the sender plans
 without knowing the churn level — exactly the failure mode §III-D fixes),
 and the key-share scheme plans with Algorithm 1, which *does* model churn.
+
+Each (scheme, α, p) point is one vectorised Monte Carlo routed through the
+:class:`~repro.experiments.engine.TrialEngine` batch mode: the default
+single-batch configuration reproduces the historical per-point generator
+bit-for-bit, while ``jobs``/``tolerance``/``batch_size`` unlock process
+parallelism and adaptive early stopping for large sweeps.
 """
 
 from __future__ import annotations
@@ -12,17 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.planner import plan_configuration
 from repro.core.schemes.keyshare import plan_share_scheme
 from repro.experiments.churn_model import (
     ChurnOutcome,
-    simulate_centralized,
-    simulate_key_share,
-    simulate_multipath,
+    outcome_from_result,
+    simulate_centralized_counts,
+    simulate_key_share_counts,
+    simulate_multipath_counts,
 )
-from repro.util.rng import derive_seed
+from repro.experiments.engine import TrialEngine
 
 DEFAULT_ALPHAS = (1.0, 2.0, 3.0, 5.0)
 DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))
@@ -53,10 +58,6 @@ class ChurnPoint:
         return self.outcome.worst
 
 
-def _generator(seed: int, label: str) -> np.random.Generator:
-    return np.random.default_rng(derive_seed(seed, label))
-
-
 def run_churn_resilience(
     population_size: int = 10000,
     alphas: Sequence[float] = DEFAULT_ALPHAS,
@@ -64,32 +65,39 @@ def run_churn_resilience(
     trials: int = 1000,
     schemes: Sequence[str] = SCHEME_ORDER,
     seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    jobs: int = 1,
+    tolerance: Optional[float] = None,
+    batch_size: Optional[int] = None,
 ) -> List[ChurnPoint]:
     """Produce the Fig. 7 series (all α panels by default)."""
+    if engine is None:
+        engine = TrialEngine(jobs=jobs, tolerance=tolerance)
     points: List[ChurnPoint] = []
     for alpha in alphas:
         for p in p_sweep:
             for scheme in schemes:
                 label = f"fig7-{scheme}-a{alpha}-p{p}"
-                rng = _generator(seed, label)
                 planning_rate = max(p, PLANNING_FLOOR)
+                # Every loop variable a batch lambda needs is bound as a
+                # default so the callables stay correct even if a future
+                # engine runs them after the loop has moved on.
                 if scheme == "central":
-                    outcome = simulate_centralized(p, alpha, trials, rng)
                     k = length = 1
+                    batch = lambda gen, count, p=p, alpha=alpha: (
+                        simulate_centralized_counts(p, alpha, count, gen)
+                    )
                 elif scheme in ("disjoint", "joint"):
                     configuration = plan_configuration(
                         scheme, planning_rate, population_size
                     )
                     k = configuration.replication
                     length = configuration.path_length
-                    outcome = simulate_multipath(
-                        p,
-                        alpha,
-                        k,
-                        length,
-                        trials,
-                        rng,
-                        joint=(scheme == "joint"),
+                    batch = (
+                        lambda gen, count, p=p, alpha=alpha, k=k, length=length,
+                        joint=(scheme == "joint"): simulate_multipath_counts(
+                            p, alpha, k, length, count, gen, joint
+                        )
                     )
                 elif scheme == "share":
                     # Algorithm 1 plans with the churn level (T = α, λ = 1).
@@ -101,17 +109,28 @@ def run_churn_resilience(
                     )
                     k = plan.replication
                     length = plan.path_length
-                    outcome = simulate_key_share(
-                        plan, alpha, trials, rng, malicious_rate=p
+                    batch = (
+                        lambda gen, count, plan=plan, alpha=alpha, p=p:
+                        simulate_key_share_counts(
+                            plan, alpha, count, gen, malicious_rate=p
+                        )
                     )
                 else:
                     raise ValueError(f"unknown scheme {scheme!r}")
+                result = engine.run_batched(
+                    batch,
+                    trials=trials,
+                    seed=seed,
+                    label=label,
+                    channels=2,
+                    batch_size=batch_size,
+                )
                 points.append(
                     ChurnPoint(
                         scheme=scheme,
                         alpha=alpha,
                         malicious_rate=p,
-                        outcome=outcome,
+                        outcome=outcome_from_result(result),
                         replication=k,
                         path_length=length,
                     )

@@ -10,13 +10,15 @@ p ≈ 0.26, and even 100 nodes keep R > 0.9 to p ≈ 0.14.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
-
-import numpy as np
+from typing import List, Optional, Sequence
 
 from repro.core.schemes.keyshare import SharePlan, plan_share_scheme
-from repro.experiments.churn_model import ChurnOutcome, simulate_key_share
-from repro.util.rng import derive_seed
+from repro.experiments.churn_model import (
+    ChurnOutcome,
+    outcome_from_result,
+    simulate_key_share_counts,
+)
+from repro.experiments.engine import TrialEngine
 
 DEFAULT_BUDGETS = (100, 1000, 5000, 10000)
 DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))
@@ -49,18 +51,31 @@ def run_share_cost(
     alpha: float = DEFAULT_ALPHA,
     trials: int = 1000,
     seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    jobs: int = 1,
+    tolerance: Optional[float] = None,
+    batch_size: Optional[int] = None,
 ) -> List[CostPoint]:
-    """Produce the Fig. 8 series."""
+    """Produce the Fig. 8 series (engine-batched; single batch by default)."""
+    if engine is None:
+        engine = TrialEngine(jobs=jobs, tolerance=tolerance)
     points: List[CostPoint] = []
     for budget in budgets:
         for p in p_sweep:
             plan = plan_share_scheme(
                 p, budget, emerging_time=alpha, mean_lifetime=1.0
             )
-            rng = np.random.default_rng(
-                derive_seed(seed, f"fig8-N{budget}-p{p}")
+            result = engine.run_batched(
+                lambda gen, count, plan=plan, alpha=alpha: (
+                    simulate_key_share_counts(plan, alpha, count, gen)
+                ),
+                trials=trials,
+                seed=seed,
+                label=f"fig8-N{budget}-p{p}",
+                channels=2,
+                batch_size=batch_size,
             )
-            outcome = simulate_key_share(plan, alpha, trials, rng)
+            outcome = outcome_from_result(result)
             points.append(
                 CostPoint(
                     node_budget=budget,

@@ -1,0 +1,364 @@
+"""Batched parallel Monte-Carlo trial engine with adaptive early stopping.
+
+Every figure in the paper is an average over repeated randomised trials;
+this module is the single machinery that runs them.  A :class:`TrialEngine`
+owns an executor (see :mod:`repro.experiments.executors`), streams
+per-channel success counts out of it, and turns the totals into
+:class:`MonteCarloEstimate` values through one shared aggregation path.
+
+Three modes cover every experiment in the repository:
+
+- :meth:`TrialEngine.run` / :meth:`~TrialEngine.estimate` /
+  :meth:`~TrialEngine.estimate_pair` — scalar trials drawing from a
+  forked :class:`~repro.util.rng.RandomSource` per trial (Fig. 6);
+- :meth:`TrialEngine.run_batched` — vectorised numpy batch trials
+  (Fig. 7, Fig. 8, the availability extension);
+- :meth:`TrialEngine.map` — trials returning arbitrary values collected
+  in index order (the timeliness extension).
+
+**Determinism guarantee.**  Trial ``i``'s random stream is a pure function
+of ``(seed, label, i)`` — the historical fork-per-trial labeling scheme —
+and aggregation is exact integer counting, so serial, chunked, and
+process-pool executors produce *identical* results for the same seed, for
+any trial count and any chunking.  Adaptive early stopping preserves this:
+the stopping rule is evaluated only at fixed checkpoint boundaries
+(multiples of ``check_interval``), which are a function of engine
+configuration, never of the executor.
+
+**Adaptive early stopping.**  With ``tolerance`` set, the engine checks the
+confidence-interval half-width of every channel at each checkpoint and
+stops as soon as all of them are within tolerance — but never before
+``min_trials`` trials have run.  The stopping rule always evaluates the
+*Wilson* half-width: the normal approximation's variance floor collapses
+to ~1e-7 width at 0 or ``n`` successes, which would stop at the floor
+with a dishonestly certain interval exactly in the near-certain regime
+the resilience figures live in.  Wilson keeps honest width there, so
+"tolerance 0.02" means the estimate has genuinely been pinned to ±0.02.
+Reported estimates still carry the interval ``ci_method`` selects
+(default: the historical normal approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.experiments.executors import (
+    BatchFunction,
+    IndexedTrialFunction,
+    TrialExecutor,
+    TrialFunction,
+    TrialTask,
+    make_executor,
+)
+from repro.util.stats import sample_proportion_ci, wilson_proportion_ci
+from repro.util.validation import check_positive, check_positive_int
+
+DEFAULT_TRIALS = 1000
+DEFAULT_MIN_TRIALS = 100
+DEFAULT_CHECK_INTERVAL = 100
+DEFAULT_CHECKPOINT_BATCHES = 4
+
+_CI_METHODS = {
+    "normal": sample_proportion_ci,
+    "wilson": wilson_proportion_ci,
+}
+
+
+@dataclass(frozen=True)
+class MonteCarloEstimate:
+    """An estimated probability with its sampling interval."""
+
+    estimate: float
+    low: float
+    high: float
+    trials: int
+    successes: int
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.4f} [{self.low:.4f}, {self.high:.4f}] (n={self.trials})"
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+
+@dataclass(frozen=True)
+class PairedEstimate:
+    """Release and drop resilience estimated from the same trial stream."""
+
+    release: MonteCarloEstimate
+    drop: MonteCarloEstimate
+
+    @property
+    def worst(self) -> float:
+        return min(self.release.estimate, self.drop.estimate)
+
+
+PairedTrial = Callable[[Any], tuple]
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """The outcome of one engine run: one estimate per outcome channel."""
+
+    estimates: Tuple[MonteCarloEstimate, ...]
+    requested_trials: int
+    stopped_early: bool
+
+    @property
+    def trials(self) -> int:
+        """Trials actually run (< ``requested_trials`` iff stopped early)."""
+        return self.estimates[0].trials
+
+    @property
+    def single(self) -> MonteCarloEstimate:
+        """The estimate of a one-channel run."""
+        if len(self.estimates) != 1:
+            raise ValueError(
+                f"run has {len(self.estimates)} channels, expected 1"
+            )
+        return self.estimates[0]
+
+    @property
+    def pair(self) -> PairedEstimate:
+        """The (release, drop) pair of a two-channel run."""
+        if len(self.estimates) != 2:
+            raise ValueError(
+                f"run has {len(self.estimates)} channels, expected 2"
+            )
+        return PairedEstimate(release=self.estimates[0], drop=self.estimates[1])
+
+
+class TrialEngine:
+    """Runs Monte-Carlo trials through a pluggable executor.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.experiments.executors.TrialExecutor`; overrides
+        ``jobs`` when given.
+    jobs:
+        Worker count for the default executor — ``1`` selects the serial
+        executor, more a fork-based process pool.
+    tolerance:
+        Adaptive early stopping: stop once every channel's Wilson CI
+        half-width is at most this value.  ``None`` (default) disables
+        stopping and always runs the requested trial count.
+    min_trials:
+        Floor below which early stopping never triggers.
+    check_interval:
+        Trials between stopping-rule checkpoints in scalar-trial mode.
+        Part of the result's determinism contract: results depend on it
+        only when ``tolerance`` is set, and never on the executor.
+    checkpoint_batches:
+        Batches dispatched per stopping-rule checkpoint in batched mode;
+        also the parallelism available to a pool executor between checks.
+        Fixed configuration (never derived from the executor), so batched
+        results stay executor-independent.
+    ci_method:
+        The interval the *estimates report*: ``"normal"`` (the historical
+        interval) or ``"wilson"``.  The stopping rule itself always uses
+        Wilson, which keeps honest width at 0 or ``n`` successes.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[TrialExecutor] = None,
+        jobs: int = 1,
+        tolerance: Optional[float] = None,
+        min_trials: int = DEFAULT_MIN_TRIALS,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        checkpoint_batches: int = DEFAULT_CHECKPOINT_BATCHES,
+        ci_method: str = "normal",
+    ) -> None:
+        self.executor = executor if executor is not None else make_executor(jobs)
+        if tolerance is not None:
+            check_positive(tolerance, "tolerance")
+        self.tolerance = tolerance
+        self.min_trials = check_positive_int(min_trials, "min_trials")
+        self.check_interval = check_positive_int(check_interval, "check_interval")
+        self.checkpoint_batches = check_positive_int(
+            checkpoint_batches, "checkpoint_batches"
+        )
+        if ci_method not in _CI_METHODS:
+            raise ValueError(
+                f"ci_method must be one of {sorted(_CI_METHODS)}, got {ci_method!r}"
+            )
+        self.ci_method = ci_method
+
+    # -- aggregation (the single CI-construction path) ---------------------
+
+    def _aggregate(self, successes: int, trials: int) -> MonteCarloEstimate:
+        estimate, low, high = _CI_METHODS[self.ci_method](successes, trials)
+        return MonteCarloEstimate(
+            estimate=estimate,
+            low=low,
+            high=high,
+            trials=trials,
+            successes=successes,
+        )
+
+    def _within_tolerance(self, counts: Sequence[int], done: int) -> bool:
+        if self.tolerance is None or done < self.min_trials:
+            return False
+        # Always the Wilson half-width: the normal interval's variance
+        # floor is dishonestly tight at 0 or `done` successes.
+        for successes in counts:
+            _, low, high = wilson_proportion_ci(successes, done)
+            if (high - low) / 2.0 > self.tolerance:
+                return False
+        return True
+
+    def _result(
+        self, counts: Sequence[int], done: int, requested: int
+    ) -> EngineResult:
+        return EngineResult(
+            estimates=tuple(self._aggregate(s, done) for s in counts),
+            requested_trials=requested,
+            stopped_early=done < requested,
+        )
+
+    # -- scalar trial mode -------------------------------------------------
+
+    def run(
+        self,
+        trial: TrialFunction,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 2017,
+        label: str = "trial",
+        channels: int = 1,
+    ) -> EngineResult:
+        """Run scalar trials; returns one estimate per outcome channel."""
+        check_positive_int(trials, "trials")
+        check_positive_int(channels, "channels")
+        task = TrialTask(seed=seed, label=label, channels=channels, trial=trial)
+        counts = [0] * channels
+        done = 0
+        self.executor.start(task)
+        try:
+            while done < trials:
+                if self.tolerance is None:
+                    stop = trials
+                else:
+                    stop = min(done + self.check_interval, trials)
+                for channel, value in enumerate(
+                    self.executor.run_counts(task, done, stop)
+                ):
+                    counts[channel] += value
+                done = stop
+                if self._within_tolerance(counts, done):
+                    break
+        finally:
+            self.executor.finish()
+        return self._result(counts, done, trials)
+
+    def estimate(
+        self,
+        trial: TrialFunction,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 2017,
+        label: str = "trial",
+    ) -> MonteCarloEstimate:
+        """Estimate P[trial returns True] over independent seeded trials."""
+        return self.run(trial, trials=trials, seed=seed, label=label).single
+
+    def estimate_pair(
+        self,
+        trial: PairedTrial,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 2017,
+        label: str = "trial",
+    ) -> PairedEstimate:
+        """Run a paired trial returning ``(release_ok, drop_ok)``."""
+        return self.run(
+            trial, trials=trials, seed=seed, label=label, channels=2
+        ).pair
+
+    # -- vectorised batch mode ---------------------------------------------
+
+    def run_batched(
+        self,
+        batch: BatchFunction,
+        trials: int = DEFAULT_TRIALS,
+        seed: int = 2017,
+        label: str = "batch",
+        channels: int = 1,
+        batch_size: Optional[int] = None,
+    ) -> EngineResult:
+        """Run a vectorised batch trial over a fixed batch partition.
+
+        ``batch(generator, count)`` receives a seeded numpy generator and
+        must return per-channel success counts for ``count`` trials.  With
+        ``batch_size=None`` and no tolerance the whole run is a single
+        batch whose generator matches the pre-engine per-point generator,
+        reproducing historical results exactly; with a tolerance the
+        partition defaults to ``check_interval``-sized batches so stopping
+        has checkpoints.  Results depend on the partition but never on the
+        executor.
+        """
+        check_positive_int(trials, "trials")
+        check_positive_int(channels, "channels")
+        if batch_size is None:
+            batch_size = trials if self.tolerance is None else self.check_interval
+        check_positive_int(batch_size, "batch_size")
+        total_batches = -(-trials // batch_size)
+        task = TrialTask(
+            seed=seed,
+            label=label,
+            channels=channels,
+            batch=batch,
+            batch_size=batch_size,
+            total_trials=trials,
+        )
+        counts = [0] * channels
+        done = 0
+        next_batch = 0
+        self.executor.start(task)
+        try:
+            while next_batch < total_batches:
+                if self.tolerance is None:
+                    last = total_batches
+                else:
+                    # Dispatch a fixed-size group of batches per checkpoint:
+                    # enough for a pool to chew on in parallel, while the
+                    # stopping decision stays a function of configuration
+                    # alone (never of the executor).
+                    last = min(
+                        next_batch + self.checkpoint_batches, total_batches
+                    )
+                for channel, value in enumerate(
+                    self.executor.run_batches(task, next_batch, last)
+                ):
+                    counts[channel] += value
+                done = min(last * batch_size, trials)
+                next_batch = last
+                if self._within_tolerance(counts, done):
+                    break
+        finally:
+            self.executor.finish()
+        return self._result(counts, done, trials)
+
+    # -- collect mode ------------------------------------------------------
+
+    def map(
+        self,
+        trial: IndexedTrialFunction,
+        trials: int,
+        seed: int = 2017,
+        label: str = "trial",
+    ) -> List[Any]:
+        """Run ``trial(index, rng)`` for every index; values in index order.
+
+        No aggregation or early stopping — this is the escape hatch for
+        experiments (like the timeliness sweep) whose per-trial outcome is
+        a measurement rather than a success bit, run through the same
+        executors for parallelism.
+        """
+        check_positive_int(trials, "trials")
+        task = TrialTask(seed=seed, label=label, indexed_trial=trial)
+        self.executor.start(task)
+        try:
+            return self.executor.run_collect(task, 0, trials)
+        finally:
+            self.executor.finish()

@@ -1,0 +1,331 @@
+"""Trial executors: how a block of Monte-Carlo trials actually runs.
+
+The :class:`~repro.experiments.engine.TrialEngine` decides *which* trial
+indices to run; an executor decides *how* — in-process, in fixed-size
+chunks, or fanned out over a ``multiprocessing`` pool.  Three invariants
+make every executor interchangeable:
+
+1. **Per-trial streams are a pure function of (seed, label, index).**
+   Trial ``i`` draws from ``RandomSource(derive_seed(seed, f"{label}-{i}"))``
+   — exactly the stream the historical serial loop produced with
+   ``RandomSource(seed, label).fork(f"{label}-{i}")`` — so no executor,
+   chunk size, or worker count can perturb it.
+2. **Aggregation is exact integer counting.**  Executors return per-channel
+   success *counts* over an index range; integer addition is associative
+   and exact, so any partition of the range sums to the same totals.
+3. **Collected values keep index order.**  The collect mode returns one
+   value per trial in trial-index order regardless of which worker
+   produced it.
+
+The process-pool executor uses the ``fork`` start method and passes the
+task to workers by module-global inheritance rather than pickling, so
+trial closures (which capture scheme objects, plans, and populations) need
+not be picklable.  On platforms without ``fork`` it degrades to in-process
+execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.util.rng import RandomSource, derive_seed
+from repro.util.validation import check_positive_int
+
+#: A scalar trial: draws from its private stream, returns ``bool`` for a
+#: single-channel run or a tuple of bools for a multi-channel run.
+TrialFunction = Callable[[RandomSource], Any]
+
+#: A collect-mode trial: receives its trial index and private stream and
+#: returns an arbitrary (picklable, for the pool executor) value.
+IndexedTrialFunction = Callable[[int, RandomSource], Any]
+
+#: A vectorised batch trial: receives a seeded ``numpy.random.Generator``
+#: and a trial count, returns per-channel success counts for that batch.
+BatchFunction = Callable[[Any, int], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """A self-describing unit of Monte-Carlo work.
+
+    Exactly one of the three callables is set; the executors dispatch on
+    which.  ``seed``/``label`` root the deterministic stream tree and
+    ``channels`` sizes the success-count vector.
+    """
+
+    seed: int
+    label: str
+    channels: int = 1
+    trial: Optional[TrialFunction] = None
+    indexed_trial: Optional[IndexedTrialFunction] = None
+    batch: Optional[BatchFunction] = None
+    #: Batch mode only: trials per batch and total batches, fixed by the
+    #: engine before execution so the partition (and therefore every
+    #: batch's stream) never depends on the executor.
+    batch_size: int = 0
+    total_trials: int = 0
+
+
+def trial_source(seed: int, label: str, index: int) -> RandomSource:
+    """The private stream of trial ``index`` under ``(seed, label)``.
+
+    Equivalent to ``RandomSource(seed, label).fork(f"{label}-{index}")``
+    without materialising the parent — the historical labeling scheme the
+    serial loops used, preserved verbatim so results are bit-stable across
+    engine versions and executors.
+    """
+    child = f"{label}-{index}"
+    return RandomSource(derive_seed(seed, child), label=child)
+
+
+def batch_generator(task: TrialTask, batch_index: int):
+    """The seeded numpy generator of one batch.
+
+    A single-batch run draws from ``derive_seed(seed, label)`` — the exact
+    generator the pre-engine vectorised experiments built per point — so
+    the default configuration reproduces historical figures bit-for-bit.
+    Multi-batch runs derive one independent stream per batch index, making
+    results a function of the batch partition but never of the executor.
+    """
+    import numpy as np
+
+    if task.total_trials <= task.batch_size:
+        seed = derive_seed(task.seed, task.label)
+    else:
+        seed = derive_seed(task.seed, f"{task.label}#batch{batch_index}")
+    return np.random.default_rng(seed)
+
+
+def _outcome_counts(outcome: Any, channels: int) -> Tuple[int, ...]:
+    """Normalise one trial outcome into a 0/1 vector of length ``channels``."""
+    if isinstance(outcome, tuple):
+        values = outcome
+    else:
+        values = (outcome,)
+    if len(values) != channels:
+        raise ValueError(
+            f"trial returned {len(values)} channel(s), expected {channels}"
+        )
+    return tuple(1 if bool(value) else 0 for value in values)
+
+
+def run_count_range(task: TrialTask, start: int, stop: int) -> List[int]:
+    """Run trials ``[start, stop)`` and return per-channel success counts."""
+    counts = [0] * task.channels
+    for index in range(start, stop):
+        outcome = task.trial(trial_source(task.seed, task.label, index))
+        for channel, value in enumerate(_outcome_counts(outcome, task.channels)):
+            counts[channel] += value
+    return counts
+
+
+def run_collect_range(task: TrialTask, start: int, stop: int) -> List[Any]:
+    """Run collect-mode trials ``[start, stop)``, values in index order."""
+    return [
+        task.indexed_trial(index, trial_source(task.seed, task.label, index))
+        for index in range(start, stop)
+    ]
+
+
+def run_batch_range(task: TrialTask, first: int, last: int) -> List[int]:
+    """Run vectorised batches ``[first, last)``, returning summed counts."""
+    counts = [0] * task.channels
+    for batch_index in range(first, last):
+        start = batch_index * task.batch_size
+        size = min(task.batch_size, task.total_trials - start)
+        batch_counts = task.batch(batch_generator(task, batch_index), size)
+        if len(batch_counts) != task.channels:
+            raise ValueError(
+                f"batch returned {len(batch_counts)} channel(s), "
+                f"expected {task.channels}"
+            )
+        for channel, value in enumerate(batch_counts):
+            counts[channel] += int(value)
+    return counts
+
+
+class TrialExecutor:
+    """Interface: run blocks of a task, preserving the engine invariants."""
+
+    def start(self, task: TrialTask) -> None:  # pragma: no cover - trivial
+        """Prepare to run blocks of ``task`` (pool setup, etc.)."""
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        raise NotImplementedError
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        raise NotImplementedError
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        raise NotImplementedError
+
+    def finish(self) -> None:  # pragma: no cover - trivial
+        """Release resources acquired by :meth:`start`."""
+
+
+class SerialExecutor(TrialExecutor):
+    """The reference executor: one in-process loop, no chunking."""
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        return run_count_range(task, start, stop)
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        return run_collect_range(task, start, stop)
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        return run_batch_range(task, first, last)
+
+
+def _split_spans(start: int, stop: int, span: int) -> List[Tuple[int, int]]:
+    """Partition ``[start, stop)`` into consecutive spans of ``span``."""
+    return [
+        (low, min(low + span, stop)) for low in range(start, stop, span)
+    ]
+
+
+@dataclass
+class ChunkedExecutor(TrialExecutor):
+    """In-process executor that works in fixed-size chunks.
+
+    Functionally a stress test of invariant (2): any ``chunk_size``
+    produces counts identical to :class:`SerialExecutor`, including trial
+    counts that do not divide evenly.  It is also the building block the
+    pool executor shares its arithmetic with.
+    """
+
+    chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.chunk_size, "chunk_size")
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        counts = [0] * task.channels
+        for low, high in _split_spans(start, stop, self.chunk_size):
+            for channel, value in enumerate(run_count_range(task, low, high)):
+                counts[channel] += value
+        return counts
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        values: List[Any] = []
+        for low, high in _split_spans(start, stop, self.chunk_size):
+            values.extend(run_collect_range(task, low, high))
+        return values
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        counts = [0] * task.channels
+        for low, high in _split_spans(first, last, self.chunk_size):
+            for channel, value in enumerate(run_batch_range(task, low, high)):
+                counts[channel] += value
+        return counts
+
+
+# -- process pool ------------------------------------------------------------
+
+# The active task travels to fork()ed workers through this module global:
+# the parent assigns it immediately before creating the pool, every child
+# inherits the parent's memory image, and nothing is pickled — which is
+# what lets trial closures capture arbitrary objects.
+_ACTIVE_TASK: Optional[TrialTask] = None
+
+
+def _pool_counts(span: Tuple[int, int]) -> List[int]:
+    return run_count_range(_ACTIVE_TASK, span[0], span[1])
+
+
+def _pool_collect(span: Tuple[int, int]) -> List[Any]:
+    return run_collect_range(_ACTIVE_TASK, span[0], span[1])
+
+
+def _pool_batches(span: Tuple[int, int]) -> List[int]:
+    return run_batch_range(_ACTIVE_TASK, span[0], span[1])
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method (and thus the pool) is usable."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+@dataclass
+class ProcessPoolExecutor(TrialExecutor):
+    """Fan trials out over a ``fork``-based ``multiprocessing.Pool``.
+
+    The pool is created in :meth:`start` — *after* the task is published to
+    :data:`_ACTIVE_TASK` — so workers inherit the task through fork.  Each
+    block is split into ``chunk_size`` spans (default: balanced across
+    workers) whose counts the parent sums; by invariant (2) the totals are
+    identical to the serial executor's for any worker count.
+    """
+
+    jobs: int = 2
+    chunk_size: Optional[int] = None
+    # None doubles as the serial-fallback signal on platforms without fork.
+    _pool: Any = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.jobs, "jobs")
+        if self.chunk_size is not None:
+            check_positive_int(self.chunk_size, "chunk_size")
+
+    def start(self, task: TrialTask) -> None:
+        global _ACTIVE_TASK
+        if not fork_available():  # pragma: no cover - non-POSIX platforms
+            return
+        _ACTIVE_TASK = task
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(processes=self.jobs)
+
+    def finish(self) -> None:
+        global _ACTIVE_TASK
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        _ACTIVE_TASK = None
+
+    def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        if self.chunk_size is not None:
+            span = self.chunk_size
+        else:
+            span = max(1, -(-(stop - start) // self.jobs))
+        return _split_spans(start, stop, span)
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        if self._pool is None:  # pragma: no cover - non-POSIX platforms
+            return run_count_range(task, start, stop)
+        counts = [0] * task.channels
+        for chunk in self._pool.map(_pool_counts, self._spans(start, stop)):
+            for channel, value in enumerate(chunk):
+                counts[channel] += value
+        return counts
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        if self._pool is None:  # pragma: no cover - non-POSIX platforms
+            return run_collect_range(task, start, stop)
+        values: List[Any] = []
+        for chunk in self._pool.map(_pool_collect, self._spans(start, stop)):
+            values.extend(chunk)
+        return values
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        if self._pool is None:  # pragma: no cover - non-POSIX platforms
+            return run_batch_range(task, first, last)
+        counts = [0] * task.channels
+        spans = _split_spans(first, last, 1)
+        for chunk in self._pool.map(_pool_batches, spans):
+            for channel, value in enumerate(chunk):
+                counts[channel] += value
+        return counts
+
+
+def make_executor(jobs: int = 1) -> TrialExecutor:
+    """The default executor for a worker count: serial for 1, pool above."""
+    check_positive_int(jobs, "jobs")
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(jobs=jobs)

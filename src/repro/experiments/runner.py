@@ -1,41 +1,38 @@
-"""Seeded Monte-Carlo estimation machinery.
+"""Seeded Monte-Carlo estimation: backward-compatible wrappers.
 
-The paper runs every experiment 1,000 times and averages; this module is
-the equivalent loop with explicit seeds (fork-per-trial so trial counts can
-change without reshuffling other components) and normal-approximation
-confidence intervals so reports can show sampling noise.
+The paper runs every experiment 1,000 times and averages; historically this
+module held the serial loops doing that.  The loops now live in the
+:class:`~repro.experiments.engine.TrialEngine` subsystem (pluggable
+executors, streaming aggregation, adaptive early stopping); this module
+keeps the original two-function API as thin wrappers over a default engine
+so existing callers and tests are untouched.  The per-trial streams are
+identical: trial ``i`` still draws from ``root.fork(f"{label}-{i}")``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.experiments.engine import (
+    DEFAULT_TRIALS,
+    MonteCarloEstimate,
+    PairedEstimate,
+    TrialEngine,
+)
 from repro.util.rng import RandomSource
-from repro.util.stats import sample_proportion_ci
-from repro.util.validation import check_positive_int
 
-DEFAULT_TRIALS = 1000
+__all__ = [
+    "DEFAULT_TRIALS",
+    "MonteCarloEstimate",
+    "PairedEstimate",
+    "TrialFunction",
+    "PairedTrial",
+    "estimate_probability",
+    "estimate_resilience_pair",
+]
 
 TrialFunction = Callable[[RandomSource], bool]
-
-
-@dataclass(frozen=True)
-class MonteCarloEstimate:
-    """An estimated probability with its sampling interval."""
-
-    estimate: float
-    low: float
-    high: float
-    trials: int
-    successes: int
-
-    def __str__(self) -> str:
-        return f"{self.estimate:.4f} [{self.low:.4f}, {self.high:.4f}] (n={self.trials})"
-
-    @property
-    def half_width(self) -> float:
-        return (self.high - self.low) / 2.0
+PairedTrial = Callable[[RandomSource], tuple]
 
 
 def estimate_probability(
@@ -43,33 +40,12 @@ def estimate_probability(
     trials: int = DEFAULT_TRIALS,
     seed: int = 2017,
     label: str = "trial",
+    engine: Optional[TrialEngine] = None,
 ) -> MonteCarloEstimate:
     """Estimate P[trial returns True] over independent seeded trials."""
-    check_positive_int(trials, "trials")
-    root = RandomSource(seed, label=label)
-    successes = 0
-    for index in range(trials):
-        if trial(root.fork(f"{label}-{index}")):
-            successes += 1
-    estimate, low, high = sample_proportion_ci(successes, trials)
-    return MonteCarloEstimate(
-        estimate=estimate, low=low, high=high, trials=trials, successes=successes
-    )
-
-
-@dataclass(frozen=True)
-class PairedEstimate:
-    """Release and drop resilience estimated from the same trial stream."""
-
-    release: MonteCarloEstimate
-    drop: MonteCarloEstimate
-
-    @property
-    def worst(self) -> float:
-        return min(self.release.estimate, self.drop.estimate)
-
-
-PairedTrial = Callable[[RandomSource], tuple]
+    if engine is None:
+        engine = TrialEngine()
+    return engine.estimate(trial, trials=trials, seed=seed, label=label)
 
 
 def estimate_resilience_pair(
@@ -77,24 +53,9 @@ def estimate_resilience_pair(
     trials: int = DEFAULT_TRIALS,
     seed: int = 2017,
     label: str = "trial",
+    engine: Optional[TrialEngine] = None,
 ) -> PairedEstimate:
     """Run a paired trial returning ``(release_resisted, drop_resisted)``."""
-    check_positive_int(trials, "trials")
-    root = RandomSource(seed, label=label)
-    release_successes = 0
-    drop_successes = 0
-    for index in range(trials):
-        release_ok, drop_ok = trial(root.fork(f"{label}-{index}"))
-        release_successes += bool(release_ok)
-        drop_successes += bool(drop_ok)
-    release = MonteCarloEstimate(
-        *sample_proportion_ci(release_successes, trials),
-        trials=trials,
-        successes=release_successes,
-    )
-    drop = MonteCarloEstimate(
-        *sample_proportion_ci(drop_successes, trials),
-        trials=trials,
-        successes=drop_successes,
-    )
-    return PairedEstimate(release=release, drop=drop)
+    if engine is None:
+        engine = TrialEngine()
+    return engine.estimate_pair(trial, trials=trials, seed=seed, label=label)

@@ -19,6 +19,7 @@ from repro.core.receiver import DataReceiver
 from repro.core.sender import DataSender
 from repro.core.timeline import ReleaseTimeline
 from repro.dht.bootstrap import build_network
+from repro.experiments.engine import TrialEngine
 from repro.sim.latency import UniformLatency
 from repro.util.rng import RandomSource
 
@@ -91,17 +92,31 @@ def measure_timeliness(
     runs: int = 10,
     path_length: int = 3,
     seed: int = 31337,
+    engine: Optional[TrialEngine] = None,
+    jobs: int = 1,
 ) -> List[TimelinessResult]:
-    """Lateness sweep over schemes and latency regimes."""
+    """Lateness sweep over schemes and latency regimes.
+
+    Each end-to-end run is one collect-mode engine trial, so the sweep can
+    fan out over processes (``jobs``); the per-run seeds are a function of
+    the run index alone, keeping results identical for any executor.
+    """
+    if engine is None:
+        engine = TrialEngine(jobs=jobs)
     results: List[TimelinessResult] = []
     for scheme in schemes:
         for max_latency in max_latencies:
+            raw = engine.map(
+                lambda index, rng, scheme=scheme, max_latency=max_latency,
+                seed=seed, path_length=path_length:
+                _run_one(scheme, max_latency, seed + index * 13, path_length),
+                trials=runs,
+                seed=seed,
+                label=f"timeliness-{scheme}-{max_latency}",
+            )
             latenesses: List[float] = []
             early = 0
-            for index in range(runs):
-                lateness = _run_one(
-                    scheme, max_latency, seed + index * 13, path_length
-                )
+            for lateness in raw:
                 if lateness is None:
                     continue
                 if lateness < 0:

@@ -75,3 +75,34 @@ def sample_proportion_ci(
     estimate = successes / trials
     spread = z_score * math.sqrt(max(estimate * (1.0 - estimate), 1e-12) / trials)
     return estimate, max(0.0, estimate - spread), min(1.0, estimate + spread)
+
+
+def wilson_proportion_ci(
+    successes: int, trials: int, z_score: float = 1.96
+) -> Tuple[float, float, float]:
+    """Wilson score interval for a proportion: ``(estimate, low, high)``.
+
+    Unlike the normal approximation, the Wilson interval keeps honest
+    (non-degenerate) width at 0 or ``trials`` successes, which matters for
+    the trial engine's adaptive early stopping on near-certain events.
+    The returned estimate is still the raw sample proportion.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be within [0, {trials}], got {successes}"
+        )
+    estimate = successes / trials
+    z_squared = z_score * z_score
+    denominator = 1.0 + z_squared / trials
+    center = (estimate + z_squared / (2.0 * trials)) / denominator
+    spread = (
+        z_score
+        * math.sqrt(
+            estimate * (1.0 - estimate) / trials
+            + z_squared / (4.0 * trials * trials)
+        )
+        / denominator
+    )
+    return estimate, max(0.0, center - spread), min(1.0, center + spread)
