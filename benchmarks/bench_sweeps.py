@@ -1,0 +1,75 @@
+"""Scenario sweeps through the orchestrator + content-addressed store.
+
+Times the orchestration layer itself: a cold sweep (every point computed
+through one shared executor), then the warm re-run (every point served
+from the store — the "zero new trials" contract), printing the regenerated
+table both ways.  Honours the usual knobs: ``REPRO_BENCH_TRIALS``,
+``REPRO_BENCH_JOBS``, ``REPRO_BENCH_TOLERANCE``.
+"""
+
+import tempfile
+
+import pytest
+from conftest import bench_jobs, bench_tolerance, bench_trials, run_once
+
+from repro.experiments.reporting import format_sweep_table
+from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
+
+
+def _sweep(name: str, tmp: str, trials: int):
+    orchestrator = SweepOrchestrator(
+        store=ResultStore(tmp), jobs=bench_jobs(), tolerance=bench_tolerance()
+    )
+    return orchestrator.run(get_scenario(name), trials=trials)
+
+
+def test_sweep_scheme_matrix_cold(benchmark):
+    trials = bench_trials(100)
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_once(benchmark, _sweep, "scheme-matrix-n1000", tmp, trials)
+    assert report.computed == report.points
+    assert report.cached == 0
+    print()
+    print(
+        format_sweep_table(
+            "scheme-matrix-n1000 (cold sweep)",
+            report.spec.axis_names,
+            list(report.records),
+        )
+    )
+
+
+def test_sweep_smoke_warm_is_free(benchmark):
+    """A completed sweep re-runs entirely from the store: zero new trials."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = _sweep("smoke", tmp, bench_trials(40))
+        assert cold.computed == cold.points
+        warm = run_once(benchmark, _sweep, "smoke", tmp, bench_trials(40))
+    assert warm.computed == 0
+    assert warm.cached == warm.points
+    assert warm.trials_run == 0
+    assert warm.results() == cold.results()
+
+
+def test_sweep_sensitivity_grid_cold(benchmark):
+    trials = bench_trials(100)
+    with tempfile.TemporaryDirectory() as tmp:
+        report = run_once(benchmark, _sweep, "sensitivity-grid", tmp, trials)
+    assert report.computed == report.points
+    print()
+    print(
+        format_sweep_table(
+            "sensitivity-grid: worst-case resilience at p=0.2 "
+            "(k x l grid per scheme)",
+            report.spec.axis_names,
+            list(report.records),
+        )
+    )
+    # The Monte Carlo tracks the closed form across the whole grid.
+    for result in report.results():
+        assert result["measured"]["release"]["estimate"] == pytest.approx(
+            result["analytic_release"], abs=0.15
+        )
+        assert result["measured"]["drop"]["estimate"] == pytest.approx(
+            result["analytic_drop"], abs=0.15
+        )

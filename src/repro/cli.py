@@ -5,6 +5,10 @@ Installed as the ``repro`` console script::
     repro plan --scheme joint -p 0.25 --budget 10000
     repro plan --scheme joint -p 0.25 --budget 500 --frontier
     repro figures --figure 7 --trials 400
+    repro scenarios list
+    repro scenarios show fig7
+    repro sweep run fig7 --jobs 4 --store .repro-store
+    repro sweep resume fig7 --jobs 4 --store .repro-store
     repro cost -k 5 -l 8 -n 10
     repro demo
 
@@ -72,6 +76,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="adaptive early stopping: stop a point once its CI "
         "half-width is at most this value (default: run all trials)",
     )
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="inspect the declarative scenario registry"
+    )
+    scenarios_actions = scenarios.add_subparsers(dest="action", required=True)
+    scenarios_list = scenarios_actions.add_parser(
+        "list", help="list every registered scenario"
+    )
+    scenarios_list.add_argument(
+        "--kind", default=None, help="only scenarios of this kind"
+    )
+    scenarios_show = scenarios_actions.add_parser(
+        "show", help="print one scenario spec (human-readable or --json)"
+    )
+    scenarios_show.add_argument("name", help="registered scenario name")
+    scenarios_show.add_argument(
+        "--json",
+        action="store_true",
+        help="print the spec as JSON (the serialized, round-trippable form)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run a registered scenario through the sweep orchestrator",
+    )
+    sweep_actions = sweep.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        (
+            "run",
+            "run a scenario; points already in the result store are skipped",
+        ),
+        (
+            "resume",
+            "continue an interrupted sweep (finished points load from the store)",
+        ),
+    ):
+        action_parser = sweep_actions.add_parser(action, help=help_text)
+        action_parser.add_argument("name", help="registered scenario name")
+        action_parser.add_argument(
+            "--store",
+            default=".repro-store",
+            help="result-store directory; one JSON file per point, named by "
+            "the content hash of (kind, params, trials, seed, tolerance, "
+            "engine settings) — worker count never affects results, so it "
+            "is not part of the key (default: %(default)s)",
+        )
+        action_parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes; the whole sweep shares ONE process pool "
+            "(1 = serial; results are identical for any value)",
+        )
+        action_parser.add_argument(
+            "--trials",
+            type=int,
+            default=None,
+            help="override the spec's per-point trial budget",
+        )
+        action_parser.add_argument(
+            "--tolerance",
+            type=float,
+            default=None,
+            help="adaptive early stopping base tolerance; the scenario's "
+            "schedule may tighten it per point (e.g. near curve knees)",
+        )
+        if action == "run":
+            action_parser.add_argument(
+                "--force",
+                action="store_true",
+                help="recompute every point, overwriting cached results",
+            )
 
     cost = subparsers.add_parser(
         "cost", help="communication/storage cost per scheme"
@@ -213,6 +289,111 @@ def _command_figures(args) -> int:
     raise AssertionError("unreachable")
 
 
+def _command_scenarios(args) -> int:
+    from repro.scenarios import builtin_scenarios, get_scenario
+
+    if args.action == "list":
+        scenarios = builtin_scenarios()
+        names = sorted(
+            name
+            for name, spec in scenarios.items()
+            if args.kind is None or spec.kind == args.kind
+        )
+        if not names:
+            print(f"no scenarios of kind {args.kind!r}")
+            return 1
+        width = max(len(name) for name in names)
+        for name in names:
+            spec = scenarios[name]
+            print(
+                f"{name.ljust(width)}  {spec.kind:<18} "
+                f"{spec.point_count:4d} points  {spec.description}"
+            )
+        return 0
+
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as error:
+        print(error)
+        return 1
+    if args.json:
+        print(spec.to_json(indent=2))
+        return 0
+    print(f"{spec.name}: {spec.description}")
+    print(f"  kind: {spec.kind}")
+    print(f"  fixed: {spec.fixed}")
+    for axis in spec.axes:
+        print(f"  axis {axis.name}: {list(axis.values)}")
+    print(
+        f"  grid: {spec.point_count} points x {spec.trials} trials "
+        f"(seed {spec.seed})"
+    )
+    if spec.tolerance is not None:
+        print(f"  tolerance: {spec.tolerance}")
+    if spec.schedule is not None:
+        for rule in spec.schedule.rules:
+            print(
+                f"  tolerance rule: x{rule.scale:g} when "
+                f"{rule.low:g} <= {rule.axis} <= {rule.high:g}"
+            )
+    return 0
+
+
+def _command_sweep(args) -> int:
+    from repro.experiments.reporting import format_sweep_table
+    from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
+
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as error:
+        print(error)
+        return 1
+    store = ResultStore(args.store)
+    already = store.count(spec.name)
+    if args.action == "resume" and already == 0:
+        print(
+            f"nothing to resume: no cached points for {spec.name!r} in "
+            f"{args.store} (starting fresh)"
+        )
+    orchestrator = SweepOrchestrator(
+        store=store, jobs=args.jobs, tolerance=args.tolerance
+    )
+    total = spec.point_count
+
+    def progress(point, record, from_cache):
+        status = "cached" if from_cache else "computed"
+        trials_run = record["result"].get("trials_run", 0)
+        detail = "" if from_cache else f" ({trials_run} trials)"
+        print(
+            f"  [{point.index + 1}/{total}] {record['point'] or spec.fixed} "
+            f"{status}{detail}"
+        )
+
+    report = orchestrator.run(
+        spec,
+        trials=args.trials,
+        force=getattr(args, "force", False),
+        progress=progress,
+    )
+    print(
+        f"{spec.name}: {report.points} points — {report.computed} computed, "
+        f"{report.cached} cached, {report.trials_run} new trials; "
+        f"store: {args.store}"
+    )
+    if spec.axes:
+        print()
+        print(
+            format_sweep_table(
+                f"{spec.name}: {spec.description}",
+                spec.axis_names,
+                list(report.records),
+                value_key=spec.value_key,
+                value_format="{:.0f}" if spec.value_key == "cost" else "{:.4f}",
+            )
+        )
+    return 0
+
+
 def _command_cost(args) -> int:
     from repro.core.sizing import centralized_cost, key_share_cost, multipath_cost
 
@@ -253,6 +434,8 @@ def _command_demo(args) -> int:
 _COMMANDS = {
     "plan": _command_plan,
     "figures": _command_figures,
+    "scenarios": _command_scenarios,
+    "sweep": _command_sweep,
     "cost": _command_cost,
     "demo": _command_demo,
 }

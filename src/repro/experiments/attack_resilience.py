@@ -71,6 +71,31 @@ def _scheme_for(configuration: PlannedConfiguration) -> Scheme:
     raise ValueError(f"unknown scheme {configuration.scheme!r}")
 
 
+class AttackTrial:
+    """One finite-population attack trial, as a picklable callable.
+
+    Mark exactly ``N * p`` of ``N`` node ids malicious, sample the holder
+    structure, evaluate both attacks.  A module-level class (rather than a
+    closure) so a shared sweep pool can ship the task to workers by pickle.
+    """
+
+    def __init__(
+        self, scheme: Scheme, malicious_rate: float, population_size: int
+    ) -> None:
+        self.scheme = scheme
+        self.malicious_rate = malicious_rate
+        self.population_ids = list(range(population_size))
+
+    def __call__(self, rng: RandomSource):
+        sybil = SybilPopulation(self.malicious_rate, rng.fork("sybil"))
+        sybil.mark_population(self.population_ids)
+        structure = self.scheme.sample_structure(
+            self.population_ids, rng.fork("structure")
+        )
+        outcome = self.scheme.evaluate_attacks(structure, sybil)
+        return outcome.release_resisted, outcome.drop_resisted
+
+
 def _measure(
     scheme: Scheme,
     malicious_rate: float,
@@ -80,17 +105,49 @@ def _measure(
     engine: TrialEngine,
 ) -> PairedEstimate:
     """Finite-population Monte Carlo for one configuration."""
-    population_ids = list(range(population_size))
-
-    def trial(rng: RandomSource):
-        sybil = SybilPopulation(malicious_rate, rng.fork("sybil"))
-        sybil.mark_population(population_ids)
-        structure = scheme.sample_structure(population_ids, rng.fork("structure"))
-        outcome = scheme.evaluate_attacks(structure, sybil)
-        return outcome.release_resisted, outcome.drop_resisted
-
     return engine.estimate_pair(
-        trial, trials=trials, seed=seed, label=f"fig6-{scheme.name}-{malicious_rate}"
+        AttackTrial(scheme, malicious_rate, population_size),
+        trials=trials,
+        seed=seed,
+        label=f"fig6-{scheme.name}-{malicious_rate}",
+    )
+
+
+def attack_resilience_point(
+    scheme_name: str,
+    malicious_rate: float,
+    population_size: int = 10000,
+    trials: int = 400,
+    target: float = DEFAULT_TARGET,
+    measure: bool = True,
+    seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+) -> AttackResiliencePoint:
+    """One (scheme, p) point of Fig. 6 — the sweepable unit.
+
+    Plans the configuration, evaluates the closed-form curve, and (when
+    ``measure`` and the plan fits the population) verifies it by Monte
+    Carlo.  ``run_attack_resilience`` and the registered scenarios both
+    call this, so the two paths produce identical numbers for a seed.
+    """
+    if engine is None:
+        engine = TrialEngine()
+    configuration = plan_configuration(
+        scheme_name, malicious_rate, population_size, target=target
+    )
+    scheme = _scheme_for(configuration)
+    measured = None
+    if measure and configuration.cost <= population_size:
+        measured = _measure(
+            scheme, malicious_rate, population_size, trials, seed=seed, engine=engine
+        )
+    return AttackResiliencePoint(
+        scheme=scheme_name,
+        malicious_rate=malicious_rate,
+        configuration=configuration,
+        analytic_release=configuration.release_resilience,
+        analytic_drop=configuration.drop_resilience,
+        measured=measured,
     )
 
 
@@ -115,29 +172,20 @@ def run_attack_resilience(
     """
     if engine is None:
         engine = TrialEngine(jobs=jobs, tolerance=tolerance)
-    points: List[AttackResiliencePoint] = []
-    for scheme_name in SCHEME_ORDER:
-        for p in p_sweep:
-            configuration = plan_configuration(
-                scheme_name, p, population_size, target=target
-            )
-            scheme = _scheme_for(configuration)
-            measured = None
-            if measure and configuration.cost <= population_size:
-                measured = _measure(
-                    scheme, p, population_size, trials, seed=seed, engine=engine
-                )
-            points.append(
-                AttackResiliencePoint(
-                    scheme=scheme_name,
-                    malicious_rate=p,
-                    configuration=configuration,
-                    analytic_release=configuration.release_resilience,
-                    analytic_drop=configuration.drop_resilience,
-                    measured=measured,
-                )
-            )
-    return points
+    return [
+        attack_resilience_point(
+            scheme_name,
+            p,
+            population_size=population_size,
+            trials=trials,
+            target=target,
+            measure=measure,
+            seed=seed,
+            engine=engine,
+        )
+        for scheme_name in SCHEME_ORDER
+        for p in p_sweep
+    ]
 
 
 def series_by_scheme(

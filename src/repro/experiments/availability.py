@@ -151,6 +151,95 @@ def simulate_key_share_availability(
     return outcome_from_counts(release, drop, trials)
 
 
+# Batch callables as module-level frozen dataclasses so a shared sweep pool
+# can ship them to workers by pickle (see churn_resilience for the pattern).
+
+
+@dataclass(frozen=True)
+class MultipathAvailabilityBatch:
+    """Engine batch unit for the disjoint/joint availability sweep."""
+
+    malicious_rate: float
+    uptime: float
+    replication: int
+    path_length: int
+    joint: bool
+
+    def __call__(self, generator, count):
+        return simulate_multipath_availability_counts(
+            self.malicious_rate,
+            self.uptime,
+            self.replication,
+            self.path_length,
+            count,
+            generator,
+            self.joint,
+        )
+
+
+@dataclass(frozen=True)
+class KeyShareAvailabilityBatch:
+    """Engine batch unit for the key-share availability sweep."""
+
+    plan: SharePlan
+    uptime: float
+    malicious_rate: float
+
+    def __call__(self, generator, count):
+        return simulate_key_share_availability_counts(
+            self.plan, self.uptime, count, generator, malicious_rate=self.malicious_rate
+        )
+
+
+def availability_point(
+    scheme: str,
+    uptime: float,
+    malicious_rate: float,
+    population_size: int = 10000,
+    trials: int = 1000,
+    seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    batch_size: Optional[int] = None,
+) -> AvailabilityPoint:
+    """One (scheme, uptime, p) point of the sweep — the sweepable unit.
+
+    ``run_availability_sweep`` and the registered scenario both call this,
+    so the two paths produce identical numbers for a seed.
+    """
+    if engine is None:
+        engine = TrialEngine()
+    p = malicious_rate
+    planning_rate = max(p, 0.05)
+    if scheme in ("disjoint", "joint"):
+        configuration = plan_configuration(scheme, planning_rate, population_size)
+        batch = MultipathAvailabilityBatch(
+            p,
+            uptime,
+            configuration.replication,
+            configuration.path_length,
+            joint=(scheme == "joint"),
+        )
+    elif scheme == "share":
+        plan = plan_share_scheme(planning_rate, population_size, 1.0, 1.0)
+        batch = KeyShareAvailabilityBatch(plan, uptime, p)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    result = engine.run_batched(
+        batch,
+        trials=trials,
+        seed=seed,
+        label=f"avail-{scheme}-{uptime}-{p}",
+        channels=2,
+        batch_size=batch_size,
+    )
+    return AvailabilityPoint(
+        scheme=scheme,
+        uptime=uptime,
+        malicious_rate=p,
+        outcome=outcome_from_result(result),
+    )
+
+
 def run_availability_sweep(
     population_size: int = 10000,
     uptimes: Sequence[float] = DEFAULT_UPTIMES,
@@ -166,55 +255,18 @@ def run_availability_sweep(
     """The extension sweep: resilience vs p per uptime level."""
     if engine is None:
         engine = TrialEngine(jobs=jobs, tolerance=tolerance)
-    points: List[AvailabilityPoint] = []
-    for uptime in uptimes:
-        for p in p_sweep:
-            planning_rate = max(p, 0.05)
-            for scheme in schemes:
-                if scheme in ("disjoint", "joint"):
-                    configuration = plan_configuration(
-                        scheme, planning_rate, population_size
-                    )
-                    batch = (
-                        lambda gen, count, p=p, uptime=uptime, c=configuration,
-                        joint=(scheme == "joint"):
-                        simulate_multipath_availability_counts(
-                            p,
-                            uptime,
-                            c.replication,
-                            c.path_length,
-                            count,
-                            gen,
-                            joint,
-                        )
-                    )
-                elif scheme == "share":
-                    plan = plan_share_scheme(
-                        planning_rate, population_size, 1.0, 1.0
-                    )
-                    batch = (
-                        lambda gen, count, plan=plan, uptime=uptime, p=p:
-                        simulate_key_share_availability_counts(
-                            plan, uptime, count, gen, malicious_rate=p
-                        )
-                    )
-                else:
-                    raise ValueError(f"unknown scheme {scheme!r}")
-                result = engine.run_batched(
-                    batch,
-                    trials=trials,
-                    seed=seed,
-                    label=f"avail-{scheme}-{uptime}-{p}",
-                    channels=2,
-                    batch_size=batch_size,
-                )
-                outcome = outcome_from_result(result)
-                points.append(
-                    AvailabilityPoint(
-                        scheme=scheme,
-                        uptime=uptime,
-                        malicious_rate=p,
-                        outcome=outcome,
-                    )
-                )
-    return points
+    return [
+        availability_point(
+            scheme,
+            uptime,
+            p,
+            population_size=population_size,
+            trials=trials,
+            seed=seed,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for uptime in uptimes
+        for p in p_sweep
+        for scheme in schemes
+    ]

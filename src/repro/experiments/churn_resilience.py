@@ -58,6 +58,124 @@ class ChurnPoint:
         return self.outcome.worst
 
 
+# Batch callables are module-level frozen dataclasses (not lambdas) so a
+# shared sweep pool can ship them to workers by pickle; every parameter a
+# batch needs is bound at construction time.
+
+
+@dataclass(frozen=True)
+class CentralizedChurnBatch:
+    """Engine batch unit for the centralized scheme under churn."""
+
+    malicious_rate: float
+    alpha: float
+
+    def __call__(self, generator, count):
+        return simulate_centralized_counts(
+            self.malicious_rate, self.alpha, count, generator
+        )
+
+
+@dataclass(frozen=True)
+class MultipathChurnBatch:
+    """Engine batch unit for the disjoint/joint schemes under churn."""
+
+    malicious_rate: float
+    alpha: float
+    replication: int
+    path_length: int
+    joint: bool
+
+    def __call__(self, generator, count):
+        return simulate_multipath_counts(
+            self.malicious_rate,
+            self.alpha,
+            self.replication,
+            self.path_length,
+            count,
+            generator,
+            self.joint,
+        )
+
+
+@dataclass(frozen=True)
+class KeyShareChurnBatch:
+    """Engine batch unit for key-share routing under churn.
+
+    ``malicious_rate=None`` evaluates the plan at its own assumed rate
+    (the Fig. 8 usage); a value re-evaluates the capture/starvation tails
+    at the actual rate (the Fig. 7 planning-floor usage).
+    """
+
+    plan: object
+    alpha: float
+    malicious_rate: Optional[float] = None
+
+    def __call__(self, generator, count):
+        return simulate_key_share_counts(
+            self.plan, self.alpha, count, generator, malicious_rate=self.malicious_rate
+        )
+
+
+def churn_resilience_point(
+    scheme: str,
+    alpha: float,
+    malicious_rate: float,
+    population_size: int = 10000,
+    trials: int = 1000,
+    seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    batch_size: Optional[int] = None,
+) -> ChurnPoint:
+    """One (scheme, α, p) point of Fig. 7 — the sweepable unit.
+
+    ``run_churn_resilience`` and the registered scenarios both call this,
+    so the two paths produce identical numbers for a seed.
+    """
+    if engine is None:
+        engine = TrialEngine()
+    p = malicious_rate
+    label = f"fig7-{scheme}-a{alpha}-p{p}"
+    planning_rate = max(p, PLANNING_FLOOR)
+    if scheme == "central":
+        k = length = 1
+        batch = CentralizedChurnBatch(p, alpha)
+    elif scheme in ("disjoint", "joint"):
+        configuration = plan_configuration(scheme, planning_rate, population_size)
+        k = configuration.replication
+        length = configuration.path_length
+        batch = MultipathChurnBatch(p, alpha, k, length, joint=(scheme == "joint"))
+    elif scheme == "share":
+        # Algorithm 1 plans with the churn level (T = α, λ = 1).
+        plan = plan_share_scheme(
+            planning_rate,
+            population_size,
+            emerging_time=alpha,
+            mean_lifetime=1.0,
+        )
+        k = plan.replication
+        length = plan.path_length
+        batch = KeyShareChurnBatch(plan, alpha, malicious_rate=p)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    result = engine.run_batched(
+        batch,
+        trials=trials,
+        seed=seed,
+        label=label,
+        channels=2,
+        batch_size=batch_size,
+    )
+    return ChurnPoint(
+        scheme=scheme,
+        alpha=alpha,
+        malicious_rate=p,
+        outcome=outcome_from_result(result),
+        replication=k,
+        path_length=length,
+    )
+
+
 def run_churn_resilience(
     population_size: int = 10000,
     alphas: Sequence[float] = DEFAULT_ALPHAS,
@@ -73,69 +191,21 @@ def run_churn_resilience(
     """Produce the Fig. 7 series (all α panels by default)."""
     if engine is None:
         engine = TrialEngine(jobs=jobs, tolerance=tolerance)
-    points: List[ChurnPoint] = []
-    for alpha in alphas:
-        for p in p_sweep:
-            for scheme in schemes:
-                label = f"fig7-{scheme}-a{alpha}-p{p}"
-                planning_rate = max(p, PLANNING_FLOOR)
-                # Every loop variable a batch lambda needs is bound as a
-                # default so the callables stay correct even if a future
-                # engine runs them after the loop has moved on.
-                if scheme == "central":
-                    k = length = 1
-                    batch = lambda gen, count, p=p, alpha=alpha: (
-                        simulate_centralized_counts(p, alpha, count, gen)
-                    )
-                elif scheme in ("disjoint", "joint"):
-                    configuration = plan_configuration(
-                        scheme, planning_rate, population_size
-                    )
-                    k = configuration.replication
-                    length = configuration.path_length
-                    batch = (
-                        lambda gen, count, p=p, alpha=alpha, k=k, length=length,
-                        joint=(scheme == "joint"): simulate_multipath_counts(
-                            p, alpha, k, length, count, gen, joint
-                        )
-                    )
-                elif scheme == "share":
-                    # Algorithm 1 plans with the churn level (T = α, λ = 1).
-                    plan = plan_share_scheme(
-                        planning_rate,
-                        population_size,
-                        emerging_time=alpha,
-                        mean_lifetime=1.0,
-                    )
-                    k = plan.replication
-                    length = plan.path_length
-                    batch = (
-                        lambda gen, count, plan=plan, alpha=alpha, p=p:
-                        simulate_key_share_counts(
-                            plan, alpha, count, gen, malicious_rate=p
-                        )
-                    )
-                else:
-                    raise ValueError(f"unknown scheme {scheme!r}")
-                result = engine.run_batched(
-                    batch,
-                    trials=trials,
-                    seed=seed,
-                    label=label,
-                    channels=2,
-                    batch_size=batch_size,
-                )
-                points.append(
-                    ChurnPoint(
-                        scheme=scheme,
-                        alpha=alpha,
-                        malicious_rate=p,
-                        outcome=outcome_from_result(result),
-                        replication=k,
-                        path_length=length,
-                    )
-                )
-    return points
+    return [
+        churn_resilience_point(
+            scheme,
+            alpha,
+            p,
+            population_size=population_size,
+            trials=trials,
+            seed=seed,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for alpha in alphas
+        for p in p_sweep
+        for scheme in schemes
+    ]
 
 
 def panel(points: Sequence[ChurnPoint], alpha: float) -> dict:

@@ -13,11 +13,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.schemes.keyshare import SharePlan, plan_share_scheme
-from repro.experiments.churn_model import (
-    ChurnOutcome,
-    outcome_from_result,
-    simulate_key_share_counts,
-)
+from repro.experiments.churn_model import ChurnOutcome, outcome_from_result
+from repro.experiments.churn_resilience import KeyShareChurnBatch
 from repro.experiments.engine import TrialEngine
 
 DEFAULT_BUDGETS = (100, 1000, 5000, 10000)
@@ -45,6 +42,42 @@ class CostPoint:
         return self.plan.worst_resilience
 
 
+def share_cost_point(
+    node_budget: int,
+    malicious_rate: float,
+    alpha: float = DEFAULT_ALPHA,
+    trials: int = 1000,
+    seed: int = 2017,
+    engine: Optional[TrialEngine] = None,
+    batch_size: Optional[int] = None,
+) -> CostPoint:
+    """One (N, p) point of Fig. 8 — the sweepable unit.
+
+    ``run_share_cost`` and the registered scenarios both call this, so the
+    two paths produce identical numbers for a seed.
+    """
+    if engine is None:
+        engine = TrialEngine()
+    plan = plan_share_scheme(
+        malicious_rate, node_budget, emerging_time=alpha, mean_lifetime=1.0
+    )
+    result = engine.run_batched(
+        KeyShareChurnBatch(plan, alpha),
+        trials=trials,
+        seed=seed,
+        label=f"fig8-N{node_budget}-p{malicious_rate}",
+        channels=2,
+        batch_size=batch_size,
+    )
+    return CostPoint(
+        node_budget=node_budget,
+        malicious_rate=malicious_rate,
+        alpha=alpha,
+        plan=plan,
+        outcome=outcome_from_result(result),
+    )
+
+
 def run_share_cost(
     budgets: Sequence[int] = DEFAULT_BUDGETS,
     p_sweep: Sequence[float] = DEFAULT_P_SWEEP,
@@ -59,33 +92,19 @@ def run_share_cost(
     """Produce the Fig. 8 series (engine-batched; single batch by default)."""
     if engine is None:
         engine = TrialEngine(jobs=jobs, tolerance=tolerance)
-    points: List[CostPoint] = []
-    for budget in budgets:
-        for p in p_sweep:
-            plan = plan_share_scheme(
-                p, budget, emerging_time=alpha, mean_lifetime=1.0
-            )
-            result = engine.run_batched(
-                lambda gen, count, plan=plan, alpha=alpha: (
-                    simulate_key_share_counts(plan, alpha, count, gen)
-                ),
-                trials=trials,
-                seed=seed,
-                label=f"fig8-N{budget}-p{p}",
-                channels=2,
-                batch_size=batch_size,
-            )
-            outcome = outcome_from_result(result)
-            points.append(
-                CostPoint(
-                    node_budget=budget,
-                    malicious_rate=p,
-                    alpha=alpha,
-                    plan=plan,
-                    outcome=outcome,
-                )
-            )
-    return points
+    return [
+        share_cost_point(
+            budget,
+            p,
+            alpha=alpha,
+            trials=trials,
+            seed=seed,
+            engine=engine,
+            batch_size=batch_size,
+        )
+        for budget in budgets
+        for p in p_sweep
+    ]
 
 
 def series_by_budget(points: Sequence[CostPoint]) -> dict:

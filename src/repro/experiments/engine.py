@@ -190,6 +190,12 @@ class TrialEngine:
     # -- aggregation (the single CI-construction path) ---------------------
 
     def _aggregate(self, successes: int, trials: int) -> MonteCarloEstimate:
+        if trials == 0:
+            # A zero-trial run carries no information: the vacuous
+            # full-width interval, never a division by zero.
+            return MonteCarloEstimate(
+                estimate=0.0, low=0.0, high=1.0, trials=0, successes=0
+            )
         estimate, low, high = _CI_METHODS[self.ci_method](successes, trials)
         return MonteCarloEstimate(
             estimate=estimate,
@@ -229,9 +235,16 @@ class TrialEngine:
         label: str = "trial",
         channels: int = 1,
     ) -> EngineResult:
-        """Run scalar trials; returns one estimate per outcome channel."""
-        check_positive_int(trials, "trials")
+        """Run scalar trials; returns one estimate per outcome channel.
+
+        ``trials=0`` is exact: no trials run and every channel reports the
+        vacuous zero-trial estimate (a sweep may legitimately contain
+        measurement-free points).
+        """
+        check_positive_int(trials, "trials", minimum=0)
         check_positive_int(channels, "channels")
+        if trials == 0:
+            return self._result([0] * channels, 0, 0)
         task = TrialTask(seed=seed, label=label, channels=channels, trial=trial)
         counts = [0] * channels
         done = 0
@@ -297,8 +310,10 @@ class TrialEngine:
         has checkpoints.  Results depend on the partition but never on the
         executor.
         """
-        check_positive_int(trials, "trials")
+        check_positive_int(trials, "trials", minimum=0)
         check_positive_int(channels, "channels")
+        if trials == 0:
+            return self._result([0] * channels, 0, 0)
         if batch_size is None:
             batch_size = trials if self.tolerance is None else self.check_interval
         check_positive_int(batch_size, "batch_size")
@@ -355,7 +370,9 @@ class TrialEngine:
         a measurement rather than a success bit, run through the same
         executors for parallelism.
         """
-        check_positive_int(trials, "trials")
+        check_positive_int(trials, "trials", minimum=0)
+        if trials == 0:
+            return []
         task = TrialTask(seed=seed, label=label, indexed_trial=trial)
         self.executor.start(task)
         try:

@@ -27,6 +27,7 @@ execution.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -147,7 +148,28 @@ def run_batch_range(task: TrialTask, first: int, last: int) -> List[int]:
 
 
 class TrialExecutor:
-    """Interface: run blocks of a task, preserving the engine invariants."""
+    """Interface: run blocks of a task, preserving the engine invariants.
+
+    Executors have two nested lifecycles.  :meth:`open`/:meth:`close` (or
+    the equivalent ``with executor:`` block) bracket *long-lived* resources
+    — a sweep orchestrator opens an executor once and runs every point of
+    the sweep through it.  :meth:`start`/:meth:`finish` bracket one engine
+    run (one task).  The in-process executors need neither, so both pairs
+    default to no-ops and any executor can be used as a context manager.
+    """
+
+    def open(self) -> "TrialExecutor":  # pragma: no cover - trivial
+        """Acquire long-lived resources (a worker pool); idempotent."""
+        return self
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        """Release resources acquired by :meth:`open`."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def start(self, task: TrialTask) -> None:  # pragma: no cover - trivial
         """Prepare to run blocks of ``task`` (pool setup, etc.)."""
@@ -229,6 +251,24 @@ class ChunkedExecutor(TrialExecutor):
 # what lets trial closures capture arbitrary objects.
 _ACTIVE_TASK: Optional[TrialTask] = None
 
+# Monotone count of worker pools ever constructed in this process.  The
+# sweep orchestrator's contract — one pool per sweep, however many points —
+# is asserted against deltas of this counter.
+_POOLS_CONSTRUCTED = 0
+
+
+def pools_constructed() -> int:
+    """How many process pools this module has created so far."""
+    return _POOLS_CONSTRUCTED
+
+
+def _new_pool(jobs: int):
+    global _POOLS_CONSTRUCTED
+    context = multiprocessing.get_context("fork")
+    pool = context.Pool(processes=jobs)
+    _POOLS_CONSTRUCTED += 1
+    return pool
+
 
 def _pool_counts(span: Tuple[int, int]) -> List[int]:
     return run_count_range(_ACTIVE_TASK, span[0], span[1])
@@ -277,8 +317,7 @@ class ProcessPoolExecutor(TrialExecutor):
         if not fork_available():  # pragma: no cover - non-POSIX platforms
             return
         _ACTIVE_TASK = task
-        context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(processes=self.jobs)
+        self._pool = _new_pool(self.jobs)
 
     def finish(self) -> None:
         global _ACTIVE_TASK
@@ -329,3 +368,125 @@ def make_executor(jobs: int = 1) -> TrialExecutor:
     if jobs == 1:
         return SerialExecutor()
     return ProcessPoolExecutor(jobs=jobs)
+
+
+# -- shared sweep pool --------------------------------------------------------
+
+
+def _shipped_counts(args: Tuple[bytes, int, int]) -> List[int]:
+    payload, start, stop = args
+    return run_count_range(pickle.loads(payload), start, stop)
+
+
+def _shipped_collect(args: Tuple[bytes, int, int]) -> List[Any]:
+    payload, start, stop = args
+    return run_collect_range(pickle.loads(payload), start, stop)
+
+
+def _shipped_batches(args: Tuple[bytes, int, int]) -> List[int]:
+    payload, first, last = args
+    return run_batch_range(pickle.loads(payload), first, last)
+
+
+@dataclass
+class SweepPoolExecutor(TrialExecutor):
+    """One long-lived fork pool shared by every engine run of a sweep.
+
+    :class:`ProcessPoolExecutor` forks a fresh pool per engine run so
+    workers inherit the active task through the parent's memory image; a
+    multi-hundred-point sweep pays that fork cost per point.  This executor
+    instead keeps a single pool open across runs (``open``/``close``, or a
+    ``with`` block) and ships each task to the workers *by pickling*.
+
+    Tasks whose callables cannot be pickled (ad-hoc closures) fall back to
+    exact in-process execution for that run — same counts, no parallelism —
+    which the figure drivers avoid by using module-level callable classes.
+    All engine invariants hold unchanged: counts are identical to the
+    serial executor for any worker count or span partition.
+    """
+
+    jobs: int = 2
+    chunk_size: Optional[int] = None
+    _pool: Any = field(default=None, repr=False, compare=False)
+    _payload: Optional[bytes] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.jobs, "jobs")
+        if self.chunk_size is not None:
+            check_positive_int(self.chunk_size, "chunk_size")
+
+    def open(self) -> "SweepPoolExecutor":
+        if self._pool is None and fork_available():
+            self._pool = _new_pool(self.jobs)
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._payload = None
+
+    def start(self, task: TrialTask) -> None:
+        self.open()
+        try:
+            self._payload = pickle.dumps(task)
+        except Exception:
+            # Unpicklable task: run this engine run in-process (exact, just
+            # not parallel) while the pool stays open for later tasks.
+            self._payload = None
+
+    def finish(self) -> None:
+        self._payload = None
+
+    def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        if self.chunk_size is not None:
+            span = self.chunk_size
+        else:
+            span = max(1, -(-(stop - start) // self.jobs))
+        return _split_spans(start, stop, span)
+
+    def _ship(self, spans: List[Tuple[int, int]]) -> List[Tuple[bytes, int, int]]:
+        return [(self._payload, low, high) for low, high in spans]
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        if self._pool is None or self._payload is None:
+            return run_count_range(task, start, stop)
+        counts = [0] * task.channels
+        spans = self._spans(start, stop)
+        for chunk in self._pool.map(_shipped_counts, self._ship(spans)):
+            for channel, value in enumerate(chunk):
+                counts[channel] += value
+        return counts
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        if self._pool is None or self._payload is None:
+            return run_collect_range(task, start, stop)
+        values: List[Any] = []
+        spans = self._spans(start, stop)
+        for chunk in self._pool.map(_shipped_collect, self._ship(spans)):
+            values.extend(chunk)
+        return values
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        if self._pool is None or self._payload is None:
+            return run_batch_range(task, first, last)
+        counts = [0] * task.channels
+        spans = _split_spans(first, last, 1)
+        for chunk in self._pool.map(_shipped_batches, self._ship(spans)):
+            for channel, value in enumerate(chunk):
+                counts[channel] += value
+        return counts
+
+
+def make_sweep_executor(jobs: int = 1) -> TrialExecutor:
+    """The executor a sweep orchestrator should own for a worker count.
+
+    Serial for ``jobs=1`` (the context-manager protocol is a no-op there),
+    a shared :class:`SweepPoolExecutor` above — exactly one pool for the
+    whole sweep, however many points run through it.
+    """
+    check_positive_int(jobs, "jobs")
+    if jobs == 1:
+        return SerialExecutor()
+    return SweepPoolExecutor(jobs=jobs)

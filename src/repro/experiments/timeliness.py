@@ -86,6 +86,63 @@ def _run_one(
     return arrival - timeline.release_time
 
 
+@dataclass(frozen=True)
+class TimelinessTrial:
+    """One end-to-end run as a picklable collect-mode trial callable."""
+
+    scheme: str
+    max_latency: float
+    seed: int
+    path_length: int
+
+    def __call__(self, index: int, rng) -> Optional[float]:
+        return _run_one(
+            self.scheme, self.max_latency, self.seed + index * 13, self.path_length
+        )
+
+
+def timeliness_point(
+    scheme: str,
+    max_latency: float,
+    runs: int = 10,
+    path_length: int = 3,
+    seed: int = 31337,
+    engine: Optional[TrialEngine] = None,
+) -> TimelinessResult:
+    """One (scheme, latency) point of the sweep — the sweepable unit.
+
+    Each end-to-end run is one collect-mode engine trial; the per-run
+    seeds are a function of the run index alone, keeping results identical
+    for any executor.  ``measure_timeliness`` and the registered scenario
+    both call this, so the two paths produce identical numbers for a seed.
+    """
+    if engine is None:
+        engine = TrialEngine()
+    raw = engine.map(
+        TimelinessTrial(scheme, max_latency, seed, path_length),
+        trials=runs,
+        seed=seed,
+        label=f"timeliness-{scheme}-{max_latency}",
+    )
+    latenesses: List[float] = []
+    early = 0
+    for lateness in raw:
+        if lateness is None:
+            continue
+        if lateness < 0:
+            early += 1
+        latenesses.append(lateness)
+    return TimelinessResult(
+        scheme=scheme,
+        max_latency=max_latency,
+        delivered=len(latenesses),
+        runs=runs,
+        mean_lateness=(sum(latenesses) / len(latenesses) if latenesses else 0.0),
+        worst_lateness=max(latenesses) if latenesses else 0.0,
+        early_releases=early,
+    )
+
+
 def measure_timeliness(
     schemes: Sequence[str] = ("central", "disjoint", "joint", "share"),
     max_latencies: Sequence[float] = (0.05, 0.5),
@@ -95,44 +152,18 @@ def measure_timeliness(
     engine: Optional[TrialEngine] = None,
     jobs: int = 1,
 ) -> List[TimelinessResult]:
-    """Lateness sweep over schemes and latency regimes.
-
-    Each end-to-end run is one collect-mode engine trial, so the sweep can
-    fan out over processes (``jobs``); the per-run seeds are a function of
-    the run index alone, keeping results identical for any executor.
-    """
+    """Lateness sweep over schemes and latency regimes."""
     if engine is None:
         engine = TrialEngine(jobs=jobs)
-    results: List[TimelinessResult] = []
-    for scheme in schemes:
-        for max_latency in max_latencies:
-            raw = engine.map(
-                lambda index, rng, scheme=scheme, max_latency=max_latency,
-                seed=seed, path_length=path_length:
-                _run_one(scheme, max_latency, seed + index * 13, path_length),
-                trials=runs,
-                seed=seed,
-                label=f"timeliness-{scheme}-{max_latency}",
-            )
-            latenesses: List[float] = []
-            early = 0
-            for lateness in raw:
-                if lateness is None:
-                    continue
-                if lateness < 0:
-                    early += 1
-                latenesses.append(lateness)
-            results.append(
-                TimelinessResult(
-                    scheme=scheme,
-                    max_latency=max_latency,
-                    delivered=len(latenesses),
-                    runs=runs,
-                    mean_lateness=(
-                        sum(latenesses) / len(latenesses) if latenesses else 0.0
-                    ),
-                    worst_lateness=max(latenesses) if latenesses else 0.0,
-                    early_releases=early,
-                )
-            )
-    return results
+    return [
+        timeliness_point(
+            scheme,
+            max_latency,
+            runs=runs,
+            path_length=path_length,
+            seed=seed,
+            engine=engine,
+        )
+        for scheme in schemes
+        for max_latency in max_latencies
+    ]

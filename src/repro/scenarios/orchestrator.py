@@ -1,0 +1,199 @@
+"""The sweep orchestrator: expand a spec's grid, run it, cache it, resume it.
+
+One :meth:`SweepOrchestrator.run` call owns the whole sweep:
+
+- the point grid comes from :meth:`ScenarioSpec.points` (axes cross
+  product, last axis fastest);
+- **one** executor serves every point — for ``jobs > 1`` that is a single
+  :class:`~repro.experiments.executors.SweepPoolExecutor` whose process
+  pool is constructed once per sweep and shipped tasks by pickle, not one
+  pool per point (the serial executor is the no-op fallback);
+- each point gets its *own* :class:`~repro.experiments.engine.TrialEngine`
+  (engines are cheap; the executor is the expensive part) so tolerance can
+  vary per point: a spec's :class:`~repro.scenarios.spec.ToleranceSchedule`
+  or an arbitrary ``tolerance_fn(params) -> float | None`` hook decides
+  how hard to pin each point;
+- with a :class:`~repro.scenarios.store.ResultStore`, finished points are
+  persisted under their content hash and *skipped* on re-runs — re-running
+  a completed sweep performs zero new trials, and a sweep interrupted at
+  point N resumes with N points served from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.engine import TrialEngine
+from repro.experiments.executors import TrialExecutor, make_sweep_executor
+from repro.scenarios.runners import get_runner
+from repro.scenarios.spec import ScenarioSpec, SweepPoint
+from repro.scenarios.store import ResultStore, point_cache_key
+from repro.util.validation import check_positive_int
+
+#: Per-point tolerance hook: full parameter dict -> tolerance (or None).
+ToleranceFn = Callable[[Mapping[str, Any]], Optional[float]]
+
+#: Per-point progress hook: (point, record, served_from_cache).
+ProgressFn = Callable[[SweepPoint, Dict[str, Any], bool], None]
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The outcome of one orchestrated sweep."""
+
+    spec: ScenarioSpec
+    records: Tuple[Dict[str, Any], ...]
+    computed: int
+    cached: int
+
+    @property
+    def points(self) -> int:
+        return len(self.records)
+
+    @property
+    def trials_run(self) -> int:
+        """Trials executed this run (cached points contribute zero)."""
+        return sum(
+            record["result"].get("trials_run", 0)
+            for record in self.records
+            if not record.get("from_cache")
+        )
+
+    def results(self) -> List[Dict[str, Any]]:
+        """The per-point result dicts, in grid order."""
+        return [record["result"] for record in self.records]
+
+
+class SweepOrchestrator:
+    """Runs scenario specs through one shared executor and a result store.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`ResultStore`; with one, completed points are
+        cached and re-runs/resumes skip them.
+    jobs:
+        Worker count for the sweep executor built per run (``1`` =
+        serial).  Ignored when ``executor`` is given.
+    executor:
+        A pre-built executor to own instead; its ``open``/``close``
+        lifecycle still brackets each :meth:`run`.
+    tolerance:
+        Base tolerance override; ``None`` defers to each spec's.
+    tolerance_fn:
+        Per-point hook receiving the point's full parameter dict and
+        returning its tolerance; overrides base + schedule entirely.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        executor: Optional[TrialExecutor] = None,
+        tolerance: Optional[float] = None,
+        tolerance_fn: Optional[ToleranceFn] = None,
+    ) -> None:
+        self.store = store
+        self.jobs = check_positive_int(jobs, "jobs")
+        self._executor = executor
+        self.tolerance = tolerance
+        self.tolerance_fn = tolerance_fn
+
+    def point_tolerance(
+        self, spec: ScenarioSpec, point: SweepPoint
+    ) -> Optional[float]:
+        """Resolve one point's tolerance: hook > (base override + schedule)."""
+        if self.tolerance_fn is not None:
+            return self.tolerance_fn(point.params(spec))
+        return spec.point_tolerance(point.values, base=self.tolerance)
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        trials: Optional[int] = None,
+        force: bool = False,
+        progress: Optional[ProgressFn] = None,
+    ) -> SweepReport:
+        """Run (or resume) every point of ``spec``.
+
+        ``trials`` overrides the spec's per-point budget; ``force``
+        recomputes even cached points (and overwrites their records).
+        Interrupting a run is safe at any moment: completed points are
+        already persisted, so the next ``run`` continues where it stopped.
+        """
+        runner = get_runner(spec.kind)
+        effective_trials = spec.trials if trials is None else trials
+        check_positive_int(effective_trials, "trials", minimum=0)
+        points = spec.points()
+        records: List[Dict[str, Any]] = []
+        computed = cached = 0
+        executor = self._executor if self._executor is not None else (
+            make_sweep_executor(self.jobs)
+        )
+        with executor:
+            for point in points:
+                tolerance = self.point_tolerance(spec, point)
+                key = point_cache_key(
+                    spec, point.values, trials=effective_trials, tolerance=tolerance
+                )
+                if self.store is not None and not force and self.store.has(
+                    spec.name, key
+                ):
+                    record = self.store.load(spec.name, key)
+                    record["from_cache"] = True
+                    records.append(record)
+                    cached += 1
+                    if progress is not None:
+                        progress(point, record, True)
+                    continue
+                engine = TrialEngine(
+                    executor=executor,
+                    tolerance=tolerance,
+                    min_trials=spec.engine.min_trials,
+                    check_interval=spec.engine.check_interval,
+                    checkpoint_batches=spec.engine.checkpoint_batches,
+                    ci_method=spec.engine.ci_method,
+                )
+                result = runner(
+                    point.params(spec),
+                    effective_trials,
+                    spec.seed,
+                    engine,
+                    spec.engine.batch_size,
+                )
+                record = {
+                    "key": key,
+                    "scenario": spec.name,
+                    "kind": spec.kind,
+                    "point": dict(point.values),
+                    "params": point.params(spec),
+                    "trials": effective_trials,
+                    "seed": spec.seed,
+                    "tolerance": tolerance,
+                    "result": result,
+                }
+                if self.store is not None:
+                    self.store.save(spec.name, key, record)
+                records.append(record)
+                computed += 1
+                if progress is not None:
+                    progress(point, record, False)
+        return SweepReport(
+            spec=spec, records=tuple(records), computed=computed, cached=cached
+        )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+    force: bool = False,
+) -> SweepReport:
+    """One-call convenience wrapper around :class:`SweepOrchestrator`."""
+    orchestrator = SweepOrchestrator(
+        store=store, jobs=jobs, tolerance=tolerance
+    )
+    return orchestrator.run(spec, trials=trials, force=force)

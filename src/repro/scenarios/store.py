@@ -1,0 +1,146 @@
+"""Content-addressed, resumable result store for scenario sweeps.
+
+Every sweep point is cached as one JSON file whose name is a hash of
+everything that determines the point's numbers:
+
+- the scenario *kind* and the point's full parameter set (fixed + axes),
+- the trial count and root seed,
+- the resolved per-point tolerance,
+- the result-shaping engine settings (:class:`~repro.scenarios.spec.EngineSettings`).
+
+Deliberately **excluded** from the key: the scenario's display name and
+description (renaming a scenario must not invalidate its results) and the
+worker count (the engine's determinism contract guarantees ``jobs`` never
+changes results, so serial and parallel runs share cache entries).
+
+Layout::
+
+    <root>/<scenario-name>/<key>.json     # one record per computed point
+
+The scenario directory is a browsing convenience, not part of the
+identity: lookups try the scenario's own directory first and then fall
+back to any sibling directory holding the same content key, so a renamed
+scenario — or a different scenario whose grid overlaps point-for-point —
+reuses the cached results instead of recomputing them.
+
+Records are written atomically (temp file + rename), so a sweep killed
+mid-write never leaves a truncated record behind — which is what makes
+``repro sweep resume`` safe: finished points load from the store, the
+interrupted point recomputes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.scenarios.spec import ScenarioSpec
+
+_KEY_HEX_CHARS = 32  # 128 bits of SHA-256: collision-free at any sweep scale
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace — the hashing form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def point_cache_key(
+    spec: ScenarioSpec,
+    point_values: Mapping[str, Any],
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+) -> str:
+    """The content hash of one sweep point's result.
+
+    ``trials`` defaults to the spec's; ``tolerance`` is the *resolved*
+    per-point tolerance (after any schedule), not the base.
+    """
+    payload = {
+        "kind": spec.kind,
+        "params": {**spec.fixed, **point_values},
+        "trials": spec.trials if trials is None else trials,
+        "seed": spec.seed,
+        "tolerance": tolerance,
+        "engine": spec.engine.to_dict(),
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return digest[:_KEY_HEX_CHARS]
+
+
+class ResultStore:
+    """A directory of per-point sweep results, keyed by content hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r})"
+
+    def path_for(self, scenario: str, key: str) -> Path:
+        return self.root / scenario / f"{key}.json"
+
+    def find(self, scenario: str, key: str) -> Optional[Path]:
+        """Locate a content key: the scenario's directory, then any sibling.
+
+        The fallback is what makes the store content-addressed in
+        practice: a renamed scenario (or an overlapping grid saved under
+        another name) hits the same records instead of recomputing.
+        """
+        preferred = self.path_for(scenario, key)
+        if preferred.is_file():
+            return preferred
+        if not self.root.is_dir():
+            return None
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir():
+                candidate = entry / f"{key}.json"
+                if candidate.is_file():
+                    return candidate
+        return None
+
+    def has(self, scenario: str, key: str) -> bool:
+        return self.find(scenario, key) is not None
+
+    def load(self, scenario: str, key: str) -> Dict[str, Any]:
+        path = self.find(scenario, key)
+        if path is None:
+            raise FileNotFoundError(
+                f"no cached record for key {key!r} (scenario {scenario!r}) "
+                f"under {self.root}"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save(self, scenario: str, key: str, record: Mapping[str, Any]) -> Path:
+        """Atomically persist one point record (temp file + rename)."""
+        path = self.path_for(scenario, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp, path)
+        return path
+
+    def keys(self, scenario: str) -> List[str]:
+        """The cached point keys of a scenario (sorted for determinism)."""
+        directory = self.root / scenario
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))
+
+    def count(self, scenario: str) -> int:
+        return len(self.keys(scenario))
+
+    def scenarios(self) -> List[str]:
+        """Scenario names that have at least one cached point."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and any(entry.glob("*.json"))
+        )

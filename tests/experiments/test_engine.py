@@ -233,7 +233,7 @@ class TestAdaptiveStopping:
         with pytest.raises(ValueError):
             TrialEngine(min_trials=0)
         with pytest.raises(ValueError):
-            TrialEngine().run(bernoulli_trial, trials=0)
+            TrialEngine().run(bernoulli_trial, trials=-1)
 
 
 class TestEngineResult:

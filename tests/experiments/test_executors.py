@@ -1,0 +1,242 @@
+"""Executor edge cases and the shared sweep pool.
+
+The engine's determinism contract says the executor is never observable in
+the results; these tests push the paths that contract depends on but the
+figure drivers rarely exercise: worker counts above the trial count,
+zero-trial runs, chunk sizes that do not divide the trial count, and the
+long-lived :class:`SweepPoolExecutor` (pickle-shipped tasks, in-process
+fallback for unpicklable ones, one pool across many engine runs).
+"""
+
+import pytest
+
+from repro.experiments import executors as executors_module
+from repro.experiments.engine import TrialEngine
+from repro.experiments.executors import (
+    ChunkedExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepPoolExecutor,
+    TrialTask,
+    make_executor,
+    make_sweep_executor,
+    pools_constructed,
+    run_batch_range,
+    run_collect_range,
+    run_count_range,
+)
+
+
+def bernoulli_trial(rng):
+    return rng.bernoulli(0.4)
+
+
+def paired_trial(rng):
+    return rng.bernoulli(0.8), rng.bernoulli(0.2)
+
+
+def counting_batch(generator, count):
+    return (int((generator.random(count) < 0.3).sum()),)
+
+
+class TestJobsExceedTrials:
+    """More workers than trials must still produce exact serial counts."""
+
+    @pytest.mark.parametrize("trials", [1, 2, 3])
+    def test_pool_jobs_above_trial_count(self, trials):
+        reference = TrialEngine().run(
+            bernoulli_trial, trials=trials, seed=31, label="tiny"
+        )
+        for executor in (
+            ProcessPoolExecutor(jobs=8),
+            SweepPoolExecutor(jobs=8),
+            ChunkedExecutor(chunk_size=100),
+        ):
+            result = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=trials, seed=31, label="tiny"
+            )
+            assert result == reference, executor
+
+    def test_pool_jobs_above_batch_count(self):
+        reference = TrialEngine().run_batched(
+            counting_batch, trials=150, seed=7, label="vtiny", batch_size=100
+        )
+        result = TrialEngine(executor=SweepPoolExecutor(jobs=8)).run_batched(
+            counting_batch, trials=150, seed=7, label="vtiny", batch_size=100
+        )
+        assert result == reference
+
+    def test_pool_collect_jobs_above_trial_count(self):
+        def measure(index, rng):
+            return (index, round(rng.random(), 6))
+
+        reference = TrialEngine().map(measure, trials=2, seed=3, label="c")
+        with SweepPoolExecutor(jobs=6) as executor:
+            values = TrialEngine(executor=executor).map(
+                measure, trials=2, seed=3, label="c"
+            )
+        assert values == reference
+
+
+class TestZeroTrials:
+    """Zero-trial work is exact: empty ranges, vacuous estimates."""
+
+    def test_empty_ranges_return_zero_counts(self):
+        task = TrialTask(seed=1, label="z", channels=2, trial=paired_trial)
+        assert run_count_range(task, 5, 5) == [0, 0]
+        assert run_collect_range(task, 5, 5) == []
+
+    def test_empty_batch_range(self):
+        task = TrialTask(
+            seed=1,
+            label="z",
+            channels=1,
+            batch=counting_batch,
+            batch_size=10,
+            total_trials=100,
+        )
+        assert run_batch_range(task, 3, 3) == [0]
+
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ChunkedExecutor(chunk_size=3), SweepPoolExecutor(jobs=2)],
+    )
+    def test_engine_zero_trials_scalar(self, executor):
+        result = TrialEngine(executor=executor).run(
+            bernoulli_trial, trials=0, seed=1, channels=2
+        )
+        assert result.trials == 0
+        assert not result.stopped_early
+        for estimate in result.estimates:
+            assert (estimate.successes, estimate.trials) == (0, 0)
+            assert (estimate.low, estimate.high) == (0.0, 1.0)
+
+    def test_engine_zero_trials_batched_and_map(self):
+        batched = TrialEngine().run_batched(counting_batch, trials=0, seed=1)
+        assert batched.trials == 0
+        assert TrialEngine().map(lambda i, rng: i, trials=0, seed=1) == []
+
+    def test_negative_trials_still_rejected(self):
+        with pytest.raises(ValueError):
+            TrialEngine().run(bernoulli_trial, trials=-1)
+        with pytest.raises(ValueError):
+            TrialEngine().run_batched(counting_batch, trials=-5)
+
+
+class TestIndivisibleChunks:
+    """Chunk/span sizes that do not divide the trial count stay exact."""
+
+    @pytest.mark.parametrize("trials", [1, 11, 53, 97])
+    @pytest.mark.parametrize("chunk_size", [2, 7, 10, 64])
+    def test_chunked_counts_match_serial(self, trials, chunk_size):
+        reference = TrialEngine().run(
+            bernoulli_trial, trials=trials, seed=13, label="mod"
+        )
+        result = TrialEngine(executor=ChunkedExecutor(chunk_size=chunk_size)).run(
+            bernoulli_trial, trials=trials, seed=13, label="mod"
+        )
+        assert result == reference
+
+    def test_sweep_pool_chunk_not_dividing(self):
+        reference = TrialEngine().run(
+            paired_trial, trials=101, seed=5, label="mod2", channels=2
+        )
+        with SweepPoolExecutor(jobs=3, chunk_size=7) as executor:
+            result = TrialEngine(executor=executor).run(
+                paired_trial, trials=101, seed=5, label="mod2", channels=2
+            )
+        assert result == reference
+
+    def test_batch_partition_not_dividing(self):
+        # 97 trials in batches of 10: the last batch runs 7 trials.
+        reference = TrialEngine().run_batched(
+            counting_batch, trials=97, seed=23, label="vb", batch_size=10
+        )
+        with SweepPoolExecutor(jobs=2) as executor:
+            result = TrialEngine(executor=executor).run_batched(
+                counting_batch, trials=97, seed=23, label="vb", batch_size=10
+            )
+        assert result == reference
+        assert reference.trials == 97
+
+
+class TestSweepPoolLifecycle:
+    def test_one_pool_across_many_engine_runs(self):
+        before = pools_constructed()
+        with SweepPoolExecutor(jobs=2) as executor:
+            engine = TrialEngine(executor=executor)
+            reference = [
+                TrialEngine().run(bernoulli_trial, trials=40, seed=seed)
+                for seed in (1, 2, 3)
+            ]
+            results = [
+                engine.run(bernoulli_trial, trials=40, seed=seed)
+                for seed in (1, 2, 3)
+            ]
+        assert results == reference
+        assert pools_constructed() - before == 1
+
+    def test_per_run_pool_constructs_one_pool_per_run(self):
+        # The contrast that motivates the sweep pool.
+        before = pools_constructed()
+        engine = TrialEngine(executor=ProcessPoolExecutor(jobs=2))
+        for seed in (1, 2, 3):
+            engine.run(bernoulli_trial, trials=40, seed=seed)
+        assert pools_constructed() - before == 3
+
+    def test_unpicklable_task_falls_back_in_process(self):
+        bias = 0.6
+        closure = lambda rng: rng.bernoulli(bias)  # noqa: E731 - deliberate
+        reference = TrialEngine().run(closure, trials=60, seed=9, label="cl")
+        with SweepPoolExecutor(jobs=2) as executor:
+            result = TrialEngine(executor=executor).run(
+                closure, trials=60, seed=9, label="cl"
+            )
+            # The pool survives the fallback and still serves picklable tasks.
+            after = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=60, seed=9, label="ok"
+            )
+        assert result == reference
+        assert after == TrialEngine().run(
+            bernoulli_trial, trials=60, seed=9, label="ok"
+        )
+
+    def test_close_then_reopen(self):
+        executor = SweepPoolExecutor(jobs=2)
+        with executor:
+            first = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=30, seed=4
+            )
+        with executor:
+            second = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=30, seed=4
+            )
+        assert first == second
+
+    def test_unopened_executor_runs_in_process(self):
+        # start() opens lazily, so a bare engine run works too.
+        executor = SweepPoolExecutor(jobs=2)
+        try:
+            result = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=30, seed=4
+            )
+        finally:
+            executor.close()
+        assert result == TrialEngine().run(bernoulli_trial, trials=30, seed=4)
+
+    def test_factories(self):
+        assert isinstance(make_sweep_executor(1), SerialExecutor)
+        sweep = make_sweep_executor(3)
+        assert isinstance(sweep, SweepPoolExecutor) and sweep.jobs == 3
+        assert isinstance(make_executor(1), SerialExecutor)
+        with pytest.raises(ValueError):
+            make_sweep_executor(0)
+
+    def test_serial_executor_context_manager_is_noop(self):
+        before = pools_constructed()
+        with make_sweep_executor(1) as executor:
+            result = TrialEngine(executor=executor).run(
+                bernoulli_trial, trials=25, seed=6
+            )
+        assert pools_constructed() == before
+        assert result == TrialEngine().run(bernoulli_trial, trials=25, seed=6)

@@ -49,7 +49,7 @@ class TestEstimateProbability:
 
     def test_trials_validated(self):
         with pytest.raises(ValueError):
-            estimate_probability(lambda rng: True, trials=0)
+            estimate_probability(lambda rng: True, trials=-1)
 
 
 class TestPairedEstimate:

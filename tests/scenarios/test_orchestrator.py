@@ -1,0 +1,415 @@
+"""The sweep orchestrator: caching, resume, pooling, tolerance hooks,
+and numeric equivalence with the historical figure drivers."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.executors import pools_constructed
+from repro.scenarios.orchestrator import SweepOrchestrator, run_scenario
+from repro.scenarios.runners import _RUNNERS, register_kind
+from repro.scenarios.spec import Axis, ScenarioSpec, ToleranceRule, ToleranceSchedule
+from repro.scenarios.store import ResultStore
+
+
+@pytest.fixture
+def counting_kind():
+    """A cheap registered kind that counts its runner invocations."""
+    calls = []
+
+    @register_kind("unit-test-kind")
+    def run_point(params, trials, seed, engine, batch_size=None):
+        calls.append(dict(params))
+        estimate = engine.estimate(
+            lambda rng: rng.bernoulli(params["p"]),
+            trials=trials,
+            seed=seed,
+            label=f"unit-{params['p']}",
+        )
+        return {
+            "p": params["p"],
+            "value": estimate.estimate,
+            "successes": estimate.successes,
+            "trials_run": estimate.trials,
+            "engine_tolerance": engine.tolerance,
+        }
+
+    try:
+        yield calls
+    finally:
+        _RUNNERS.pop("unit-test-kind", None)
+
+
+def counting_spec(points=4, trials=60, **overrides) -> ScenarioSpec:
+    values = tuple(round(0.1 + 0.2 * i, 2) for i in range(points))
+    base = dict(
+        name="unit-sweep",
+        kind="unit-test-kind",
+        axes=(Axis("p", values),),
+        trials=trials,
+        seed=5,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestCachingAndResume:
+    def test_rerun_of_completed_sweep_computes_nothing(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec()
+        cold = run_scenario(spec, store=store)
+        assert (cold.computed, cold.cached) == (4, 0)
+        assert len(counting_kind) == 4
+        warm = run_scenario(spec, store=store)
+        assert (warm.computed, warm.cached) == (0, 4)
+        assert warm.trials_run == 0
+        assert len(counting_kind) == 4  # zero new runner invocations
+        assert warm.results() == cold.results()
+
+    def test_interrupted_sweep_resumes_without_recomputing(
+        self, counting_kind, tmp_path
+    ):
+        class DyingStore(ResultStore):
+            """Simulates a kill: the process dies saving point 3."""
+
+            def save(self, scenario, key, record):
+                if self.count(scenario) >= 2:
+                    raise RuntimeError("killed mid-sweep")
+                return super().save(scenario, key, record)
+
+        spec = counting_spec()
+        with pytest.raises(RuntimeError, match="killed mid-sweep"):
+            run_scenario(spec, store=DyingStore(tmp_path))
+        assert len(counting_kind) == 3  # two persisted + the dying third
+
+        resumed = run_scenario(spec, store=ResultStore(tmp_path))
+        assert (resumed.computed, resumed.cached) == (2, 2)
+        # Only the two missing points recomputed.
+        assert len(counting_kind) == 5
+        assert [record["result"]["p"] for record in resumed.records] == [
+            0.1,
+            0.3,
+            0.5,
+            0.7,
+        ]
+        # And now the sweep is complete: a further run is free.
+        final = run_scenario(spec, store=ResultStore(tmp_path))
+        assert (final.computed, final.cached) == (0, 4)
+        assert len(counting_kind) == 5
+
+    def test_force_recomputes_cached_points(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=2)
+        run_scenario(spec, store=store)
+        forced = run_scenario(spec, store=store, force=True)
+        assert (forced.computed, forced.cached) == (2, 0)
+        assert len(counting_kind) == 4
+
+    def test_trials_override_is_a_different_cache_entry(
+        self, counting_kind, tmp_path
+    ):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=2)
+        run_scenario(spec, store=store)
+        other = run_scenario(spec, store=store, trials=30)
+        assert other.computed == 2
+        assert store.count(spec.name) == 4
+
+    def test_storeless_runs_always_compute(self, counting_kind):
+        spec = counting_spec(points=2)
+        run_scenario(spec)
+        run_scenario(spec)
+        assert len(counting_kind) == 4
+
+    def test_cached_records_marked(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=2)
+        cold = run_scenario(spec, store=store)
+        assert not any(record.get("from_cache") for record in cold.records)
+        warm = run_scenario(spec, store=store)
+        assert all(record["from_cache"] for record in warm.records)
+
+
+class TestSharedPool:
+    def test_parallel_sweep_constructs_exactly_one_pool(
+        self, counting_kind, tmp_path
+    ):
+        spec = counting_spec(points=5, trials=40)
+        before = pools_constructed()
+        report = run_scenario(spec, store=ResultStore(tmp_path), jobs=2)
+        assert pools_constructed() - before == 1
+        assert report.computed == 5
+
+    def test_serial_sweep_constructs_no_pool(self, counting_kind):
+        before = pools_constructed()
+        run_scenario(counting_spec(points=3, trials=20), jobs=1)
+        assert pools_constructed() == before
+
+    def test_parallel_results_identical_to_serial(self, counting_kind):
+        spec = counting_spec(points=3, trials=50)
+        serial = run_scenario(spec, jobs=1)
+        parallel = run_scenario(spec, jobs=3)
+        assert serial.results() == parallel.results()
+
+
+class TestToleranceHooks:
+    def test_tolerance_fn_receives_full_params_and_wins(self, counting_kind):
+        seen = []
+
+        def tolerance_fn(params):
+            seen.append(dict(params))
+            return 0.2 if params["p"] < 0.4 else None
+
+        spec = counting_spec(points=3, trials=400, fixed={"tag": "x"})
+        orchestrator = SweepOrchestrator(tolerance_fn=tolerance_fn)
+        report = orchestrator.run(spec)
+        assert [params["tag"] for params in seen] == ["x", "x", "x"]
+        tolerances = [r["engine_tolerance"] for r in report.results()]
+        assert tolerances == [0.2, 0.2, None]
+
+    def test_schedule_applied_with_cli_style_base(self, counting_kind):
+        spec = counting_spec(
+            points=3,
+            trials=400,
+            schedule=ToleranceSchedule(
+                rules=(ToleranceRule(axis="p", low=0.25, high=0.45, scale=0.5),)
+            ),
+        )
+        # No base tolerance: the schedule stays dormant.
+        dormant = run_scenario(spec)
+        assert [r["engine_tolerance"] for r in dormant.results()] == [
+            None,
+            None,
+            None,
+        ]
+        # With a base (the CLI's --tolerance), the knee point tightens.
+        active = SweepOrchestrator(tolerance=0.1).run(spec)
+        assert [r["engine_tolerance"] for r in active.results()] == pytest.approx(
+            [0.1, 0.05, 0.1]
+        )
+
+    def test_resolved_tolerance_recorded_and_keyed(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=2, trials=400)
+        run_scenario(spec, store=store)
+        toleranced = SweepOrchestrator(store=store, tolerance=0.1).run(spec)
+        # Different tolerance -> different cache entries, recorded per point.
+        assert toleranced.computed == 2
+        assert store.count(spec.name) == 4
+        assert all(record["tolerance"] == 0.1 for record in toleranced.records)
+
+
+class TestValidationAndErrors:
+    def test_unknown_kind_is_a_clear_error(self):
+        spec = ScenarioSpec(name="x", kind="no-such-kind")
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            run_scenario(spec)
+
+    def test_unknown_parameter_is_a_clear_error(self, counting_kind):
+        # The registered figure kinds validate their parameter sets.
+        spec = ScenarioSpec(
+            name="x",
+            kind="attack_resilience",
+            fixed={"scheme": "joint", "p": 0.1, "typo_parameter": 1},
+            trials=0,
+        )
+        with pytest.raises(ValueError, match="typo_parameter"):
+            run_scenario(spec)
+
+    def test_wrong_parameter_type_is_a_clear_error(self):
+        # e.g. a hand-edited JSON spec quoting a number.
+        spec = ScenarioSpec(
+            name="x",
+            kind="attack_resilience",
+            fixed={"scheme": "joint", "p": "0.1"},
+            trials=0,
+        )
+        with pytest.raises(TypeError, match="'p' must be float"):
+            run_scenario(spec)
+
+    def test_int_accepted_where_float_expected(self):
+        spec = ScenarioSpec(
+            name="x",
+            kind="attack_resilience",
+            fixed={"scheme": "joint", "p": 0, "measure": False},
+            trials=0,
+        )
+        assert run_scenario(spec).points == 1
+
+    def test_renamed_scenario_reuses_cached_results(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=3)
+        run_scenario(spec, store=store)
+        assert len(counting_kind) == 3
+        renamed = dataclasses.replace(spec, name="renamed-sweep")
+        report = run_scenario(renamed, store=store)
+        assert (report.computed, report.cached) == (0, 3)
+        assert len(counting_kind) == 3  # nothing recomputed
+
+    def test_progress_hook_sees_every_point(self, counting_kind, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = counting_spec(points=3, trials=20)
+        run_scenario(spec, store=store)
+        events = []
+        SweepOrchestrator(store=store).run(
+            spec, progress=lambda point, record, cached: events.append(
+                (point.index, cached)
+            )
+        )
+        assert events == [(0, True), (1, True), (2, True)]
+
+
+class TestDriverEquivalence:
+    """`repro sweep run` and the bespoke drivers agree number-for-number."""
+
+    def test_attack_resilience_scenario_matches_driver(self):
+        from repro.experiments.attack_resilience import run_attack_resilience
+
+        spec = ScenarioSpec(
+            name="fig6-small",
+            kind="attack_resilience",
+            fixed={"population_size": 500},
+            axes=(
+                Axis("scheme", ("central", "disjoint", "joint")),
+                Axis("p", (0.1, 0.3)),
+            ),
+            trials=50,
+            seed=99,
+        )
+        report = run_scenario(spec)
+        driver_points = run_attack_resilience(
+            population_size=500, p_sweep=(0.1, 0.3), trials=50, seed=99
+        )
+        assert len(report.records) == len(driver_points)
+        for record, point in zip(report.results(), driver_points):
+            assert record["scheme"] == point.scheme
+            assert record["p"] == point.malicious_rate
+            assert record["measured"]["release"]["successes"] == (
+                point.measured.release.successes
+            )
+            assert record["measured"]["drop"]["successes"] == (
+                point.measured.drop.successes
+            )
+            assert record["cost"] == point.cost
+
+    def test_churn_scenario_matches_driver_via_registered_spec(self):
+        from repro.experiments.churn_resilience import run_churn_resilience
+        from repro.scenarios.registry import get_scenario
+
+        registered = get_scenario("fig7")
+        small = dataclasses.replace(
+            registered,
+            axes=(
+                Axis("alpha", (1.0, 3.0)),
+                Axis("p", (0.1, 0.3)),
+                Axis("scheme", ("central", "disjoint", "joint", "share")),
+            ),
+            trials=100,
+        )
+        report = run_scenario(small, jobs=2)
+        driver_points = run_churn_resilience(
+            population_size=10000,
+            alphas=(1.0, 3.0),
+            p_sweep=(0.1, 0.3),
+            trials=100,
+            seed=registered.seed,
+        )
+        assert len(report.records) == len(driver_points)
+        for record, point in zip(report.results(), driver_points):
+            assert (record["scheme"], record["alpha"], record["p"]) == (
+                point.scheme,
+                point.alpha,
+                point.malicious_rate,
+            )
+            assert record["release_resilience"] == (
+                point.outcome.release_resilience
+            )
+            assert record["drop_resilience"] == point.outcome.drop_resilience
+
+    def test_share_cost_scenario_matches_driver(self):
+        from repro.experiments.cost import run_share_cost
+
+        spec = ScenarioSpec(
+            name="fig8-small",
+            kind="share_cost",
+            fixed={"alpha": 3.0},
+            axes=(Axis("budget", (100, 1000)), Axis("p", (0.1, 0.3))),
+            trials=120,
+            seed=2017,
+        )
+        report = run_scenario(spec)
+        driver_points = run_share_cost(
+            budgets=(100, 1000), p_sweep=(0.1, 0.3), trials=120, seed=2017
+        )
+        for record, point in zip(report.results(), driver_points):
+            assert record["value"] == point.resilience
+            assert record["analytic_resilience"] == point.analytic_resilience
+
+    def test_availability_scenario_matches_driver(self):
+        from repro.experiments.availability import run_availability_sweep
+
+        spec = ScenarioSpec(
+            name="availability-small",
+            kind="availability",
+            fixed={"population_size": 2000},
+            axes=(
+                Axis("uptime", (0.9,)),
+                Axis("p", (0.1, 0.2)),
+                Axis("scheme", ("disjoint", "joint", "share")),
+            ),
+            trials=150,
+            seed=2017,
+        )
+        report = run_scenario(spec)
+        driver_points = run_availability_sweep(
+            population_size=2000,
+            uptimes=(0.9,),
+            p_sweep=(0.1, 0.2),
+            trials=150,
+            seed=2017,
+        )
+        for record, point in zip(report.results(), driver_points):
+            assert (record["scheme"], record["uptime"], record["p"]) == (
+                point.scheme,
+                point.uptime,
+                point.malicious_rate,
+            )
+            assert record["value"] == point.resilience
+
+    def test_timeliness_scenario_matches_driver(self):
+        from repro.experiments.timeliness import measure_timeliness
+
+        spec = ScenarioSpec(
+            name="timeliness-small",
+            kind="timeliness",
+            fixed={"path_length": 3},
+            axes=(Axis("scheme", ("central",)), Axis("max_latency", (0.05,))),
+            trials=3,
+            seed=31337,
+        )
+        report = run_scenario(spec)
+        driver = measure_timeliness(
+            schemes=("central",), max_latencies=(0.05,), runs=3, seed=31337
+        )[0]
+        record = report.results()[0]
+        assert record["delivered"] == driver.delivered
+        assert record["mean_lateness"] == driver.mean_lateness
+        assert record["worst_lateness"] == driver.worst_lateness
+        assert record["early_releases"] == driver.early_releases
+
+    def test_zero_trial_cost_panels_record_analytics(self):
+        # Fig. 6(b)/(d) style: measurement-free points run zero trials.
+        spec = ScenarioSpec(
+            name="fig6b-small",
+            kind="attack_resilience",
+            fixed={"population_size": 500, "measure": False},
+            axes=(Axis("scheme", ("central", "joint")), Axis("p", (0.1, 0.3))),
+            trials=0,
+            seed=99,
+        )
+        report = run_scenario(spec)
+        assert report.trials_run == 0
+        for record in report.results():
+            assert record["measured"] is None
+            assert record["cost"] >= 1
+            assert 0.0 <= record["analytic_worst"] <= 1.0

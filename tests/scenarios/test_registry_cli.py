@@ -1,0 +1,202 @@
+"""The built-in registry, the sweep reporting pivot, and the CLI wiring."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.reporting import format_sweep_table, pick_x_axis, sweep_series
+from repro.scenarios.orchestrator import run_scenario
+from repro.scenarios.registry import builtin_scenarios, get_scenario, scenario_names
+from repro.scenarios.runners import get_runner
+from repro.scenarios.spec import Axis, ScenarioSpec
+
+FIGURE_SCENARIOS = (
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig6d",
+    "fig7",
+    "fig8",
+    "availability",
+    "timeliness",
+)
+
+NEW_SCENARIOS = (
+    "scheme-matrix-n1000",
+    "sensitivity-grid",
+    "adaptive-observation",
+    "heavy-churn",
+)
+
+
+class TestRegistry:
+    def test_every_figure_ships_as_a_scenario(self):
+        names = scenario_names()
+        for name in FIGURE_SCENARIOS:
+            assert name in names
+
+    def test_at_least_three_genuinely_new_scenarios(self):
+        names = scenario_names()
+        assert sum(name in names for name in NEW_SCENARIOS) >= 3
+
+    def test_all_specs_round_trip_and_resolve_their_kind(self):
+        for name, spec in builtin_scenarios().items():
+            assert spec.name == name
+            assert ScenarioSpec.from_json(spec.to_json()) == spec, name
+            assert get_runner(spec.kind) is not None, name
+            assert spec.description, name
+
+    def test_cost_panels_are_measurement_free(self):
+        for name in ("fig6b", "fig6d"):
+            spec = get_scenario(name)
+            assert spec.trials == 0
+            assert spec.fixed["measure"] is False
+            assert spec.value_key == "cost"  # tables show required nodes C
+
+    def test_fig6_fig7_carry_knee_tolerance_schedules(self):
+        for name in ("fig6a", "fig7"):
+            spec = get_scenario(name)
+            assert spec.schedule is not None
+            knee = spec.point_tolerance({"p": 0.3}, base=0.02)
+            flat = spec.point_tolerance({"p": 0.05}, base=0.02)
+            assert knee == pytest.approx(0.01)
+            assert flat == pytest.approx(0.02)
+            # Dormant without a base: bit-identity with the drivers holds.
+            assert spec.point_tolerance({"p": 0.3}) is None
+
+    def test_unknown_scenario_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("fig99")
+
+    @pytest.mark.parametrize("name", sorted(builtin_scenarios()))
+    def test_every_scenario_first_point_executes(self, name):
+        # One-point, one-trial execution proves each registered spec's
+        # parameters satisfy its kind's runner signature.
+        spec = get_scenario(name)
+        tiny = dataclasses.replace(
+            spec,
+            axes=tuple(Axis(a.name, a.values[:1]) for a in spec.axes),
+            trials=min(spec.trials, 1),
+        )
+        report = run_scenario(tiny)
+        assert report.points == 1
+        assert "value" in report.results()[0]
+
+
+class TestSweepReporting:
+    RECORDS = [
+        {"point": {"scheme": scheme, "p": p}, "result": {"value": value}}
+        for (scheme, p), value in {
+            ("central", 0.1): 0.9,
+            ("central", 0.3): 0.7,
+            ("joint", 0.1): 1.0,
+            ("joint", 0.3): 0.99,
+        }.items()
+    ]
+
+    def test_pivot_prefers_numeric_x_axis(self):
+        # scheme is categorical, p numeric: p becomes the row dimension
+        # even though scheme is the last axis.
+        assert pick_x_axis(("p", "scheme"), self.RECORDS) == "p"
+        x_values, series = sweep_series(("p", "scheme"), self.RECORDS)
+        assert x_values == [0.1, 0.3]
+        assert series == {
+            "scheme=central": [0.9, 0.7],
+            "scheme=joint": [1.0, 0.99],
+        }
+
+    def test_table_renders_and_holes_show_as_dash(self):
+        records = self.RECORDS[:3]  # joint p=0.3 missing
+        table = format_sweep_table("t", ("scheme", "p"), records)
+        assert "scheme=joint" in table
+        assert "-" in table.splitlines()[-1]
+
+    def test_all_categorical_axes_fall_back_to_last(self):
+        records = [
+            {"point": {"scheme": s}, "result": {"value": 1.0}}
+            for s in ("central", "joint")
+        ]
+        table = format_sweep_table("t", ("scheme",), records)
+        assert "central" in table and "joint" in table
+
+    def test_no_axes_renders_plain_values(self):
+        table = format_sweep_table("t", (), [{"result": {"value": 0.5}}])
+        assert "0.5" in table
+
+
+class TestCli:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURE_SCENARIOS:
+            assert name in out
+
+    def test_scenarios_list_kind_filter(self, capsys):
+        assert main(["scenarios", "list", "--kind", "share_cost"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "fig7" not in out
+        assert main(["scenarios", "list", "--kind", "nope"]) == 1
+
+    def test_scenarios_show_json_round_trips(self, capsys):
+        assert main(["scenarios", "show", "fig8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert ScenarioSpec.from_dict(payload) == get_scenario("fig8")
+
+    def test_scenarios_show_human_readable(self, capsys):
+        assert main(["scenarios", "show", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "churn_resilience" in out
+        assert "tolerance rule" in out
+
+    def test_scenarios_show_unknown_fails(self, capsys):
+        assert main(["scenarios", "show", "fig99"]) == 1
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_sweep_run_then_resume_round_trip(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 computed, 0 cached" in out
+        assert (tmp_path / "store" / "smoke").is_dir()
+        assert len(list((tmp_path / "store" / "smoke").glob("*.json"))) == 2
+
+        assert main(["sweep", "resume", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 cached, 0 new trials" in out
+
+    def test_sweep_resume_from_empty_store_starts_fresh(self, tmp_path, capsys):
+        store = str(tmp_path / "empty")
+        assert main(["sweep", "resume", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to resume" in out
+        assert "2 computed" in out
+
+    def test_sweep_run_unknown_scenario_fails(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "fig99", "--store", store]) == 1
+
+    def test_sweep_run_trials_override_and_force(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert (
+            main(["sweep", "run", "smoke", "--store", store, "--trials", "10"]) == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    store,
+                    "--trials",
+                    "10",
+                    "--force",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 computed, 0 cached" in out

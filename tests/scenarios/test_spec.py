@@ -1,0 +1,186 @@
+"""Scenario specs: round-trip identity, validation, grid expansion."""
+
+import json
+
+import pytest
+
+from repro.scenarios.spec import (
+    Axis,
+    EngineSettings,
+    ScenarioSpec,
+    ToleranceRule,
+    ToleranceSchedule,
+)
+
+
+def sample_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sample",
+        kind="attack_resilience",
+        description="a spec exercising every field",
+        fixed={"population_size": 500, "measure": True},
+        axes=(
+            Axis("scheme", ("central", "joint")),
+            Axis("p", (0.0, 0.1, 0.2)),
+        ),
+        trials=120,
+        seed=77,
+        tolerance=0.05,
+        schedule=ToleranceSchedule(
+            rules=(ToleranceRule(axis="p", low=0.1, high=0.2, scale=0.5),)
+        ),
+        engine=EngineSettings(min_trials=50, ci_method="wilson", batch_size=25),
+    )
+
+
+class TestRoundTrip:
+    def test_spec_dict_json_spec_identity(self):
+        spec = sample_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        # The JSON form itself is stable (a store/CI artifact contract).
+        assert json.loads(spec.to_json()) == spec.to_dict()
+
+    def test_round_trip_through_indented_json(self):
+        spec = sample_spec()
+        assert ScenarioSpec.from_json(spec.to_json(indent=2)) == spec
+
+    def test_defaults_round_trip(self):
+        spec = ScenarioSpec(name="bare", kind="share_cost")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.schedule is None and spec.tolerance is None
+
+    def test_axis_values_survive_as_exact_types(self):
+        spec = ScenarioSpec(
+            name="typed",
+            kind="share_cost",
+            axes=(Axis("budget", (100, 1000)), Axis("p", (0.0, 0.5))),
+        )
+        back = ScenarioSpec.from_json(spec.to_json())
+        assert back.axes[0].values == (100, 1000)
+        assert all(isinstance(v, int) for v in back.axes[0].values)
+        assert all(isinstance(v, float) for v in back.axes[1].values)
+
+
+class TestValidation:
+    def test_rejects_empty_name_and_kind(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="", kind="x")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kind="")
+
+    def test_rejects_negative_trials(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kind="k", trials=-1)
+
+    def test_zero_trials_allowed_for_measurement_free_points(self):
+        assert ScenarioSpec(name="x", kind="k", trials=0).trials == 0
+
+    def test_rejects_duplicate_axis_names(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x",
+                kind="k",
+                axes=(Axis("p", (0.1,)), Axis("p", (0.2,))),
+            )
+
+    def test_rejects_axis_shadowing_fixed_parameter(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", kind="k", fixed={"p": 0.1}, axes=(Axis("p", (0.2,)),)
+            )
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(TypeError):
+            ScenarioSpec(name="x", kind="k", fixed={"bad": [1, 2]})
+        with pytest.raises(TypeError):
+            Axis("p", ((0.1, 0.2),))
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            Axis("p", ())
+
+    def test_rejects_bad_tolerance_and_rule(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", kind="k", tolerance=-0.1)
+        with pytest.raises(ValueError):
+            ToleranceRule(axis="p", low=0.5, high=0.1, scale=0.5)
+        with pytest.raises(ValueError):
+            ToleranceRule(axis="p", low=0.1, high=0.5, scale=0.0)
+
+    def test_engine_settings_validated(self):
+        with pytest.raises(ValueError):
+            EngineSettings(ci_method="bayes")
+        with pytest.raises(ValueError):
+            EngineSettings(min_trials=0)
+
+
+class TestGridExpansion:
+    def test_cross_product_last_axis_fastest(self):
+        spec = sample_spec()
+        points = spec.points()
+        assert spec.point_count == len(points) == 6
+        assert [point.values for point in points[:3]] == [
+            {"scheme": "central", "p": 0.0},
+            {"scheme": "central", "p": 0.1},
+            {"scheme": "central", "p": 0.2},
+        ]
+        assert points[3].values == {"scheme": "joint", "p": 0.0}
+        assert [point.index for point in points] == list(range(6))
+
+    def test_no_axes_is_a_single_point(self):
+        spec = ScenarioSpec(name="x", kind="k", fixed={"p": 0.1})
+        points = spec.points()
+        assert len(points) == 1 and points[0].values == {}
+        assert points[0].params(spec) == {"p": 0.1}
+
+    def test_params_merge_fixed_and_axes(self):
+        spec = sample_spec()
+        params = spec.points()[4].params(spec)
+        assert params == {
+            "population_size": 500,
+            "measure": True,
+            "scheme": "joint",
+            "p": 0.1,
+        }
+
+
+class TestToleranceSchedule:
+    def test_no_base_means_no_stopping_regardless_of_schedule(self):
+        spec = sample_spec()
+        assert spec.point_tolerance({"p": 0.15}, base=None) == 0.05 * 0.5
+        no_tolerance = ScenarioSpec(
+            name="x", kind="k", schedule=spec.schedule, axes=(Axis("p", (0.15,)),)
+        )
+        assert no_tolerance.point_tolerance({"p": 0.15}) is None
+
+    def test_rule_scales_inside_window_only(self):
+        spec = sample_spec()
+        assert spec.point_tolerance({"p": 0.05}) == 0.05
+        assert spec.point_tolerance({"p": 0.1}) == pytest.approx(0.025)
+        assert spec.point_tolerance({"p": 0.2}) == pytest.approx(0.025)
+        assert spec.point_tolerance({"p": 0.3}) == 0.05
+
+    def test_base_override_feeds_the_schedule(self):
+        spec = sample_spec()
+        assert spec.point_tolerance({"p": 0.15}, base=0.02) == pytest.approx(0.01)
+
+    def test_non_numeric_axis_value_never_matches(self):
+        rule = ToleranceRule(axis="scheme", low=0.0, high=1.0, scale=0.5)
+        assert not rule.matches({"scheme": "joint"})
+
+    def test_first_matching_rule_wins(self):
+        schedule = ToleranceSchedule(
+            rules=(
+                ToleranceRule(axis="p", low=0.0, high=0.5, scale=0.5),
+                ToleranceRule(axis="p", low=0.0, high=1.0, scale=0.1),
+            )
+        )
+        assert schedule.resolve({"p": 0.25}, 0.1) == pytest.approx(0.05)
+
+    def test_with_overrides(self):
+        spec = sample_spec()
+        assert spec.with_overrides() is spec
+        bumped = spec.with_overrides(trials=999, seed=1, tolerance=0.2)
+        assert (bumped.trials, bumped.seed, bumped.tolerance) == (999, 1, 0.2)
+        assert bumped.axes == spec.axes

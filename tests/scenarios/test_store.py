@@ -1,0 +1,136 @@
+"""Result store: content-addressed keys, persistence, atomicity."""
+
+import dataclasses
+import json
+
+from repro.scenarios.spec import Axis, EngineSettings, ScenarioSpec
+from repro.scenarios.store import ResultStore, canonical_json, point_cache_key
+
+
+def spec_for_keys(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="keyed",
+        kind="attack_resilience",
+        fixed={"population_size": 500},
+        axes=(Axis("p", (0.1, 0.3)),),
+        trials=40,
+        seed=99,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestCacheKeys:
+    def test_same_spec_and_seed_same_hash(self):
+        a = point_cache_key(spec_for_keys(), {"p": 0.1})
+        b = point_cache_key(spec_for_keys(), {"p": 0.1})
+        assert a == b
+        # And the key is stable across a serialization round trip.
+        round_tripped = ScenarioSpec.from_json(spec_for_keys().to_json())
+        assert point_cache_key(round_tripped, {"p": 0.1}) == a
+
+    def test_different_seed_different_hash(self):
+        a = point_cache_key(spec_for_keys(), {"p": 0.1})
+        b = point_cache_key(spec_for_keys(seed=100), {"p": 0.1})
+        assert a != b
+
+    def test_each_determinant_changes_the_key(self):
+        reference = point_cache_key(spec_for_keys(), {"p": 0.1})
+        assert point_cache_key(spec_for_keys(), {"p": 0.3}) != reference
+        assert point_cache_key(spec_for_keys(trials=41), {"p": 0.1}) != reference
+        assert (
+            point_cache_key(spec_for_keys(kind="churn_resilience"), {"p": 0.1})
+            != reference
+        )
+        assert (
+            point_cache_key(
+                spec_for_keys(fixed={"population_size": 501}), {"p": 0.1}
+            )
+            != reference
+        )
+        assert (
+            point_cache_key(spec_for_keys(), {"p": 0.1}, tolerance=0.02)
+            != reference
+        )
+        assert (
+            point_cache_key(
+                spec_for_keys(engine=EngineSettings(ci_method="wilson")),
+                {"p": 0.1},
+            )
+            != reference
+        )
+
+    def test_name_and_description_excluded_from_key(self):
+        # Content-addressing: renaming a scenario keeps its results valid.
+        renamed = dataclasses.replace(
+            spec_for_keys(), name="renamed", description="different words"
+        )
+        assert point_cache_key(renamed, {"p": 0.1}) == point_cache_key(
+            spec_for_keys(), {"p": 0.1}
+        )
+
+    def test_trials_override_changes_key(self):
+        spec = spec_for_keys()
+        assert point_cache_key(spec, {"p": 0.1}, trials=10) != point_cache_key(
+            spec, {"p": 0.1}
+        )
+        assert point_cache_key(spec, {"p": 0.1}, trials=40) == point_cache_key(
+            spec, {"p": 0.1}
+        )
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestResultStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = {"key": "abc", "result": {"value": 0.5}, "point": {"p": 0.1}}
+        assert not store.has("scn", "abc")
+        path = store.save("scn", "abc", record)
+        assert store.has("scn", "abc")
+        assert store.load("scn", "abc") == record
+        assert json.loads(path.read_text()) == record
+
+    def test_keys_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.keys("scn") == [] and store.count("scn") == 0
+        store.save("scn", "bbb", {"result": {}})
+        store.save("scn", "aaa", {"result": {}})
+        store.save("other", "ccc", {"result": {}})
+        assert store.keys("scn") == ["aaa", "bbb"]
+        assert store.count("scn") == 2
+        assert store.scenarios() == ["other", "scn"]
+
+    def test_writes_are_atomic_no_temp_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("scn", "abc", {"result": {"value": 1.0}})
+        leftovers = list((tmp_path / "scn").glob("*.tmp"))
+        assert leftovers == []
+
+    def test_missing_store_directory_is_empty_not_error(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.keys("scn") == []
+        assert store.scenarios() == []
+        assert store.find("scn", "abc") is None
+
+    def test_lookup_falls_back_across_scenario_directories(self, tmp_path):
+        # Content-addressing in practice: a renamed scenario (or another
+        # scenario with an overlapping grid) reuses cached records.
+        store = ResultStore(tmp_path)
+        record = {"key": "abc", "result": {"value": 0.5}}
+        store.save("old-name", "abc", record)
+        assert store.has("new-name", "abc")
+        assert store.load("new-name", "abc") == record
+        # The scenario's own directory wins when both exist.
+        newer = {"key": "abc", "result": {"value": 0.7}}
+        store.save("new-name", "abc", newer)
+        assert store.load("new-name", "abc") == newer
+        assert store.load("old-name", "abc") == record
+
+    def test_load_of_missing_key_is_a_clear_error(self, tmp_path):
+        import pytest
+
+        store = ResultStore(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no cached record"):
+            store.load("scn", "missing")
