@@ -10,7 +10,7 @@ place, printing side-by-side resilience with the mechanism on and off:
 """
 
 import numpy as np
-from conftest import bench_trials, run_once
+from conftest import bench_trials, record_bench, run_once
 
 from repro.core.analysis import (
     centralized_resilience,
@@ -154,3 +154,4 @@ def test_ablation_balanced_thresholds(benchmark):
     # Balanced thresholds should never be much worse and usually better.
     for _, balanced, naive in rows:
         assert balanced >= naive - 0.05
+    record_bench("ablations", benchmark, trials=bench_trials() * len(rows) * 2)

@@ -6,7 +6,7 @@
 - per-scheme communication/storage cost table.
 """
 
-from conftest import bench_engine, bench_trials, run_once
+from conftest import bench_engine, bench_trials, record_bench, run_once
 
 from repro.adversary.adaptive import adaptive_resilience_sweep
 from repro.core.schemes import NodeDisjointScheme, NodeJointScheme
@@ -53,6 +53,11 @@ def test_extension_availability(benchmark):
             by_key[("share", 0.8, p)]
             >= by_key[("disjoint", 0.8, p)] - 0.02
         )
+    record_bench(
+        "extensions",
+        benchmark,
+        trials=sum(point.outcome.trials for point in points),
+    )
 
 
 def test_extension_adaptive_adversary(benchmark):

@@ -10,7 +10,14 @@ scheme (central / disjoint / joint), analytic values with Monte-Carlo
 verification at the paper's sweep points.
 """
 
-from conftest import bench_engine, bench_trials, run_once
+from conftest import (
+    bench_engine,
+    bench_trials,
+    record_bench,
+    record_wall,
+    run_once,
+    time_call,
+)
 
 from repro.experiments.attack_resilience import (
     DEFAULT_P_SWEEP,
@@ -18,8 +25,19 @@ from repro.experiments.attack_resilience import (
     series_by_scheme,
 )
 from repro.experiments.reporting import format_cost_table, format_series_table
+from repro.util.stats import wilson_proportion_ci
 
+BENCH = "fig6"
 SCHEMES = ("central", "disjoint", "joint")
+
+
+def _measured_trials(points) -> int:
+    """Total Monte-Carlo trials a sweep actually executed."""
+    return sum(
+        point.measured.release.trials
+        for point in points
+        if point.measured is not None
+    )
 
 
 def _resilience_series(points):
@@ -58,6 +76,13 @@ def test_fig6a_resilience_10000(benchmark):
     joint = dict(zip(x_values, series["joint"]))
     assert joint[0.3] > 0.99  # paper: R > 0.99 before p = 0.34
     assert joint[0.4] > 0.9  # paper: R > 0.9 before p = 0.42
+    record_bench(
+        BENCH,
+        benchmark,
+        trials=_measured_trials(points),
+        population=10000,
+        kernel="vectorized",
+    )
 
 
 def test_fig6b_cost_10000(benchmark):
@@ -78,6 +103,7 @@ def test_fig6b_cost_10000(benchmark):
     joint = dict(zip(x_values, costs["joint"]))
     assert joint[0.15] < 100
     assert joint[0.35] > 5000  # cost explosion toward the 10,000 cap
+    record_bench(BENCH, benchmark, population=10000, kernel="analytic")
 
 
 def test_fig6c_resilience_100(benchmark):
@@ -103,6 +129,13 @@ def test_fig6c_resilience_100(benchmark):
     for p in (0.1, 0.2, 0.3):
         assert joint[p] > central[p]
     assert joint[0.2] > 0.95
+    record_bench(
+        BENCH,
+        benchmark,
+        trials=_measured_trials(points),
+        population=100,
+        kernel="vectorized",
+    )
 
 
 def test_fig6d_cost_100(benchmark):
@@ -118,3 +151,89 @@ def test_fig6d_cost_100(benchmark):
     print(format_cost_table("Fig 6(d): required nodes C vs p (N=100)", x_values, costs))
     # Costs are clamped by the tiny network.
     assert all(cost <= 100 for cost in costs["joint"])
+    record_bench(BENCH, benchmark, population=100, kernel="analytic")
+
+
+def test_fig6_kernel_speedup(benchmark):
+    """The vectorised lane vs the scalar oracle on the same N=10,000 sweep.
+
+    Runs the full Fig. 6(a) sweep through both Monte-Carlo lanes with the
+    same seed and trial budget, then
+
+    - asserts the vectorised kernel is strictly faster (the CI perf-smoke
+      gate; locally the ratio is >= 10x at default trials),
+    - asserts the lanes are statistically equivalent: per measured point
+      and per channel, the Wilson intervals overlap.  66 comparisons run
+      simultaneously, so each uses z = 3.29 (99.9%) — at 95% a pinned seed
+      has an even-odds chance of one legitimate ~2-sigma excursion tripping
+      the gate (both lanes verifiably converge to the analytic curve),
+    - records both lanes' trials/second and the speedup in BENCH_fig6.json.
+    """
+    trials = bench_trials()
+    vectorized = run_once(
+        benchmark,
+        run_attack_resilience,
+        population_size=10000,
+        p_sweep=DEFAULT_P_SWEEP,
+        trials=trials,
+        engine=bench_engine(),
+        kernel="vectorized",
+    )
+    scalar, scalar_wall = time_call(
+        run_attack_resilience,
+        population_size=10000,
+        p_sweep=DEFAULT_P_SWEEP,
+        trials=trials,
+        engine=bench_engine(),
+        kernel="scalar",
+    )
+
+    overlaps = 0
+    checked = 0
+    for fast, slow in zip(vectorized, scalar):
+        assert (fast.scheme, fast.malicious_rate) == (
+            slow.scheme,
+            slow.malicious_rate,
+        )
+        if fast.measured is None or slow.measured is None:
+            continue
+        for channel in ("release", "drop"):
+            fast_est = getattr(fast.measured, channel)
+            slow_est = getattr(slow.measured, channel)
+            _, fast_low, fast_high = wilson_proportion_ci(
+                fast_est.successes, fast_est.trials, z_score=3.29
+            )
+            _, slow_low, slow_high = wilson_proportion_ci(
+                slow_est.successes, slow_est.trials, z_score=3.29
+            )
+            checked += 1
+            overlap = fast_low <= slow_high and slow_low <= fast_high
+            overlaps += overlap
+            assert overlap, (
+                f"{fast.scheme} p={fast.malicious_rate} {channel}: "
+                f"[{fast_low:.4f}, {fast_high:.4f}] vs "
+                f"[{slow_low:.4f}, {slow_high:.4f}] do not overlap"
+            )
+
+    record = record_bench(
+        BENCH,
+        benchmark,
+        trials=_measured_trials(vectorized),
+        population=10000,
+        kernel="vectorized-vs-scalar",
+        scalar_wall_seconds=round(scalar_wall, 6),
+        scalar_trials_per_second=round(_measured_trials(scalar) / scalar_wall, 3),
+        speedup=round(scalar_wall / record_wall(benchmark), 2)
+        if record_wall(benchmark)
+        else None,
+        wilson_overlap=f"{overlaps}/{checked}",
+    )
+    print()
+    print(
+        f"Fig 6 kernel speedup: vectorized {record['trials_per_second']} "
+        f"trials/s vs scalar {record['scalar_trials_per_second']} trials/s "
+        f"({record['speedup']}x), Wilson overlap {overlaps}/{checked}"
+    )
+    # The CI gate: the vectorised kernel must never be slower than the
+    # scalar oracle on the same sweep.
+    assert record["speedup"] is not None and record["speedup"] > 1.0

@@ -5,7 +5,7 @@ One benchmark per panel; each prints R vs p for the four schemes
 """
 
 import pytest
-from conftest import bench_engine, bench_trials, run_once
+from conftest import bench_engine, bench_trials, record_bench, run_once
 
 from repro.experiments.churn_resilience import (
     DEFAULT_P_SWEEP,
@@ -14,6 +14,7 @@ from repro.experiments.churn_resilience import (
 )
 from repro.experiments.reporting import format_series_table
 
+BENCH = "fig7"
 PANELS = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 5.0}
 
 
@@ -53,6 +54,12 @@ def test_fig7_panel(benchmark, label):
     for p in (0.05, 0.15, 0.25):
         assert series["share"][p] > 0.9
         assert series["central"][p] <= series["share"][p] + 0.02
+    record_bench(
+        BENCH,
+        benchmark,
+        trials=sum(point.outcome.trials for point in points),
+        alpha=alpha,
+    )
 
 
 def test_fig7_share_flatness_across_alphas(benchmark):
@@ -73,3 +80,8 @@ def test_fig7_share_flatness_across_alphas(benchmark):
     for p in (0.1, 0.2, 0.25):
         print(f"  p={p:.2f}: {calm[p]:.4f} vs {harsh[p]:.4f}")
         assert abs(calm[p] - harsh[p]) < 0.05
+    record_bench(
+        BENCH,
+        benchmark,
+        trials=sum(point.outcome.trials for point in points),
+    )

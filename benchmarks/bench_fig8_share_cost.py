@@ -4,7 +4,7 @@
 (Monte Carlo) plus Algorithm 1's analytic prediction.
 """
 
-from conftest import bench_engine, bench_trials, run_once
+from conftest import bench_engine, bench_trials, record_bench, run_once
 
 from repro.experiments.cost import (
     DEFAULT_BUDGETS,
@@ -54,3 +54,9 @@ def test_fig8_share_cost(benchmark):
     # 5000 nearly coincides with 10000 for moderate p.
     for p in (0.1, 0.2, 0.25):
         assert abs(by_budget[5000][p] - by_budget[10000][p]) < 0.03
+    record_bench(
+        "fig8",
+        benchmark,
+        trials=sum(point.outcome.trials for point in points),
+        budgets=list(DEFAULT_BUDGETS),
+    )

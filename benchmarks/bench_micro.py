@@ -9,6 +9,7 @@ figure sweeps impractically slow.
 """
 
 import pytest
+from conftest import mean_seconds, record_bench
 
 from repro.adversary.population import SybilPopulation
 from repro.core.onion import OnionCore, build_onion, peel_onion
@@ -16,12 +17,20 @@ from repro.core.planner import plan_configuration
 from repro.core.schemes import NodeJointScheme
 from repro.core.schemes.keyshare import algorithm1
 from repro.crypto.cipher import decrypt, encrypt
-from repro.crypto.shamir import combine_shares, split_secret
+from repro.crypto.shamir import (
+    combine_bytes,
+    combine_shares,
+    combine_shares_reference,
+    split_bytes,
+    split_secret,
+    split_secret_reference,
+)
 from repro.dht.bootstrap import build_network
 from repro.dht.node_id import NodeId
 from repro.experiments.engine import TrialEngine
 from repro.util.rng import RandomSource
 
+BENCH = "micro"
 KEY = b"k" * 32
 PAYLOAD = b"p" * 1024
 
@@ -55,6 +64,9 @@ def test_trial_engine_serial_1000(benchmark):
         _engine_sweep, args=(TrialEngine(),), rounds=1, iterations=1
     )
     assert result.trials == ENGINE_TRIALS
+    record_bench(
+        BENCH, benchmark, trials=ENGINE_TRIALS, wall=mean_seconds(benchmark)
+    )
 
 
 def test_trial_engine_pool_1000(benchmark):
@@ -67,6 +79,9 @@ def test_trial_engine_pool_1000(benchmark):
     # table prints the measured serial-vs-pool ratio on any machine.
     assert result == _engine_sweep(TrialEngine())
     assert result.trials == ENGINE_TRIALS
+    record_bench(
+        BENCH, benchmark, trials=ENGINE_TRIALS, wall=mean_seconds(benchmark), jobs=4
+    )
 
 
 def test_trial_engine_adaptive_stopping(benchmark):
@@ -81,6 +96,13 @@ def test_trial_engine_adaptive_stopping(benchmark):
     full = _engine_sweep(TrialEngine())
     assert result.estimates[0].estimate == pytest.approx(
         full.estimates[0].estimate, abs=3 * 0.02
+    )
+    record_bench(
+        BENCH,
+        benchmark,
+        trials=result.trials,
+        wall=mean_seconds(benchmark),
+        tolerance=0.02,
     )
 
 
@@ -99,6 +121,43 @@ def test_shamir_split_combine(benchmark):
         return combine_shares(shares[:3])
 
     assert benchmark(split_and_combine) == KEY
+    record_bench(BENCH, benchmark, wall=mean_seconds(benchmark))
+
+
+def test_shamir_batch_codec_vs_reference(benchmark):
+    """The matrix codec vs the scalar byte loop on a Fig. 8-sized workload.
+
+    One onion-layer key split into 24 shares with threshold 12, as the
+    key-share sender does per (column, row); the batch codec encodes the
+    whole (24, 32) share matrix in one vectorised Horner sweep.
+    """
+    import time
+
+    def batch_round_trip():
+        matrix = split_bytes(KEY, 12, 24, RandomSource(5))
+        return combine_bytes(matrix.indices[:12], matrix.payloads[:12])
+
+    assert benchmark(batch_round_trip) == KEY
+
+    start = time.perf_counter()
+    rounds = 50
+    for _ in range(rounds):
+        # The same round trip as the benchmarked lane: split + combine.
+        reference = split_secret_reference(KEY, 12, 24, RandomSource(5))
+        assert combine_shares_reference(reference[:12]) == KEY
+    reference_wall = (time.perf_counter() - start) / rounds
+    batch_wall = mean_seconds(benchmark)
+    # Byte-identical output, faster transport.
+    assert [share.payload for share in reference] == [
+        share.payload for share in split_bytes(KEY, 12, 24, RandomSource(5)).shares()
+    ]
+    record_bench(
+        BENCH,
+        benchmark,
+        wall=batch_wall,
+        reference_wall_seconds=round(reference_wall, 6),
+        speedup=round(reference_wall / batch_wall, 2) if batch_wall else None,
+    )
 
 
 def test_onion_build_and_full_peel(benchmark):

@@ -10,7 +10,7 @@ table both ways.  Honours the usual knobs: ``REPRO_BENCH_TRIALS``,
 import tempfile
 
 import pytest
-from conftest import bench_jobs, bench_tolerance, bench_trials, run_once
+from conftest import bench_jobs, bench_tolerance, bench_trials, record_bench, run_once
 
 from repro.experiments.reporting import format_sweep_table
 from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
@@ -37,6 +37,9 @@ def test_sweep_scheme_matrix_cold(benchmark):
             list(report.records),
         )
     )
+    record_bench(
+        "sweeps", benchmark, trials=report.trials_run, points=report.points
+    )
 
 
 def test_sweep_smoke_warm_is_free(benchmark):
@@ -49,6 +52,7 @@ def test_sweep_smoke_warm_is_free(benchmark):
     assert warm.cached == warm.points
     assert warm.trials_run == 0
     assert warm.results() == cold.results()
+    record_bench("sweeps", benchmark, points=warm.points, cached=warm.cached)
 
 
 def test_sweep_sensitivity_grid_cold(benchmark):
@@ -73,3 +77,6 @@ def test_sweep_sensitivity_grid_cold(benchmark):
         assert result["measured"]["drop"]["estimate"] == pytest.approx(
             result["analytic_drop"], abs=0.15
         )
+    record_bench(
+        "sweeps", benchmark, trials=report.trials_run, points=report.points
+    )

@@ -14,9 +14,20 @@ the same way:
   contract);
 - ``REPRO_BENCH_TOLERANCE=0.02`` enables adaptive early stopping, cutting
   trial counts per point once the CI half-width is within tolerance.
+
+**Machine-readable records.**  Besides the human tables, every benchmark
+appends a record to ``BENCH_<name>.json`` (written to ``REPRO_BENCH_OUT``,
+default: the working directory) via :func:`record_bench`: wall seconds,
+trial count, trials/second, and the engine knobs in effect, plus any
+bench-specific fields (speedup ratios, CI overlap verdicts).  CI uploads
+the files as artifacts, so the performance trajectory is diffable across
+commits instead of living in scrollback.
 """
 
+import json
 import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -45,11 +56,83 @@ def bench_engine() -> TrialEngine:
     return TrialEngine(jobs=bench_jobs(), tolerance=bench_tolerance())
 
 
+def bench_out_dir() -> Path:
+    """Where BENCH_<name>.json files land (REPRO_BENCH_OUT or cwd)."""
+    path = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 @pytest.fixture
 def trials() -> int:
     return bench_trials()
 
 
+# Records accumulated per BENCH file this session; each record_bench call
+# rewrites the whole file so an interrupted harness still leaves valid JSON.
+_RECORDS = {}
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    return benchmark.pedantic(
+        function, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+def mean_seconds(benchmark):
+    """Mean wall seconds pytest-benchmark recorded for this benchmark.
+
+    The one timing source for records: for ``run_once`` (rounds=1) this is
+    the single measured round, for conventional multi-round benchmarks the
+    mean.
+    """
+    try:
+        return benchmark.stats.stats.mean
+    except AttributeError:  # pragma: no cover - not run yet
+        return None
+
+
+# Alias kept for call sites that read better as "the recorded wall".
+record_wall = mean_seconds
+
+
+def time_call(function, *args, **kwargs):
+    """Time one plain call: ``(result, wall_seconds)``.
+
+    For benches that compare two lanes inside a single test, where only
+    one of them goes through the pytest-benchmark fixture.
+    """
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def record_bench(name, benchmark, trials=None, wall=None, **extra):
+    """Append one machine-readable record to ``BENCH_<name>.json``.
+
+    ``wall`` defaults to the time pytest-benchmark measured for this
+    benchmark; ``trials`` is the total Monte-Carlo trials the run executed
+    (when it has a meaningful notion of one), from which trials/second is
+    derived.  Extra keyword fields land in the record verbatim.
+    """
+    if wall is None:
+        wall = mean_seconds(benchmark)
+    record = {
+        "bench": benchmark.name,
+        "wall_seconds": None if wall is None else round(wall, 6),
+        "trials": trials,
+        "trials_per_second": (
+            round(trials / wall, 3) if trials and wall else None
+        ),
+        "jobs": bench_jobs(),
+        "tolerance": bench_tolerance(),
+    }
+    record.update(extra)
+    records = _RECORDS.setdefault(name, [])
+    records.append(record)
+    path = bench_out_dir() / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"bench_file": name, "records": records}, indent=2) + "\n"
+    )
+    return record

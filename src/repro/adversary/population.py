@@ -28,6 +28,9 @@ class SybilPopulation:
         self._rng = rng
         self._malicious: Set[Hashable] = set()
         self._decided: Set[Hashable] = set()
+        # Ids in [0, _decided_index_prefix) are decided without being
+        # materialised in _decided — the index-population fast path.
+        self._decided_index_prefix = 0
 
     # -- bulk marking ------------------------------------------------------
 
@@ -45,6 +48,32 @@ class SybilPopulation:
         self._decided |= set(node_ids)
         return chosen
 
+    def mark_index_population(self, population_size: int) -> Set[int]:
+        """Mark an id population of ``range(population_size)`` without
+        materialising it.
+
+        Draw-for-draw identical to ``mark_population(list(range(N)))`` —
+        ``random.sample`` consumes the same stream for any same-length
+        sequence — but stores only the ``round(N * p)`` malicious ids: the
+        N-element decided set is replaced by the interval bookkeeping the
+        membership tests below read.  This is the Monte-Carlo hot path
+        (one marking per attack trial).
+        """
+        count = round(population_size * self.malicious_rate)
+        chosen = set(self._rng.sample_indices(population_size, count))
+        self._malicious |= chosen
+        self._decided_index_prefix = max(
+            self._decided_index_prefix, population_size
+        )
+        return chosen
+
+    def _is_decided(self, node_id: Hashable) -> bool:
+        if node_id in self._decided:
+            return True
+        return (
+            type(node_id) is int and 0 <= node_id < self._decided_index_prefix
+        )
+
     # -- incremental marking -----------------------------------------------
 
     def decide(self, node_id: Hashable) -> bool:
@@ -54,7 +83,7 @@ class SybilPopulation:
         nodes created by churn repair.  Each is malicious independently with
         probability ``p``.
         """
-        if node_id not in self._decided:
+        if not self._is_decided(node_id):
             self._decided.add(node_id)
             if self._rng.bernoulli(self.malicious_rate):
                 self._malicious.add(node_id)

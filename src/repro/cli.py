@@ -76,6 +76,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="adaptive early stopping: stop a point once its CI "
         "half-width is at most this value (default: run all trials)",
     )
+    figures.add_argument(
+        "--kernel",
+        choices=["vectorized", "scalar"],
+        default="vectorized",
+        help="Monte-Carlo lane for the Fig. 6 attack trials: the numpy "
+        "batch kernels (default) or the per-trial scalar oracle; the "
+        "lanes agree statistically, not bit-for-bit",
+    )
+    figures.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="trials per vectorised batch (default: 100-trial batches on "
+        "the Fig. 6 attack lane so --jobs can fan them out; figures 7/8 "
+        "keep one batch per point, or check-interval-sized batches when "
+        "--tolerance is set)",
+    )
 
     scenarios = subparsers.add_parser(
         "scenarios", help="inspect the declarative scenario registry"
@@ -233,6 +250,8 @@ def _command_figures(args) -> int:
             trials=args.trials,
             measure=not wants_cost,
             engine=engine,
+            kernel=args.kernel,
+            batch_size=args.batch_size,
         )
         series = series_by_scheme(points)
         x_values = [entry[0] for entry in series["central"]]
@@ -256,7 +275,9 @@ def _command_figures(args) -> int:
         return 0
 
     if args.figure == "7":
-        points = run_churn_resilience(trials=args.trials, engine=engine)
+        points = run_churn_resilience(
+            trials=args.trials, engine=engine, batch_size=args.batch_size
+        )
         for alpha in (1.0, 2.0, 3.0, 5.0):
             data = panel(points, alpha)
             x_values = [p for p, _ in data["central"]]
@@ -272,7 +293,9 @@ def _command_figures(args) -> int:
         return 0
 
     if args.figure == "8":
-        points = run_share_cost(trials=args.trials, engine=engine)
+        points = run_share_cost(
+            trials=args.trials, engine=engine, batch_size=args.batch_size
+        )
         grouped = series_by_budget(points)
         budgets = sorted(grouped)
         x_values = [p for p, _, _ in grouped[budgets[0]]]

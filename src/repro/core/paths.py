@@ -206,10 +206,12 @@ def build_share_lattice(
 
 def _eligible(
     population: Sequence[Hashable], exclude: Optional[Set[Hashable]]
-) -> List[Hashable]:
+) -> Sequence[Hashable]:
     if exclude:
         return [node for node in population if node not in exclude]
-    return list(population)
+    # No copy: ``random.sample`` draws identically from any same-length
+    # sequence, so a ``range`` population never needs materialising.
+    return population
 
 
 def build_grid_on_overlay(

@@ -33,7 +33,7 @@ class CentralizedScheme(Scheme):
         """The structure is just the one chosen holder."""
         if not population:
             raise ValueError("population must be non-empty")
-        return rng.choice(list(population))
+        return rng.choice(population)
 
     def evaluate_attacks(
         self, structure: Hashable, population: SybilPopulation

@@ -25,7 +25,10 @@ from repro.crypto.kdf import derive_key, derive_subkeys
 from repro.crypto.keys import KEY_SIZE, SecretKey, generate_key
 from repro.crypto.shamir import (
     Share,
+    ShareMatrix,
+    combine_bytes,
     combine_shares,
+    split_bytes,
     split_secret,
 )
 
@@ -40,6 +43,9 @@ __all__ = [
     "derive_key",
     "derive_subkeys",
     "Share",
+    "ShareMatrix",
     "split_secret",
     "combine_shares",
+    "split_bytes",
+    "combine_bytes",
 ]

@@ -4,20 +4,28 @@ The field is constructed with the AES reduction polynomial
 ``x^8 + x^4 + x^3 + x + 1`` (0x11b).  Multiplication and inversion go through
 precomputed log/antilog tables over the generator 3, which makes the
 byte-wise share/combine loops fast enough for the Monte-Carlo experiments.
+
+The tables are stored as immutable ``bytes`` (C-contiguous, branch-free to
+index) and the full 256x256 product table ``_MUL`` is materialised once at
+import, so the scalar hot path — :func:`multiply` inside Horner loops — is a
+single flat lookup with no zero-operand branch.  :func:`export_tables` hands
+the same tables to the vectorised NumPy backend
+(:mod:`repro.crypto.gf256_numpy`), which builds its ``uint8`` arrays from
+them; scalar and vector lanes therefore share one source of field truth.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 _REDUCTION_POLY = 0x11B
 _GENERATOR = 0x03
 FIELD_SIZE = 256
 
 
-def _build_tables() -> tuple:
-    exp_table = [0] * 510
-    log_table = [0] * 256
+def _build_tables() -> Tuple[bytes, bytes]:
+    exp_table = bytearray(510)
+    log_table = bytearray(256)
     value = 1
     for power in range(255):
         exp_table[power] = value
@@ -30,10 +38,38 @@ def _build_tables() -> tuple:
     # Duplicate the table so exponent sums need no modular reduction.
     for power in range(255, 510):
         exp_table[power] = exp_table[power - 255]
-    return tuple(exp_table), tuple(log_table)
+    return bytes(exp_table), bytes(log_table)
+
+
+def _build_product_table(exp_table: bytes, log_table: bytes) -> bytes:
+    """The flat 65,536-entry product table: ``_MUL[a << 8 | b] == a * b``.
+
+    64 KiB buys branch-free scalar multiplication (zeros included), which
+    is what removes the per-call zero checks from the Horner / Lagrange
+    hot loops.
+    """
+    table = bytearray(FIELD_SIZE * FIELD_SIZE)
+    for left in range(1, FIELD_SIZE):
+        row = left << 8
+        log_left = log_table[left]
+        for right in range(1, FIELD_SIZE):
+            table[row | right] = exp_table[log_left + log_table[right]]
+    return bytes(table)
 
 
 _EXP, _LOG = _build_tables()
+_MUL = _build_product_table(_EXP, _LOG)
+
+
+def export_tables() -> Tuple[bytes, bytes, bytes]:
+    """The ``(exp, log, mul)`` tables as immutable bytes.
+
+    ``exp`` has 510 entries (doubled so exponent sums need no reduction),
+    ``log`` 256 (``log[0]`` is 0 and must be guarded by the caller), and
+    ``mul`` the flat 256x256 product table.  The NumPy backend wraps these
+    in ``uint8`` arrays; nothing is copied beyond the array view.
+    """
+    return _EXP, _LOG, _MUL
 
 
 def add(left: int, right: int) -> int:
@@ -47,10 +83,18 @@ def subtract(left: int, right: int) -> int:
 
 
 def multiply(left: int, right: int) -> int:
-    """Field multiplication via log tables."""
-    if left == 0 or right == 0:
-        return 0
-    return _EXP[_LOG[left] + _LOG[right]]
+    """Field multiplication: one flat product-table lookup.
+
+    Out-of-range operands raise rather than aliasing into a wrong table
+    row; the byte-matrix hot loops (:func:`eval_polynomial`,
+    :func:`multiply_many`, the NumPy backend) index ``_MUL`` directly with
+    known-valid values and stay branch-free.
+    """
+    if not 0 <= left <= 255 or not 0 <= right <= 255:
+        raise ValueError(
+            f"operands must be field elements in [0, 255], got ({left}, {right})"
+        )
+    return _MUL[left << 8 | right]
 
 
 def inverse(value: int) -> int:
@@ -86,8 +130,32 @@ def eval_polynomial(coefficients: Sequence[int], point: int) -> int:
     """
     result = 0
     for coefficient in reversed(coefficients):
-        result = multiply(result, point) ^ coefficient
+        result = _MUL[result << 8 | point] ^ coefficient
     return result
+
+
+def lagrange_weights_at_zero(xs: Sequence[int]) -> List[int]:
+    """Per-point Lagrange basis values at x = 0: ``w_i = Π x_j / Π (x_i ^ x_j)``.
+
+    The one implementation of the weight logic — the scalar Shamir combine,
+    :func:`interpolate_at_zero`, and the NumPy backend all call this.
+    ``xs`` must be distinct nonzero field elements.
+    """
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x coordinates")
+    if any(x == 0 for x in xs):
+        raise ValueError("x = 0 is reserved for the secret and cannot be a share")
+    weights = []
+    for i, x_i in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(xs):
+            if i == j:
+                continue
+            numerator = multiply(numerator, x_j)
+            denominator = multiply(denominator, x_i ^ x_j)
+        weights.append(divide(numerator, denominator))
+    return weights
 
 
 def interpolate_at_zero(points: Sequence[tuple]) -> int:
@@ -96,27 +164,22 @@ def interpolate_at_zero(points: Sequence[tuple]) -> int:
     ``points`` is a sequence of ``(x, y)`` field-element pairs with distinct
     ``x``.  This recovers the Shamir secret byte.
     """
-    xs = [x for x, _ in points]
-    if len(set(xs)) != len(xs):
-        raise ValueError("interpolation points must have distinct x coordinates")
-    if any(x == 0 for x in xs):
-        raise ValueError("x = 0 is reserved for the secret and cannot be a share")
+    weights = lagrange_weights_at_zero([x for x, _ in points])
     secret = 0
-    for i, (x_i, y_i) in enumerate(points):
-        numerator = 1
-        denominator = 1
-        for j, (x_j, _) in enumerate(points):
-            if i == j:
-                continue
-            numerator = multiply(numerator, x_j)
-            denominator = multiply(denominator, x_i ^ x_j)
-        secret ^= multiply(y_i, divide(numerator, denominator))
+    for (_x, y), weight in zip(points, weights):
+        secret ^= multiply(y, weight)
     return secret
 
 
-def batch_multiply(values: Sequence[int], scalar: int) -> List[int]:
-    """Multiply every element of ``values`` by ``scalar``."""
-    if scalar == 0:
-        return [0] * len(values)
-    log_scalar = _LOG[scalar]
-    return [0 if v == 0 else _EXP[_LOG[v] + log_scalar] for v in values]
+def multiply_many(values: Sequence[int], scalar: int) -> List[int]:
+    """Multiply every element of ``values`` by ``scalar``, branch-free.
+
+    One product-table row serves the whole sequence; zeros on either side
+    fall out of the table instead of a per-element branch.
+    """
+    row = _MUL[scalar << 8 : (scalar + 1) << 8]
+    return [row[value] for value in values]
+
+
+# Historical name for multiply_many, kept for existing callers.
+batch_multiply = multiply_many

@@ -14,6 +14,9 @@ plus shared machinery:
 - :mod:`repro.experiments.engine` — the batched parallel Monte-Carlo
   trial engine (pluggable executors, streaming aggregation, adaptive
   early stopping) every experiment runs through;
+- :mod:`repro.experiments.attack_kernels` — the vectorised
+  finite-population attack kernels behind Fig. 6's default
+  ``kernel="vectorized"`` lane;
 - :mod:`repro.experiments.executors` — serial / chunked / process-pool
   trial executors with a shared determinism contract;
 - :mod:`repro.experiments.runner` — the original two-function estimation
@@ -24,6 +27,11 @@ plus shared machinery:
   format the benchmarks print.
 """
 
+from repro.experiments.attack_kernels import (
+    CentralAttackBatch,
+    MultipathAttackBatch,
+    attack_batch_for,
+)
 from repro.experiments.attack_resilience import (
     AttackResiliencePoint,
     run_attack_resilience,
@@ -43,6 +51,9 @@ from repro.experiments.runner import estimate_probability, estimate_resilience_p
 __all__ = [
     "run_attack_resilience",
     "AttackResiliencePoint",
+    "attack_batch_for",
+    "CentralAttackBatch",
+    "MultipathAttackBatch",
     "run_churn_resilience",
     "ChurnPoint",
     "run_share_cost",

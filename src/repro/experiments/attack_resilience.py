@@ -11,6 +11,20 @@ For each malicious rate ``p`` and each scheme (central / disjoint / joint):
 
 ``run_attack_resilience`` produces the full series for Fig. 6(a)+(b)
 (``population=10000``) or Fig. 6(c)+(d) (``population=100``).
+
+Two Monte-Carlo lanes implement step 3:
+
+- ``kernel="vectorized"`` (default) — the numpy batch kernels of
+  :mod:`repro.experiments.attack_kernels` through the engine's
+  ``run_batched`` mode: whole batches of trials as ``(trials, k, l)``
+  malicious-mask arrays, ~10-100x the scalar throughput at N = 10,000;
+- ``kernel="scalar"`` — the original per-trial :class:`AttackTrial`
+  objects, kept as the small-N oracle the kernels are property-tested
+  against.
+
+The lanes draw from different (per-trial fork vs per-batch numpy) streams,
+so their estimates agree statistically rather than bit-for-bit; within a
+lane, results remain executor-independent and seed-deterministic.
 """
 
 from __future__ import annotations
@@ -31,6 +45,20 @@ from repro.util.rng import RandomSource
 
 DEFAULT_P_SWEEP = tuple(round(0.05 * i, 2) for i in range(11))  # 0.00 .. 0.50
 SCHEME_ORDER = ("central", "disjoint", "joint")
+KERNELS = ("vectorized", "scalar")
+
+#: Default trials per vectorised batch.  A fixed constant — never derived
+#: from the executor — so the partition (and with it every batch stream)
+#: is identical for any worker count, while still producing enough batches
+#: for a pool to chew on in parallel.
+DEFAULT_VECTORIZED_BATCH = 100
+
+
+def vectorized_batch_size(trials: int, batch_size: Optional[int]) -> Optional[int]:
+    """Resolve the vectorised lane's batch partition for a trial budget."""
+    if batch_size is not None:
+        return batch_size
+    return min(trials, DEFAULT_VECTORIZED_BATCH) or None
 
 
 @dataclass(frozen=True)
@@ -84,16 +112,28 @@ class AttackTrial:
     ) -> None:
         self.scheme = scheme
         self.malicious_rate = malicious_rate
-        self.population_ids = list(range(population_size))
+        self.population_size = population_size
+
+    @property
+    def population_ids(self) -> range:
+        """The id population — a ``range``, never a materialised list."""
+        return range(self.population_size)
 
     def __call__(self, rng: RandomSource):
         sybil = SybilPopulation(self.malicious_rate, rng.fork("sybil"))
-        sybil.mark_population(self.population_ids)
+        sybil.mark_index_population(self.population_size)
         structure = self.scheme.sample_structure(
             self.population_ids, rng.fork("structure")
         )
         outcome = self.scheme.evaluate_attacks(structure, sybil)
         return outcome.release_resisted, outcome.drop_resisted
+
+
+def check_kernel(kernel: str) -> str:
+    """Validate a Monte-Carlo lane name."""
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    return kernel
 
 
 def _measure(
@@ -103,13 +143,29 @@ def _measure(
     trials: int,
     seed: int,
     engine: TrialEngine,
+    kernel: str = "vectorized",
+    batch_size: Optional[int] = None,
 ) -> PairedEstimate:
     """Finite-population Monte Carlo for one configuration."""
+    from repro.experiments.attack_kernels import attack_batch_for
+
+    label = f"fig6-{scheme.name}-{malicious_rate}"
+    if check_kernel(kernel) == "vectorized":
+        batch = attack_batch_for(scheme, malicious_rate, population_size)
+        if batch is not None:
+            return engine.run_batched(
+                batch,
+                trials=trials,
+                seed=seed,
+                label=label,
+                channels=2,
+                batch_size=vectorized_batch_size(trials, batch_size),
+            ).pair
     return engine.estimate_pair(
         AttackTrial(scheme, malicious_rate, population_size),
         trials=trials,
         seed=seed,
-        label=f"fig6-{scheme.name}-{malicious_rate}",
+        label=label,
     )
 
 
@@ -122,6 +178,8 @@ def attack_resilience_point(
     measure: bool = True,
     seed: int = 2017,
     engine: Optional[TrialEngine] = None,
+    kernel: str = "vectorized",
+    batch_size: Optional[int] = None,
 ) -> AttackResiliencePoint:
     """One (scheme, p) point of Fig. 6 — the sweepable unit.
 
@@ -129,9 +187,14 @@ def attack_resilience_point(
     ``measure`` and the plan fits the population) verifies it by Monte
     Carlo.  ``run_attack_resilience`` and the registered scenarios both
     call this, so the two paths produce identical numbers for a seed.
+    ``kernel`` picks the Monte-Carlo lane (``"vectorized"`` numpy batches
+    or the ``"scalar"`` per-trial oracle); ``batch_size`` partitions the
+    vectorised lane (results depend on it only through the engine's
+    documented batch-stream rule).
     """
     if engine is None:
         engine = TrialEngine()
+    check_kernel(kernel)
     configuration = plan_configuration(
         scheme_name, malicious_rate, population_size, target=target
     )
@@ -139,7 +202,14 @@ def attack_resilience_point(
     measured = None
     if measure and configuration.cost <= population_size:
         measured = _measure(
-            scheme, malicious_rate, population_size, trials, seed=seed, engine=engine
+            scheme,
+            malicious_rate,
+            population_size,
+            trials,
+            seed=seed,
+            engine=engine,
+            kernel=kernel,
+            batch_size=batch_size,
         )
     return AttackResiliencePoint(
         scheme=scheme_name,
@@ -161,6 +231,8 @@ def run_attack_resilience(
     engine: Optional[TrialEngine] = None,
     jobs: int = 1,
     tolerance: Optional[float] = None,
+    kernel: str = "vectorized",
+    batch_size: Optional[int] = None,
 ) -> List[AttackResiliencePoint]:
     """Produce the Fig. 6 series for one population size.
 
@@ -168,7 +240,8 @@ def run_attack_resilience(
     tests that pin exact values).  Pass an ``engine`` (or ``jobs`` /
     ``tolerance`` to build a default one) to parallelise the Monte Carlo
     or stop each point adaptively; executors never change the estimates
-    for a fixed trial count.
+    for a fixed trial count.  ``kernel="scalar"`` selects the per-trial
+    oracle lane over the default vectorised kernels.
     """
     if engine is None:
         engine = TrialEngine(jobs=jobs, tolerance=tolerance)
@@ -182,6 +255,8 @@ def run_attack_resilience(
             measure=measure,
             seed=seed,
             engine=engine,
+            kernel=kernel,
+            batch_size=batch_size,
         )
         for scheme_name in SCHEME_ORDER
         for p in p_sweep

@@ -40,6 +40,14 @@ _CHURN_SCHEMES = ("central", "disjoint", "joint", "share")
 def _fig6(name: str, population_size: int, measure: bool) -> ScenarioSpec:
     panel = {"fig6a": "(a)", "fig6b": "(b)", "fig6c": "(c)", "fig6d": "(d)"}[name]
     quantity = "attack resilience R" if measure else "required nodes C"
+    # Measuring specs pin the Monte-Carlo lane explicitly: the kernel is
+    # part of the point's parameter set, so it lands in the result-store
+    # cache key and a cached scalar-lane record can never be served for a
+    # vectorised-lane request (the lanes agree statistically, not
+    # bit-for-bit).
+    fixed = {"population_size": population_size, "measure": measure}
+    if measure:
+        fixed["kernel"] = "vectorized"
     return ScenarioSpec(
         name=name,
         kind="attack_resilience",
@@ -47,7 +55,7 @@ def _fig6(name: str, population_size: int, measure: bool) -> ScenarioSpec:
             f"Fig. 6{panel}: {quantity} vs malicious rate p, "
             f"N = {population_size:,}"
         ),
-        fixed={"population_size": population_size, "measure": measure},
+        fixed=fixed,
         axes=(
             Axis("scheme", _MULTIPATH_SCHEMES),
             Axis("p", P_SWEEP),
@@ -139,7 +147,11 @@ def _builtin_list() -> List[ScenarioSpec]:
                 "N = 1,000 nodes — between Fig. 6's 10,000 and 100 panels, "
                 "the budget a mid-size overlay actually has"
             ),
-            fixed={"population_size": 1000, "measure": True},
+            fixed={
+                "population_size": 1000,
+                "measure": True,
+                "kernel": "vectorized",
+            },
             axes=(
                 Axis("scheme", _MULTIPATH_SCHEMES),
                 Axis("p", P_SWEEP),
@@ -156,7 +168,7 @@ def _builtin_list() -> List[ScenarioSpec]:
                 "grid at p = 0.2: the resilience surface the Fig. 6 planner "
                 "walks, exposed point by point"
             ),
-            fixed={"p": 0.2, "population_size": 2000},
+            fixed={"p": 0.2, "population_size": 2000, "kernel": "vectorized"},
             axes=(
                 Axis("scheme", ("disjoint", "joint")),
                 Axis("replication", (2, 3, 4, 5)),
@@ -213,7 +225,12 @@ def _builtin_list() -> List[ScenarioSpec]:
                 "Tiny 2-point end-to-end sweep (joint scheme, N = 500) — "
                 "what CI runs to exercise the orchestrator and store"
             ),
-            fixed={"scheme": "joint", "population_size": 500, "measure": True},
+            fixed={
+                "scheme": "joint",
+                "population_size": 500,
+                "measure": True,
+                "kernel": "vectorized",
+            },
             axes=(Axis("p", (0.1, 0.3)),),
             trials=40,
             seed=99,

@@ -124,6 +124,12 @@ def run_attack_resilience_point(
     from repro.core.planner import DEFAULT_TARGET
     from repro.experiments.attack_resilience import attack_resilience_point
 
+    # The Monte-Carlo lane is part of a point's *parameter set*, so a spec
+    # that wants the vectorised kernels must pin kernel="vectorized" (all
+    # built-in measuring specs do) — that puts the lane in the result-store
+    # cache key.  The unpinned default stays "scalar", the pre-kernel
+    # estimator, so stores populated before the vectorised lane existed
+    # remain valid for specs that never mention a kernel.
     args = _take(
         "attack_resilience",
         params,
@@ -132,6 +138,7 @@ def run_attack_resilience_point(
             "population_size": 10000,
             "target": DEFAULT_TARGET,
             "measure": True,
+            "kernel": "scalar",
         },
     )
     point = attack_resilience_point(
@@ -143,6 +150,8 @@ def run_attack_resilience_point(
         measure=args["measure"],
         seed=seed,
         engine=engine,
+        kernel=args["kernel"],
+        batch_size=batch_size,
     )
     measured = point.measured
     return {
@@ -345,15 +354,23 @@ def run_sensitivity_point(
 
     The planner normally hides (k, l) behind a cost search; this kind pins
     them explicitly and measures how release/drop resilience trade off as
-    the grid grows — the surface the paper's Fig. 6 planner walks.
+    the grid grows — the surface the paper's Fig. 6 planner walks.  Pin
+    ``kernel="vectorized"`` in the spec (the built-in sensitivity-grid
+    does) for the numpy attack kernels; the unpinned default stays the
+    scalar per-trial lane so pre-kernel result stores remain valid.
     """
-    from repro.experiments.attack_resilience import AttackTrial
+    from repro.experiments.attack_kernels import attack_batch_for
+    from repro.experiments.attack_resilience import (
+        AttackTrial,
+        check_kernel,
+        vectorized_batch_size,
+    )
 
     args = _take(
         "sensitivity",
         params,
         required={"scheme": str, "replication": int, "path_length": int, "p": float},
-        optional={"population_size": 2000},
+        optional={"population_size": 2000, "kernel": "scalar"},
     )
     scheme = _multipath_scheme(
         args["scheme"], args["replication"], args["path_length"]
@@ -363,12 +380,23 @@ def run_sensitivity_point(
         f"sens-{args['scheme']}-k{args['replication']}"
         f"-l{args['path_length']}-p{args['p']}"
     )
-    pair = engine.estimate_pair(
-        AttackTrial(scheme, args["p"], args["population_size"]),
-        trials=trials,
-        seed=seed,
-        label=label,
-    )
+    if check_kernel(args["kernel"]) == "vectorized":
+        batch = attack_batch_for(scheme, args["p"], args["population_size"])
+        pair = engine.run_batched(
+            batch,
+            trials=trials,
+            seed=seed,
+            label=label,
+            channels=2,
+            batch_size=vectorized_batch_size(trials, batch_size),
+        ).pair
+    else:
+        pair = engine.estimate_pair(
+            AttackTrial(scheme, args["p"], args["population_size"]),
+            trials=trials,
+            seed=seed,
+            label=label,
+        )
     return {
         "scheme": args["scheme"],
         "replication": args["replication"],

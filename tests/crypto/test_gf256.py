@@ -130,3 +130,28 @@ class TestBatchMultiply:
     def test_matches_elementwise(self, values, scalar):
         expected = [gf256.multiply(v, scalar) for v in values]
         assert gf256.batch_multiply(values, scalar) == expected
+
+    @given(st.lists(elements, max_size=10), elements)
+    def test_multiply_many_matches_elementwise(self, values, scalar):
+        expected = [gf256.multiply(v, scalar) for v in values]
+        assert gf256.multiply_many(values, scalar) == expected
+
+
+class TestTables:
+    def test_tables_are_immutable_bytes(self):
+        exp, log, mul = gf256.export_tables()
+        assert isinstance(exp, bytes) and len(exp) == 510
+        assert isinstance(log, bytes) and len(log) == 256
+        assert isinstance(mul, bytes) and len(mul) == 256 * 256
+
+    def test_exp_log_consistency(self):
+        exp, log, _ = gf256.export_tables()
+        for value in range(1, 256):
+            assert exp[log[value]] == value
+        assert exp[:255] == exp[255:510]
+
+    def test_product_table_rows_match_multiply(self):
+        _, _, mul = gf256.export_tables()
+        for a in (0, 1, 2, 3, 0x53, 0xCA, 255):
+            row = mul[a << 8 : (a + 1) << 8]
+            assert list(row) == [_slow_multiply(a, b) for b in range(256)]

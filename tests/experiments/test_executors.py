@@ -24,6 +24,8 @@ from repro.experiments.executors import (
     run_batch_range,
     run_collect_range,
     run_count_range,
+    shared_memory_available,
+    shm_buffers_created,
 )
 
 
@@ -158,6 +160,89 @@ class TestIndivisibleChunks:
             )
         assert result == reference
         assert reference.trials == 97
+
+
+def negative_corner_batch(generator, count):
+    """A batch whose first channel can go to zero — exercises every slot."""
+    draws = generator.random(count)
+    return (int((draws < 0.001).sum()), int((draws < 0.9).sum()))
+
+
+class TestSharedMemoryLane:
+    """Batch counts through shared memory match the pickle lane exactly."""
+
+    def test_shared_lane_engages_and_matches_serial(self):
+        assert shared_memory_available()
+        reference = TrialEngine().run_batched(
+            counting_batch, trials=230, seed=11, label="shm", batch_size=25
+        )
+        before = shm_buffers_created()
+        with SweepPoolExecutor(jobs=2) as executor:
+            result = TrialEngine(executor=executor).run_batched(
+                counting_batch, trials=230, seed=11, label="shm", batch_size=25
+            )
+        assert result == reference
+        assert shm_buffers_created() > before
+
+    def test_disabled_lane_matches_too(self):
+        reference = TrialEngine().run_batched(
+            counting_batch, trials=230, seed=11, label="shm", batch_size=25
+        )
+        before = shm_buffers_created()
+        with SweepPoolExecutor(jobs=2, use_shared_memory=False) as executor:
+            result = TrialEngine(executor=executor).run_batched(
+                counting_batch, trials=230, seed=11, label="shm", batch_size=25
+            )
+        assert result == reference
+        assert shm_buffers_created() == before
+
+    def test_multi_channel_counts_fill_every_slot(self):
+        reference = TrialEngine().run_batched(
+            negative_corner_batch,
+            trials=301,
+            seed=3,
+            label="slots",
+            channels=2,
+            batch_size=13,
+        )
+        with SweepPoolExecutor(jobs=3) as executor:
+            result = TrialEngine(executor=executor).run_batched(
+                negative_corner_batch,
+                trials=301,
+                seed=3,
+                label="slots",
+                channels=2,
+                batch_size=13,
+            )
+        assert result == reference
+
+    def test_adaptive_stopping_identical_across_lanes(self):
+        kwargs = dict(trials=1000, seed=21, label="tol", batch_size=50)
+        reference = TrialEngine(tolerance=0.05).run_batched(
+            counting_batch, **kwargs
+        )
+        for shared in (True, False):
+            with SweepPoolExecutor(jobs=2, use_shared_memory=shared) as executor:
+                result = TrialEngine(executor=executor, tolerance=0.05).run_batched(
+                    counting_batch, **kwargs
+                )
+            assert result == reference
+
+    def test_unpicklable_batch_falls_back_in_process(self):
+        bias = 0.25
+        closure = lambda generator, count: (  # noqa: E731 - deliberate
+            int((generator.random(count) < bias).sum()),
+        )
+        reference = TrialEngine().run_batched(
+            closure, trials=90, seed=2, label="clb", batch_size=30
+        )
+        before = shm_buffers_created()
+        with SweepPoolExecutor(jobs=2) as executor:
+            result = TrialEngine(executor=executor).run_batched(
+                closure, trials=90, seed=2, label="clb", batch_size=30
+            )
+        assert result == reference
+        assert shm_buffers_created() == before
 
 
 class TestSweepPoolLifecycle:

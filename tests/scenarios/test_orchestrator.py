@@ -265,10 +265,15 @@ class TestDriverEquivalence:
     def test_attack_resilience_scenario_matches_driver(self):
         from repro.experiments.attack_resilience import run_attack_resilience
 
+        # The spec pins the Monte-Carlo lane (as every built-in measuring
+        # spec does): the equivalence contract is per lane — a spec that
+        # omits "kernel" keeps the pre-kernel scalar estimator so old
+        # result stores stay valid, while the driver defaults to the
+        # vectorised lane.
         spec = ScenarioSpec(
             name="fig6-small",
             kind="attack_resilience",
-            fixed={"population_size": 500},
+            fixed={"population_size": 500, "kernel": "vectorized"},
             axes=(
                 Axis("scheme", ("central", "disjoint", "joint")),
                 Axis("p", (0.1, 0.3)),
