@@ -4,13 +4,21 @@ Times the orchestration layer itself: a cold sweep (every point computed
 through one shared executor), then the warm re-run (every point served
 from the store — the "zero new trials" contract), printing the regenerated
 table both ways.  Honours the usual knobs: ``REPRO_BENCH_TRIALS``,
-``REPRO_BENCH_JOBS``, ``REPRO_BENCH_TOLERANCE``.
+``REPRO_BENCH_JOBS``, ``REPRO_BENCH_TOLERANCE``, ``REPRO_BENCH_BACKEND``
+(+ ``REPRO_BENCH_WORKERS`` for the distributed backend).
 """
 
 import tempfile
 
 import pytest
-from conftest import bench_jobs, bench_tolerance, bench_trials, record_bench, run_once
+from conftest import (
+    bench_backend,
+    bench_jobs,
+    bench_tolerance,
+    bench_trials,
+    record_bench,
+    run_once,
+)
 
 from repro.experiments.reporting import format_sweep_table
 from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
@@ -18,7 +26,10 @@ from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
 
 def _sweep(name: str, tmp: str, trials: int):
     orchestrator = SweepOrchestrator(
-        store=ResultStore(tmp), jobs=bench_jobs(), tolerance=bench_tolerance()
+        store=ResultStore(tmp),
+        jobs=bench_jobs(None),
+        backend=bench_backend(),
+        tolerance=bench_tolerance(),
     )
     return orchestrator.run(get_scenario(name), trials=trials)
 

@@ -13,7 +13,12 @@ the same way:
   identical to serial for the same trial count — the engine's determinism
   contract);
 - ``REPRO_BENCH_TOLERANCE=0.02`` enables adaptive early stopping, cutting
-  trial counts per point once the CI half-width is within tolerance.
+  trial counts per point once the CI half-width is within tolerance;
+- ``REPRO_BENCH_BACKEND=shm-pool`` picks an execution backend by registry
+  name (``serial`` / ``chunked`` / ``fork-pool`` / ``shm-pool`` /
+  ``distributed``; unset defers to the ``REPRO_BENCH_JOBS`` sugar), with
+  ``REPRO_BENCH_WORKERS=host:port,...`` supplying worker addresses for
+  the distributed backend.
 
 **Machine-readable records.**  Besides the human tables, every benchmark
 appends a record to ``BENCH_<name>.json`` (written to ``REPRO_BENCH_OUT``,
@@ -38,8 +43,14 @@ def bench_trials(default: int = 300) -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", default))
 
 
-def bench_jobs(default: int = 1) -> int:
-    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+def bench_jobs(default=1):
+    """REPRO_BENCH_JOBS as an int, or ``default`` when unset.
+
+    Engine/orchestrator call sites pass ``default=None`` so that only an
+    *explicit* env value overrides a named backend's own jobs default.
+    """
+    raw = os.environ.get("REPRO_BENCH_JOBS")
+    return default if raw is None else int(raw)
 
 
 def bench_tolerance():
@@ -51,9 +62,32 @@ def bench_tolerance():
     return value if value > 0 else None
 
 
+def bench_backend():
+    """The BackendSpec REPRO_BENCH_BACKEND selects, or None (jobs sugar)."""
+    name = os.environ.get("REPRO_BENCH_BACKEND")
+    if not name:
+        return None
+    from repro.backends import BackendSpec
+
+    options = {}
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if name == "distributed":
+        if not workers:
+            raise RuntimeError(
+                "REPRO_BENCH_BACKEND=distributed needs "
+                "REPRO_BENCH_WORKERS=host:port,..."
+            )
+        options["workers"] = [w.strip() for w in workers.split(",") if w.strip()]
+    return BackendSpec(name, options=options)
+
+
 def bench_engine() -> TrialEngine:
     """The trial engine every figure benchmark drives its sweep through."""
-    return TrialEngine(jobs=bench_jobs(), tolerance=bench_tolerance())
+    return TrialEngine(
+        jobs=bench_jobs(None),
+        tolerance=bench_tolerance(),
+        backend=bench_backend(),
+    )
 
 
 def bench_out_dir() -> Path:
@@ -118,6 +152,7 @@ def record_bench(name, benchmark, trials=None, wall=None, **extra):
     """
     if wall is None:
         wall = mean_seconds(benchmark)
+    backend = bench_backend()
     record = {
         "bench": benchmark.name,
         "wall_seconds": None if wall is None else round(wall, 6),
@@ -127,6 +162,7 @@ def record_bench(name, benchmark, trials=None, wall=None, **extra):
         ),
         "jobs": bench_jobs(),
         "tolerance": bench_tolerance(),
+        "backend": backend.describe() if backend is not None else None,
     }
     record.update(extra)
     records = _RECORDS.setdefault(name, [])

@@ -18,6 +18,13 @@ Quick tour (see README.md for a runnable quickstart):
 - :mod:`repro.cloud` - the encrypted-blob store.
 - :mod:`repro.experiments` - Monte-Carlo drivers reproducing every figure
   of the paper's evaluation (Figs. 6, 7, 8).
+- :mod:`repro.backends` - the unified execution layer: one
+  ``ExecutionBackend`` protocol over serial / chunked / fork-pool /
+  shm-pool / distributed (TCP worker) substrates.
+- :mod:`repro.scenarios` - declarative sweep specs, orchestrator, and the
+  content-addressed result store.
+- :mod:`repro.api` - the public façade: ``run_scenario`` / ``run_sweep`` /
+  ``load_results`` / ``list_backends`` without touching internals.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,148 @@
+"""The public programmatic façade.
+
+Programmatic users previously imported five internal modules to run a
+sweep (`scenarios.registry`, `scenarios.orchestrator`, `scenarios.store`,
+`experiments.engine`, `experiments.executors`).  This module is the one
+front door::
+
+    from repro import api
+
+    report = api.run_scenario("fig6a", trials=200, jobs=4)
+    report = api.run_sweep("fig7", store=".repro-store", backend="shm-pool",
+                           jobs=8, tolerance=0.02)
+    records = api.load_results(".repro-store", "fig7")
+    for backend in api.list_backends():
+        print(backend["name"], backend["description"])
+
+Scenario arguments accept either a registered name or a full
+:class:`~repro.scenarios.spec.ScenarioSpec`; backend arguments accept a
+registry name, a :class:`~repro.backends.base.BackendSpec`, or an
+already-open :class:`~repro.backends.base.ExecutionBackend` instance.
+Everything here is a thin composition of the stable subsystems — specs,
+backends, orchestrator, store — so anything the façade can do, the
+underlying modules can too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.backends import list_backends as _registry_list_backends
+from repro.backends.base import BackendSpec, ExecutionBackend
+from repro.scenarios.orchestrator import SweepOrchestrator, SweepReport
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.store import ResultStore
+
+#: What every ``scenario`` parameter accepts.
+ScenarioLike = Union[str, ScenarioSpec]
+
+#: What every ``backend`` parameter accepts.
+BackendLike = Union[str, BackendSpec, ExecutionBackend, None]
+
+#: What every ``store`` parameter accepts.
+StoreLike = Union[str, Path, ResultStore, None]
+
+__all__ = [
+    "ScenarioSpec",
+    "BackendSpec",
+    "SweepReport",
+    "get_scenario",
+    "scenario_names",
+    "list_backends",
+    "load_results",
+    "run_scenario",
+    "run_sweep",
+]
+
+
+def _resolve_scenario(scenario: ScenarioLike) -> ScenarioSpec:
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    return get_scenario(scenario)
+
+
+def _resolve_store(store: StoreLike) -> Optional[ResultStore]:
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)
+
+
+def run_scenario(
+    scenario: ScenarioLike,
+    *,
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+    backend: BackendLike = None,
+    jobs: Optional[int] = None,
+) -> SweepReport:
+    """Run every point of one scenario, without persistence.
+
+    The in-memory sibling of :func:`run_sweep`: same grid expansion,
+    same per-point tolerance schedule, same single-backend-per-run
+    execution — results come back in the report only.
+    """
+    return run_sweep(
+        scenario,
+        store=None,
+        trials=trials,
+        tolerance=tolerance,
+        backend=backend,
+        jobs=jobs,
+    )
+
+
+def run_sweep(
+    scenario: ScenarioLike,
+    *,
+    store: StoreLike = None,
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+    backend: BackendLike = None,
+    jobs: Optional[int] = None,
+    force: bool = False,
+    progress: Optional[Any] = None,
+) -> SweepReport:
+    """Run (or resume) a scenario sweep through the orchestrator.
+
+    With a ``store``, completed points are persisted under their content
+    hash and skipped on re-runs — calling this twice performs zero new
+    trials the second time, and an interrupted sweep resumes from the
+    last persisted point.  ``backend`` picks the execution substrate
+    (``"serial"``, ``"fork-pool"``, ``"shm-pool"``, ``"distributed"``
+    with a workers option, or any registered/pre-built backend);
+    ``jobs`` is the usual sugar.  Neither changes results or cache keys.
+    """
+    spec = _resolve_scenario(scenario)
+    orchestrator = SweepOrchestrator(
+        store=_resolve_store(store),
+        jobs=jobs,
+        backend=backend,
+        tolerance=tolerance,
+    )
+    return orchestrator.run(spec, trials=trials, force=force, progress=progress)
+
+
+def load_results(store: StoreLike, scenario: ScenarioLike) -> List[Dict[str, Any]]:
+    """Load every cached point record of a scenario from a result store.
+
+    Records come back in deterministic (content-key) order; each is the
+    exact dict a sweep persisted — ``point``, ``params``, ``result``,
+    ``trials``, ``seed``, ``tolerance``, ``store_generation``.  An
+    empty list means the store holds nothing for that scenario.
+    """
+    resolved = _resolve_store(store)
+    if resolved is None:
+        raise ValueError("load_results needs a store path or ResultStore")
+    name = (
+        scenario.name
+        if isinstance(scenario, ScenarioSpec)
+        else str(scenario)
+    )
+    return [resolved.load(name, key) for key in resolved.keys(name)]
+
+
+def list_backends() -> List[Dict[str, Any]]:
+    """Describe every registered execution backend (JSON-safe dicts)."""
+    return _registry_list_backends()

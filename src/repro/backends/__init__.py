@@ -1,0 +1,54 @@
+"""Unified execution backends: one protocol, many substrates.
+
+The repository's execution layer in one subsystem:
+
+- :mod:`repro.backends.base` — the :class:`ExecutionBackend` protocol
+  (open/close + start/finish lifecycles; ``run_counts`` /
+  ``run_batches`` / ``run_collect`` spans; capability flags) and the
+  JSON-round-trippable :class:`BackendSpec`;
+- :mod:`repro.backends.registry` — ``get("serial" | "chunked" |
+  "fork-pool" | "shm-pool" | "distributed")`` plus
+  :func:`register_backend` for new substrates;
+- :mod:`repro.backends.distributed` / :mod:`repro.backends.worker` —
+  the TCP span protocol: ``repro worker serve --bind`` on the worker
+  side, :class:`DistributedBackend` on the orchestrator side.
+
+Every backend honours the determinism contract — streams keyed by
+``(seed, label, index)`` and exact integer aggregation make results
+backend-invariant — so backends are interchangeable at run time and
+excluded from result-store cache keys unless they declare semantically
+meaningful options.
+"""
+
+from repro.backends.base import CAPABILITY_FLAGS, BackendSpec, ExecutionBackend
+from repro.backends.distributed import DistributedBackend
+from repro.backends.registry import (
+    BackendEntry,
+    backend_names,
+    get,
+    list_backends,
+    make_backend,
+    register_backend,
+    resolve_spec,
+    semantic_option_names,
+    spec_for_jobs,
+)
+from repro.backends.worker import WorkerServer, serve
+
+__all__ = [
+    "BackendEntry",
+    "BackendSpec",
+    "CAPABILITY_FLAGS",
+    "DistributedBackend",
+    "ExecutionBackend",
+    "WorkerServer",
+    "backend_names",
+    "get",
+    "list_backends",
+    "make_backend",
+    "register_backend",
+    "resolve_spec",
+    "semantic_option_names",
+    "serve",
+    "spec_for_jobs",
+]

@@ -1,0 +1,198 @@
+"""The :class:`ExecutionBackend` protocol and the :class:`BackendSpec` value.
+
+Everything in the repository that runs Monte-Carlo work — the
+:class:`~repro.experiments.engine.TrialEngine`, the sweep orchestrator,
+the CLI, the benchmarks — talks to exactly one interface.  An execution
+backend has two nested lifecycles and three *spans*:
+
+- :meth:`~ExecutionBackend.open` / :meth:`~ExecutionBackend.close`
+  bracket long-lived resources (a worker pool, a set of TCP
+  connections); a sweep opens its backend once and runs every point
+  through it.  Backends are context managers over this pair.
+- :meth:`~ExecutionBackend.start` / :meth:`~ExecutionBackend.finish`
+  bracket one engine run (one :class:`~repro.experiments.executors.TrialTask`).
+- :meth:`~ExecutionBackend.run_counts`, :meth:`~ExecutionBackend.run_batches`
+  and :meth:`~ExecutionBackend.run_collect` execute half-open spans of
+  trial indices / batch indices and return per-channel success counts
+  (or index-ordered values, for collect mode).
+
+**Determinism contract.**  Per-trial streams are a pure function of
+``(seed, label, index)`` and per-batch streams of the fixed batch
+partition, and count aggregation is exact integer addition — so no
+conforming backend, worker count, chunking, or host topology can change
+results.  That contract is what lets the result store exclude transport
+options (``jobs``, worker addresses) from its cache keys.
+
+A :class:`BackendSpec` is the declarative, JSON-round-trippable half: a
+registry name plus an options mapping.  It can live inside a
+:class:`~repro.scenarios.spec.ScenarioSpec`'s engine settings and
+participates in result-store cache keys only through
+:meth:`BackendSpec.cache_fields` — the options the backend's registry
+entry declares *semantically meaningful* (none of the built-ins declare
+any, which is exactly why existing stores stay valid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+import json
+
+_OPTION_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_option_value(value: Any, where: str) -> Any:
+    """Backend options are JSON scalars or flat lists of them.
+
+    Lists cover worker address lists (``["host:port", ...]``); anything
+    deeper has no business in a cache-key-adjacent value.
+    """
+    if isinstance(value, _OPTION_SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            if not isinstance(item, _OPTION_SCALARS):
+                raise TypeError(
+                    f"{where} list items must be JSON scalars, "
+                    f"got {type(item).__name__}"
+                )
+        return list(value)
+    raise TypeError(
+        f"{where} must be a JSON scalar or a list of scalars, "
+        f"got {type(value).__name__}"
+    )
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Structural interface every execution substrate satisfies.
+
+    The historical :class:`~repro.experiments.executors.TrialExecutor`
+    hierarchy implements this protocol verbatim (it is the local half of
+    the backend registry); :class:`~repro.backends.distributed.DistributedBackend`
+    is the first non-local implementation.  Capability flags are class
+    attributes so callers (and ``repro backends list``) can introspect a
+    backend without opening it.
+    """
+
+    #: Whether batch results can travel through ``multiprocessing.shared_memory``.
+    supports_shared_memory: bool
+    #: Whether spans execute outside this process's memory image.
+    supports_remote: bool
+
+    def open(self) -> "ExecutionBackend": ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "ExecutionBackend": ...
+
+    def __exit__(self, exc_type, exc, tb) -> None: ...
+
+    def start(self, task: Any) -> None: ...
+
+    def finish(self) -> None: ...
+
+    def run_counts(self, task: Any, start: int, stop: int) -> List[int]: ...
+
+    def run_batches(self, task: Any, first: int, last: int) -> List[int]: ...
+
+    def run_collect(self, task: Any, start: int, stop: int) -> List[Any]: ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A declarative backend selection: registry name + options.
+
+    Loss-free dict/JSON round trip
+    (``spec == BackendSpec.from_json(spec.to_json())``), so a spec can be
+    pinned inside a scenario's engine settings, printed by
+    ``repro scenarios show --json``, and shipped across processes.
+
+    Equality is structural.  Option values must be JSON scalars or flat
+    lists of scalars (worker address lists).
+    """
+
+    name: str
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(
+                f"backend name must be a non-empty string, got {self.name!r}"
+            )
+        normalized: Dict[str, Any] = {}
+        for key, value in dict(self.options).items():
+            if not isinstance(key, str) or not key:
+                raise ValueError(
+                    f"backend option name must be a non-empty string, got {key!r}"
+                )
+            normalized[key] = _check_option_value(
+                value, f"backend option {key!r}"
+            )
+        object.__setattr__(self, "options", normalized)
+
+    def with_options(self, **options: Any) -> "BackendSpec":
+        """A copy with extra options merged in (existing keys win)."""
+        merged = {**options, **self.options}
+        return BackendSpec(name=self.name, options=merged)
+
+    def cache_fields(self) -> Dict[str, Any]:
+        """The options that belong in a result-store cache key.
+
+        Only options the registry declares *semantically meaningful* for
+        this backend — ones that could change results, which by the
+        determinism contract excludes every transport knob (``jobs``,
+        ``chunk_size``, ``use_shared_memory``, ``workers``, timeouts).
+        All built-in backends declare none, so the returned dict is
+        empty and the backend never perturbs a cache key — exactly the
+        historical ``jobs``-is-excluded behaviour, generalised.
+        """
+        from repro.backends.registry import semantic_option_names
+
+        semantic = semantic_option_names(self.name)
+        return {
+            key: value
+            for key, value in sorted(self.options.items())
+            if key in semantic
+        }
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BackendSpec":
+        return cls(
+            name=payload["name"], options=dict(payload.get("options", {}))
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=(indent is None))
+
+    @classmethod
+    def from_json(cls, text: str) -> "BackendSpec":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """A compact human-readable rendering (CLI progress lines)."""
+        if not self.options:
+            return self.name
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.options.items())
+        )
+        return f"{self.name}({rendered})"
+
+
+#: The capability flags :func:`repro.backends.list_backends` reports.
+CAPABILITY_FLAGS: Tuple[str, ...] = ("supports_shared_memory", "supports_remote")

@@ -1,0 +1,250 @@
+"""The distributed execution backend: spans over TCP workers.
+
+:class:`DistributedBackend` implements the
+:class:`~repro.backends.base.ExecutionBackend` protocol against one or
+more ``repro worker serve`` processes (see :mod:`repro.backends.worker`),
+reachable as ``host:port`` addresses.  One persistent connection per
+worker is opened by :meth:`~DistributedBackend.open` and reused for every
+engine run of a sweep — the remote analogue of the one-pool-per-sweep
+contract.
+
+Execution model per span call:
+
+1. :meth:`start` pickles the task once and broadcasts it to every
+   worker connection (op ``task``); a task that cannot be pickled falls
+   back to exact in-process execution for that run, mirroring
+   :class:`~repro.experiments.executors.SweepPoolExecutor`.
+2. ``run_counts``/``run_batches``/``run_collect`` split their half-open
+   range into spans (``chunk_size`` each, default: balanced across
+   workers), assign spans round-robin to workers, and drive each
+   worker's connection from its own thread.
+3. Counts are summed — exact integer addition, associative, so the
+   assignment never matters — and collect values are re-assembled in
+   span order, preserving trial-index order.
+
+Workers compute spans with the same range functions local executors use,
+so results are *identical* to the serial executor for any worker set:
+streams keyed by ``(seed, label, index)`` are backend-invariant.  A
+worker failure raises immediately; because the sweep orchestrator
+persists completed points, ``repro sweep resume`` continues a partially
+failed distributed sweep without recomputing anything.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.backends.wire import (
+    WORKER_ROLE,
+    decode_blob,
+    encode_blob,
+    parse_address,
+    request,
+)
+from repro.experiments.executors import (
+    TrialExecutor,
+    TrialTask,
+    run_batch_range,
+    run_collect_range,
+    run_count_range,
+)
+from repro.util.validation import check_positive_int
+
+import pickle
+
+
+class DistributedBackend(TrialExecutor):
+    """Dispatch trial spans to remote ``repro worker`` processes.
+
+    Parameters
+    ----------
+    workers:
+        Non-empty sequence of ``"host:port"`` worker addresses.
+    chunk_size:
+        Trials (or batches) per dispatched span; default balances the
+        range evenly across workers.  Never observable in results.
+    connect_timeout:
+        Seconds allowed for the TCP connect + hello handshake per
+        worker.  Span requests themselves block without a deadline (a
+        span legitimately runs for minutes at paper-scale trial
+        counts).
+    """
+
+    supports_remote = True
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        chunk_size: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        addresses = [
+            worker.strip() for worker in workers if str(worker).strip()
+        ]
+        if not addresses:
+            raise ValueError(
+                "DistributedBackend needs at least one worker address "
+                "('host:port')"
+            )
+        self.workers: Tuple[str, ...] = tuple(addresses)
+        self._addresses = [parse_address(address) for address in self.workers]
+        if chunk_size is not None:
+            check_positive_int(chunk_size, "chunk_size")
+        self.chunk_size = chunk_size
+        self.connect_timeout = connect_timeout
+        self._connections: Optional[List[socket.socket]] = None
+        self._payload: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "DistributedBackend":
+        """Connect and handshake every worker; idempotent."""
+        if self._connections is not None:
+            return self
+        connections: List[socket.socket] = []
+        try:
+            for address, (host, port) in zip(self.workers, self._addresses):
+                try:
+                    connection = socket.create_connection(
+                        (host, port), timeout=self.connect_timeout
+                    )
+                except OSError as error:
+                    raise ConnectionError(
+                        f"cannot reach worker {address}: {error}"
+                    ) from error
+                connections.append(connection)
+                hello = request(connection, {"op": "hello"})
+                if hello.get("role") != WORKER_ROLE:
+                    raise ConnectionError(
+                        f"{address} is not a repro worker "
+                        f"(role {hello.get('role')!r})"
+                    )
+                # Handshake done: span requests may run arbitrarily long.
+                connection.settimeout(None)
+        except BaseException:
+            for connection in connections:
+                connection.close()
+            raise
+        self._connections = connections
+        return self
+
+    def close(self) -> None:
+        if self._connections is not None:
+            for connection in self._connections:
+                connection.close()
+            self._connections = None
+        self._payload = None
+
+    def start(self, task: TrialTask) -> None:
+        self.open()
+        try:
+            payload = encode_blob(task)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable task (ad-hoc closure): exact in-process fallback
+            # for this run, connections stay open for the next task.
+            self._payload = None
+            return
+        self._payload = payload
+        for connection in self._connections:
+            request(connection, {"op": "task", "task": payload})
+
+    def finish(self) -> None:
+        self._payload = None
+
+    # -- span dispatch -----------------------------------------------------
+
+    def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
+        if self.chunk_size is not None:
+            span = self.chunk_size
+        else:
+            span = max(1, -(-(stop - start) // len(self.workers)))
+        return [
+            (low, min(low + span, stop)) for low in range(start, stop, span)
+        ]
+
+    def _dispatch(
+        self, mode: str, spans: List[Tuple[int, int]]
+    ) -> List[Any]:
+        """Run every span on some worker; replies in span order.
+
+        Spans are assigned round-robin; each worker's connection is
+        driven serially by its own thread (the protocol is one request
+        in flight per connection).  Any failure is re-raised here after
+        every thread has stopped touching its socket.
+        """
+        assert self._connections is not None
+        replies: List[Any] = [None] * len(spans)
+        errors: List[BaseException] = []
+
+        def drive(connection: socket.socket, assigned) -> None:
+            try:
+                for span_index, (low, high) in assigned:
+                    replies[span_index] = request(
+                        connection,
+                        {"op": "run", "mode": mode, "start": low, "stop": high},
+                    )
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append(error)
+
+        groups: List[List[Tuple[int, Tuple[int, int]]]] = [
+            [] for _ in self._connections
+        ]
+        for span_index, span in enumerate(spans):
+            groups[span_index % len(groups)].append((span_index, span))
+        threads = [
+            threading.Thread(
+                target=drive, args=(connection, assigned), daemon=True
+            )
+            for connection, assigned in zip(self._connections, groups)
+            if assigned
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return replies
+
+    def _summed_counts(
+        self, task: TrialTask, mode: str, start: int, stop: int
+    ) -> List[int]:
+        counts = [0] * task.channels
+        for reply in self._dispatch(mode, self._spans(start, stop)):
+            chunk = reply["counts"]
+            if len(chunk) != task.channels:
+                raise ValueError(
+                    f"worker returned {len(chunk)} channel(s), "
+                    f"expected {task.channels}"
+                )
+            for channel, value in enumerate(chunk):
+                counts[channel] += int(value)
+        return counts
+
+    # -- the three spans ---------------------------------------------------
+
+    def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
+        if self._payload is None:
+            return run_count_range(task, start, stop)
+        if start >= stop:
+            return [0] * task.channels
+        return self._summed_counts(task, "counts", start, stop)
+
+    def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
+        if self._payload is None:
+            return run_batch_range(task, first, last)
+        if first >= last:
+            return [0] * task.channels
+        return self._summed_counts(task, "batches", first, last)
+
+    def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
+        if self._payload is None:
+            return run_collect_range(task, start, stop)
+        if start >= stop:
+            return []
+        values: List[Any] = []
+        for reply in self._dispatch("collect", self._spans(start, stop)):
+            values.extend(decode_blob(reply["values"]))
+        return values

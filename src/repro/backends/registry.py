@@ -1,0 +1,271 @@
+"""The execution-backend registry: name → factory, capabilities, options.
+
+Every execution substrate in the repository is registered here under a
+stable name, and everything that needs one — the trial engine, the sweep
+orchestrator, the CLI's ``--backend`` flag, ``repro.api`` — resolves it
+through :func:`get`:
+
+======== ============= =====================================================
+name      class         substrate
+======== ============= =====================================================
+serial    SerialExecutor      the in-process reference loop
+chunked   ChunkedExecutor     in-process, fixed-size chunks
+fork-pool ProcessPoolExecutor one fork pool per engine run (task inherited)
+shm-pool  SweepPoolExecutor   one long-lived fork pool per sweep,
+                              pickle-shipped tasks, shared-memory results
+distributed DistributedBackend spans over TCP to ``repro worker`` processes
+======== ============= =====================================================
+
+Each entry declares which options its factory accepts and which of them
+are *semantically meaningful* — able to change results.  By the engine's
+determinism contract none of the built-ins have any (``jobs``, chunking,
+transport and topology are all invisible in the counts), which is what
+:meth:`BackendSpec.cache_fields` uses to keep backends out of
+result-store cache keys unless a future backend genuinely changes the
+numbers.
+
+``--jobs`` remains pure sugar: :func:`spec_for_jobs` maps a worker count
+to the historical defaults (serial for 1; ``fork-pool`` for engine runs,
+``shm-pool`` for sweeps above that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro.backends.base import BackendSpec, ExecutionBackend
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """One registered backend: factory plus declared metadata."""
+
+    name: str
+    description: str
+    factory: Callable[..., ExecutionBackend]
+    option_names: FrozenSet[str]
+    semantic_options: FrozenSet[str]
+    supports_shared_memory: bool
+    supports_remote: bool
+    available: Callable[[], bool]
+
+
+_REGISTRY: Dict[str, BackendEntry] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., ExecutionBackend],
+    *,
+    description: str,
+    options: Tuple[str, ...] = (),
+    semantic_options: Tuple[str, ...] = (),
+    supports_shared_memory: bool = False,
+    supports_remote: bool = False,
+    available: Optional[Callable[[], bool]] = None,
+) -> None:
+    """Register an execution backend under a stable name.
+
+    Public on purpose: a new substrate (asyncio, GPU lane, a different
+    RPC fabric) is "write the class, register it" — every consumer
+    (engine, orchestrator, CLI, ``repro.api``) picks it up through the
+    same :func:`get` call.  ``semantic_options`` names the options that
+    can change results and therefore belong in result-store cache keys;
+    leave it empty for any backend that honours the determinism
+    contract.
+    """
+    unknown_semantic = set(semantic_options) - set(options)
+    if unknown_semantic:
+        raise ValueError(
+            f"semantic options {sorted(unknown_semantic)} not in the "
+            f"declared options of backend {name!r}"
+        )
+    _REGISTRY[name] = BackendEntry(
+        name=name,
+        description=description,
+        factory=factory,
+        option_names=frozenset(options),
+        semantic_options=frozenset(semantic_options),
+        supports_shared_memory=supports_shared_memory,
+        supports_remote=supports_remote,
+        available=available if available is not None else (lambda: True),
+    )
+
+
+def backend_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def _entry(name: str) -> BackendEntry:
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}"
+        )
+    return _REGISTRY[name]
+
+
+def semantic_option_names(name: str) -> FrozenSet[str]:
+    """The cache-key-relevant option names of a backend (usually empty)."""
+    return _entry(name).semantic_options
+
+
+def list_backends() -> List[Dict[str, Any]]:
+    """JSON-safe descriptions of every registered backend.
+
+    The payload behind ``repro backends list`` and
+    :func:`repro.api.list_backends`: name, description, accepted and
+    semantic options, capability flags, and whether the backend is
+    usable on this platform.
+    """
+    return [
+        {
+            "name": entry.name,
+            "description": entry.description,
+            "options": sorted(entry.option_names),
+            "semantic_options": sorted(entry.semantic_options),
+            "supports_shared_memory": entry.supports_shared_memory,
+            "supports_remote": entry.supports_remote,
+            "available": bool(entry.available()),
+        }
+        for _, entry in sorted(_REGISTRY.items())
+    ]
+
+
+#: What callers may pass anywhere a backend is accepted.
+BackendLike = Union[str, BackendSpec, ExecutionBackend, None]
+
+
+def spec_for_jobs(jobs: int = 1, sweep: bool = False) -> BackendSpec:
+    """The historical ``--jobs`` sugar as a :class:`BackendSpec`.
+
+    ``jobs=1`` is the serial reference; above that, engine runs get the
+    per-run ``fork-pool`` (tasks inherited through fork, so closures
+    need not pickle) and sweeps get the long-lived ``shm-pool`` (one
+    pool for every point, shared-memory batch results).
+    """
+    check_positive_int(jobs, "jobs")
+    if jobs == 1:
+        return BackendSpec("serial")
+    return BackendSpec(
+        "shm-pool" if sweep else "fork-pool", options={"jobs": jobs}
+    )
+
+
+def resolve_spec(
+    backend: Union[str, BackendSpec, None],
+    jobs: Optional[int] = None,
+    sweep: bool = False,
+) -> BackendSpec:
+    """Normalise (backend, jobs) into one :class:`BackendSpec`.
+
+    ``backend=None`` defers entirely to the ``jobs`` sugar.  A bare name
+    gets an *explicit* ``jobs`` merged in when the backend accepts that
+    option — ``--backend shm-pool --jobs 8`` means what it reads like,
+    and ``--jobs 1`` gives a one-worker pool, not the factory default —
+    while ``jobs=None`` (unset) leaves the backend's own default alone.
+    A full :class:`BackendSpec` is honoured verbatim (its own options
+    win).
+    """
+    if backend is None:
+        return spec_for_jobs(1 if jobs is None else jobs, sweep=sweep)
+    if isinstance(backend, str):
+        backend = BackendSpec(backend)
+    entry = _entry(backend.name)
+    if jobs is not None and "jobs" in entry.option_names:
+        backend = backend.with_options(jobs=jobs)
+    return backend
+
+
+def get(
+    backend: BackendLike = None,
+    *,
+    jobs: Optional[int] = None,
+    sweep: bool = False,
+) -> ExecutionBackend:
+    """Build (or pass through) an execution backend.
+
+    Accepts a registry name, a :class:`BackendSpec`, an already-built
+    backend instance (returned untouched — the caller owns its
+    lifecycle), or ``None`` for the ``jobs`` sugar.  Unknown names and
+    options fail with the full accepted list.
+    """
+    if backend is not None and not isinstance(backend, (str, BackendSpec)):
+        return backend
+    spec = resolve_spec(backend, jobs=jobs, sweep=sweep)
+    entry = _entry(spec.name)
+    unknown = sorted(set(spec.options) - entry.option_names)
+    if unknown:
+        accepted = sorted(entry.option_names) or "(none)"
+        raise ValueError(
+            f"backend {spec.name!r} does not accept option(s) {unknown}; "
+            f"accepted: {accepted}"
+        )
+    return entry.factory(**spec.options)
+
+
+#: Alias for call sites that read better as a constructor.
+make_backend = get
+
+
+# -- built-in registrations ---------------------------------------------------
+
+
+def _register_builtins() -> None:
+    from repro.backends.distributed import DistributedBackend
+    from repro.experiments.executors import (
+        ChunkedExecutor,
+        ProcessPoolExecutor,
+        SerialExecutor,
+        SweepPoolExecutor,
+        fork_available,
+        shared_memory_available,
+    )
+
+    register_backend(
+        "serial",
+        SerialExecutor,
+        description="in-process reference loop (the determinism oracle)",
+    )
+    register_backend(
+        "chunked",
+        ChunkedExecutor,
+        description="in-process, fixed-size chunks (partition stress test)",
+        options=("chunk_size",),
+    )
+    register_backend(
+        "fork-pool",
+        ProcessPoolExecutor,
+        description=(
+            "one fork pool per engine run; tasks inherited through the "
+            "parent's memory image, so closures need not pickle"
+        ),
+        options=("jobs", "chunk_size"),
+        available=fork_available,
+    )
+    register_backend(
+        "shm-pool",
+        SweepPoolExecutor,
+        description=(
+            "one long-lived fork pool per sweep; pickle-shipped tasks, "
+            "batch counts through shared memory"
+        ),
+        options=("jobs", "chunk_size", "use_shared_memory"),
+        supports_shared_memory=True,
+        available=lambda: fork_available() and shared_memory_available(),
+    )
+    register_backend(
+        "distributed",
+        DistributedBackend,
+        description=(
+            "spans over length-prefixed JSON/TCP to `repro worker serve` "
+            "processes (workers=['host:port', ...])"
+        ),
+        options=("workers", "chunk_size", "connect_timeout"),
+        supports_remote=True,
+    )
+
+
+_register_builtins()

@@ -1,0 +1,148 @@
+"""Length-prefixed JSON framing for the distributed sweep protocol.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  JSON keeps the protocol inspectable (tcpdump a
+sweep and read it); binary payloads that JSON cannot carry — the pickled
+:class:`~repro.experiments.executors.TrialTask` and collect-mode values —
+travel base64-encoded inside it.
+
+The message vocabulary (``protocol`` version :data:`PROTOCOL_VERSION`):
+
+========== =============================================== =======================
+op          request fields                                  reply
+========== =============================================== =======================
+``hello``   —                                               ``role``, ``protocol``
+``ping``    —                                               ``ok``
+``task``    ``task`` (base64 pickle)                        ``ok``
+``run``     ``mode`` ∈ {counts, batches, collect},          ``counts`` (list of
+            ``start``, ``stop`` (half-open span)            int) or ``values``
+                                                            (base64 pickle)
+========== =============================================== =======================
+
+Every reply carries ``ok``; failures carry ``ok: false`` plus ``error``.
+Workers compute spans with the exact same range functions the local
+executors use, so per-trial streams — a pure function of
+``(seed, label, index)`` — are identical on any machine.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: Bumped on incompatible message-vocabulary changes; ``hello`` reports it.
+PROTOCOL_VERSION = 1
+
+#: The server role string ``hello`` replies carry, so a client can tell a
+#: repro worker from some unrelated service listening on the same port.
+WORKER_ROLE = "repro-worker"
+
+_HEADER = struct.Struct(">I")
+
+#: Refuse absurd frames instead of allocating them: no legitimate message
+#: (even a pickled task with a large population) approaches 256 MiB.
+MAX_FRAME_BYTES = 1 << 28
+
+
+class ProtocolError(ConnectionError):
+    """A malformed or out-of-contract frame on a worker connection."""
+
+
+def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Send one framed JSON message."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at a frame
+    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one framed JSON message; ``None`` on clean connection close."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length) if length else b""
+    if length and body is None:  # pragma: no cover - EOF between header/body
+        raise ProtocolError("connection closed between frame header and body")
+    try:
+        payload = json.loads((body or b"").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def encode_blob(value: Any) -> str:
+    """Pickle + base64: how non-JSON payloads ride inside frames."""
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def decode_blob(text: str) -> Any:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def request(sock: socket.socket, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One round trip; raises on connection loss or an error reply."""
+    send_message(sock, payload)
+    reply = recv_message(sock)
+    if reply is None:
+        raise ProtocolError(
+            f"worker closed the connection during {payload.get('op')!r}"
+        )
+    if not reply.get("ok"):
+        message = (
+            f"worker failed {payload.get('op')!r}: "
+            f"{reply.get('error', 'unknown error')}"
+        )
+        remote_traceback = reply.get("traceback")
+        if remote_traceback:
+            # The remote stack is the only clue when a task fails off-host
+            # (version skew, missing module on a worker) — keep it.
+            message += f"\nremote traceback:\n{remote_traceback}"
+        raise RuntimeError(message)
+    return reply
+
+
+def parse_address(address: str) -> tuple:
+    """``"host:port"`` → ``(host, port)``; a clear error otherwise."""
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"worker address must be 'host:port', got {address!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"worker port out of range in {address!r}")
+    return host, port

@@ -1,0 +1,185 @@
+"""The distributed sweep worker: a TCP server that executes trial spans.
+
+``repro worker serve --bind host:port`` runs one of these next to the
+data — any machine with the same codebase on ``PYTHONPATH``.  The
+orchestrator side (:class:`~repro.backends.distributed.DistributedBackend`)
+connects, ships the pickled :class:`~repro.experiments.executors.TrialTask`
+once per engine run, then streams span requests; the worker executes each
+span with the *same* range functions every local executor uses
+(:func:`~repro.experiments.executors.run_count_range` & co.), so per-trial
+random streams — a pure function of ``(seed, label, index)`` — are
+identical across machines and the determinism contract survives the
+network hop.
+
+Connections are stateful (one current task per connection) and served one
+per thread, so several orchestrators — or several concurrent span threads
+of one — can share a worker.  The server is deliberately trusting: the
+protocol ships pickles, so bind it only on interfaces you control (the
+default is loopback), exactly like every other pickle-based worker pool.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from repro.backends.wire import (
+    PROTOCOL_VERSION,
+    WORKER_ROLE,
+    ProtocolError,
+    decode_blob,
+    encode_blob,
+    recv_message,
+    send_message,
+)
+from repro.experiments.executors import (
+    run_batch_range,
+    run_collect_range,
+    run_count_range,
+)
+
+_RUN_MODES = ("counts", "batches", "collect")
+
+
+def _execute_span(task: Any, mode: str, start: int, stop: int) -> Dict[str, Any]:
+    """Run one span through the shared range functions; JSON-safe reply."""
+    if mode == "counts":
+        return {"ok": True, "counts": run_count_range(task, start, stop)}
+    if mode == "batches":
+        return {"ok": True, "counts": run_batch_range(task, start, stop)}
+    if mode == "collect":
+        values = run_collect_range(task, start, stop)
+        return {"ok": True, "values": encode_blob(values)}
+    raise ValueError(f"run mode must be one of {_RUN_MODES}, got {mode!r}")
+
+
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    """One connection: a hello/task/run conversation until EOF."""
+
+    def handle(self) -> None:
+        task: Optional[Any] = None
+        while True:
+            try:
+                message = recv_message(self.request)
+            except ProtocolError:
+                return  # garbage or a torn frame: drop the connection
+            if message is None:
+                return
+            op = message.get("op")
+            try:
+                if op == "hello":
+                    reply: Dict[str, Any] = {
+                        "ok": True,
+                        "role": WORKER_ROLE,
+                        "protocol": PROTOCOL_VERSION,
+                        "modes": list(_RUN_MODES),
+                    }
+                elif op == "ping":
+                    reply = {"ok": True}
+                elif op == "task":
+                    task = decode_blob(message["task"])
+                    reply = {"ok": True}
+                elif op == "run":
+                    if task is None:
+                        raise RuntimeError(
+                            "no task loaded on this connection (send op=task first)"
+                        )
+                    reply = _execute_span(
+                        task,
+                        message.get("mode", ""),
+                        int(message["start"]),
+                        int(message["stop"]),
+                    )
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except Exception as error:  # noqa: BLE001 - reply, don't die
+                self.server.record_failure()
+                reply = {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(),
+                }
+            try:
+                send_message(self.request, reply)
+            except OSError:  # pragma: no cover - client vanished mid-reply
+                return
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """A threaded trial-span server with an inspectable lifecycle.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound ``(host, port)`` either way.  :meth:`serve_background`
+    starts the accept loop on a daemon thread and returns, which is how
+    the in-process cross-backend tests and the CLI's foreground
+    :func:`serve` both drive it.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__((host, port), _WorkerHandler)
+        self._thread: Optional[threading.Thread] = None
+        self._failures = 0
+        self._failures_lock = threading.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port) — resolves ``port=0``."""
+        host, port = self.server_address[:2]
+        return host, port
+
+    def record_failure(self) -> None:
+        with self._failures_lock:
+            self._failures += 1
+
+    @property
+    def failures(self) -> int:
+        """Requests answered with ``ok: false`` since startup."""
+        with self._failures_lock:
+            return self._failures
+
+    def serve_background(self) -> "WorkerServer":
+        """Start the accept loop on a daemon thread; idempotent."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-worker-{self.address[1]}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the accept loop down and release the socket."""
+        self.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "WorkerServer":
+        return self.serve_background()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve(host: str, port: int) -> None:
+    """Run a worker in the foreground until interrupted (the CLI path)."""
+    server = WorkerServer(host, port)
+    bound_host, bound_port = server.address
+    print(
+        f"repro worker listening on {bound_host}:{bound_port} "
+        f"(protocol {PROTOCOL_VERSION})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.server_close()

@@ -9,6 +9,10 @@ Installed as the ``repro`` console script::
     repro scenarios show fig7
     repro sweep run fig7 --jobs 4 --store .repro-store
     repro sweep resume fig7 --jobs 4 --store .repro-store
+    repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
+    repro sweep gc --store .repro-store --keep-latest
+    repro worker serve --bind 127.0.0.1:7070
+    repro backends list
     repro cost -k 5 -l 8 -n 10
     repro demo
 
@@ -22,6 +26,76 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: The built-in backends, for ``--help`` readability only — the registry
+#: is the source of truth, and ``--backend`` accepts anything registered
+#: (including backends added via ``repro.backends.register_backend``),
+#: validated lazily so ``--help`` never imports the backend subsystem.
+_BUILTIN_BACKENDS = "serial, chunked, fork-pool, shm-pool, distributed"
+
+
+def _add_backend_arguments(parser, sweep: bool) -> None:
+    """The shared execution-backend surface of ``figures`` and ``sweep``."""
+    scope = "the whole sweep shares ONE backend" if sweep else (
+        "the Monte-Carlo trial engine"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=f"worker processes for {scope} "
+        "(1 = serial; results are identical for any value; sugar for "
+        f"--backend {'shm-pool' if sweep else 'fork-pool'}, and merged "
+        "into an explicit --backend that takes a jobs option)",
+    )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="execution backend by registry name — built-ins: "
+        f"{_BUILTIN_BACKENDS}; see `repro backends list` (default: "
+        "--jobs decides; the determinism contract makes results "
+        "identical on every backend)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated worker addresses for --backend distributed "
+        "(host:port,... of `repro worker serve` processes)",
+    )
+
+
+def _backend_from_args(args, sweep: bool):
+    """Resolve the CLI's (--backend, --workers, --jobs) into a BackendSpec.
+
+    Returns ``None`` when no explicit backend was requested, deferring to
+    the ``--jobs`` sugar (and, for sweeps, a spec's pinned backend).
+    """
+    from repro.backends import BackendSpec, resolve_spec
+
+    if args.backend is None:
+        if args.workers:
+            raise SystemExit("--workers requires --backend distributed")
+        return None
+    options = {}
+    if args.backend == "distributed":
+        if not args.workers:
+            raise SystemExit(
+                "--backend distributed requires --workers host:port[,host:port...]"
+            )
+        options["workers"] = [
+            worker.strip() for worker in args.workers.split(",") if worker.strip()
+        ]
+    elif args.workers:
+        raise SystemExit("--workers requires --backend distributed")
+    try:
+        return resolve_spec(
+            BackendSpec(args.backend, options=options),
+            jobs=args.jobs,
+            sweep=sweep,
+        )
+    except ValueError as error:  # unknown backend name: a clean CLI error
+        raise SystemExit(str(error)) from None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,13 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figure", choices=["6a", "6b", "6c", "6d", "7", "8"], required=True
     )
     figures.add_argument("--trials", type=int, default=300)
-    figures.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the Monte-Carlo trial engine "
-        "(1 = serial; results are identical for any value)",
-    )
+    _add_backend_arguments(figures, sweep=False)
     figures.add_argument(
         "--tolerance",
         type=float,
@@ -139,13 +207,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "engine settings) — worker count never affects results, so it "
             "is not part of the key (default: %(default)s)",
         )
-        action_parser.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes; the whole sweep shares ONE process pool "
-            "(1 = serial; results are identical for any value)",
-        )
+        _add_backend_arguments(action_parser, sweep=True)
         action_parser.add_argument(
             "--trials",
             type=int,
@@ -165,6 +227,54 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="recompute every point, overwriting cached results",
             )
+
+    sweep_gc = sweep_actions.add_parser(
+        "gc",
+        help="prune orphaned temp files, corrupt records, and (with "
+        "--keep-latest) records from older store-format generations",
+    )
+    sweep_gc.add_argument(
+        "--store",
+        default=".repro-store",
+        help="result-store directory to collect (default: %(default)s)",
+    )
+    sweep_gc.add_argument(
+        "--keep-latest",
+        action="store_true",
+        help="also remove records whose store-format generation is older "
+        "than the newest one present (pruned points recompute on the "
+        "next sweep)",
+    )
+    sweep_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="run a distributed-sweep trial worker"
+    )
+    worker_actions = worker.add_subparsers(dest="action", required=True)
+    worker_serve = worker_actions.add_parser(
+        "serve",
+        help="serve trial spans over TCP for `--backend distributed` "
+        "orchestrators (same codebase required on both sides)",
+    )
+    worker_serve.add_argument(
+        "--bind",
+        default="127.0.0.1:7070",
+        help="host:port to listen on; port 0 picks an ephemeral port "
+        "(default: %(default)s — loopback only; the protocol ships "
+        "pickles, so bind only interfaces you control)",
+    )
+
+    backends = subparsers.add_parser(
+        "backends", help="inspect the execution-backend registry"
+    )
+    backends_actions = backends.add_subparsers(dest="action", required=True)
+    backends_actions.add_parser(
+        "list", help="list every registered execution backend"
+    )
 
     cost = subparsers.add_parser(
         "cost", help="communication/storage cost per scheme"
@@ -231,16 +341,27 @@ def _command_plan(args) -> int:
 
 
 def _command_figures(args) -> int:
+    from repro.backends import get as get_backend
+    from repro.experiments.engine import TrialEngine
+
+    # One backend serves the whole figure; `with` covers long-lived
+    # substrates (shm-pool keeps its pool, distributed its sockets).
+    backend = get_backend(
+        _backend_from_args(args, sweep=False), jobs=args.jobs, sweep=False
+    )
+    with backend:
+        engine = TrialEngine(executor=backend, tolerance=args.tolerance)
+        return _render_figure(args, engine)
+
+
+def _render_figure(args, engine) -> int:
     from repro.experiments.attack_resilience import (
         run_attack_resilience,
         series_by_scheme,
     )
     from repro.experiments.churn_resilience import panel, run_churn_resilience
     from repro.experiments.cost import run_share_cost, series_by_budget
-    from repro.experiments.engine import TrialEngine
     from repro.experiments.reporting import format_cost_table, format_series_table
-
-    engine = TrialEngine(jobs=args.jobs, tolerance=args.tolerance)
 
     if args.figure in ("6a", "6b", "6c", "6d"):
         population = 10000 if args.figure in ("6a", "6b") else 100
@@ -366,6 +487,8 @@ def _command_sweep(args) -> int:
     from repro.experiments.reporting import format_sweep_table
     from repro.scenarios import ResultStore, SweepOrchestrator, get_scenario
 
+    if args.action == "gc":
+        return _sweep_gc(args)
     try:
         spec = get_scenario(args.name)
     except ValueError as error:
@@ -379,7 +502,10 @@ def _command_sweep(args) -> int:
             f"{args.store} (starting fresh)"
         )
     orchestrator = SweepOrchestrator(
-        store=store, jobs=args.jobs, tolerance=args.tolerance
+        store=store,
+        jobs=args.jobs,
+        backend=_backend_from_args(args, sweep=True),
+        tolerance=args.tolerance,
     )
     total = spec.point_count
 
@@ -414,6 +540,62 @@ def _command_sweep(args) -> int:
                 value_format="{:.0f}" if spec.value_key == "cost" else "{:.4f}",
             )
         )
+    return 0
+
+
+def _sweep_gc(args) -> int:
+    from repro.scenarios import ResultStore
+
+    report = ResultStore(args.store).gc(
+        keep_latest=args.keep_latest, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{args.store}: scanned {report.scanned} record(s), kept "
+        f"{report.kept}; {verb} {len(report.orphans)} orphan(s), "
+        f"{len(report.corrupt)} corrupt, {len(report.stale)} stale"
+        + (
+            f" (latest generation {report.latest_generation})"
+            if report.latest_generation is not None
+            else ""
+        )
+    )
+    for path in report.removed_paths():
+        print(f"  {verb} {path}")
+    return 0
+
+
+def _command_worker(args) -> int:
+    from repro.backends.wire import parse_address
+    from repro.backends.worker import serve
+
+    host, port = parse_address(args.bind)
+    serve(host, port)
+    return 0
+
+
+def _command_backends(args) -> int:
+    from repro.backends import list_backends
+
+    entries = list_backends()
+    width = max(len(entry["name"]) for entry in entries)
+    for entry in entries:
+        flags = [
+            flag
+            for flag, label in (
+                ("shared-memory", "supports_shared_memory"),
+                ("remote", "supports_remote"),
+            )
+            if entry[label]
+        ]
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        availability = "" if entry["available"] else "  (unavailable here)"
+        print(
+            f"{entry['name'].ljust(width)}  {entry['description']}"
+            f"{suffix}{availability}"
+        )
+        if entry["options"]:
+            print(f"{' ' * width}  options: {', '.join(entry['options'])}")
     return 0
 
 
@@ -459,6 +641,8 @@ _COMMANDS = {
     "figures": _command_figures,
     "scenarios": _command_scenarios,
     "sweep": _command_sweep,
+    "worker": _command_worker,
+    "backends": _command_backends,
     "cost": _command_cost,
     "demo": _command_demo,
 }

@@ -136,11 +136,23 @@ class TrialEngine:
     Parameters
     ----------
     executor:
-        A :class:`~repro.experiments.executors.TrialExecutor`; overrides
-        ``jobs`` when given.
+        A pre-built :class:`~repro.backends.base.ExecutionBackend`
+        instance (any :class:`~repro.experiments.executors.TrialExecutor`
+        qualifies); overrides both ``backend`` and ``jobs`` when given.
+        The caller owns its open/close lifecycle.
+    backend:
+        A backend registry name (``"serial"``, ``"chunked"``,
+        ``"fork-pool"``, ``"shm-pool"``, ``"distributed"``) or a
+        :class:`~repro.backends.base.BackendSpec`; resolved through
+        :func:`repro.backends.get`.  Long-lived backends built this way
+        (``shm-pool``, ``distributed``) should be closed by the caller:
+        ``with engine.executor: ...``.
     jobs:
-        Worker count for the default executor — ``1`` selects the serial
-        executor, more a fork-based process pool.
+        Worker-count sugar for the default backend — ``1`` selects the
+        serial backend, more a per-run ``fork-pool``.  An explicit value
+        is merged into a named ``backend`` that accepts a ``jobs``
+        option (including ``jobs=1`` → a one-worker pool); leaving it
+        ``None`` keeps the named backend's own default.
     tolerance:
         Adaptive early stopping: stop once every channel's Wilson CI
         half-width is at most this value.  ``None`` (default) disables
@@ -165,14 +177,22 @@ class TrialEngine:
     def __init__(
         self,
         executor: Optional[TrialExecutor] = None,
-        jobs: int = 1,
+        jobs: Optional[int] = None,
         tolerance: Optional[float] = None,
         min_trials: int = DEFAULT_MIN_TRIALS,
         check_interval: int = DEFAULT_CHECK_INTERVAL,
         checkpoint_batches: int = DEFAULT_CHECKPOINT_BATCHES,
         ci_method: str = "normal",
+        backend: Any = None,
     ) -> None:
-        self.executor = executor if executor is not None else make_executor(jobs)
+        if executor is not None:
+            self.executor = executor
+        elif backend is not None:
+            from repro.backends import get as get_backend
+
+            self.executor = get_backend(backend, jobs=jobs)
+        else:
+            self.executor = make_executor(1 if jobs is None else jobs)
         if tolerance is not None:
             check_positive(tolerance, "tolerance")
         self.tolerance = tolerance

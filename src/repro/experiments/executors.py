@@ -155,6 +155,13 @@ def run_batch_range(task: TrialTask, first: int, last: int) -> List[int]:
 class TrialExecutor:
     """Interface: run blocks of a task, preserving the engine invariants.
 
+    This is the local half of the
+    :class:`~repro.backends.base.ExecutionBackend` protocol — every
+    subclass satisfies it structurally and is registered by name in
+    :mod:`repro.backends.registry` (``serial``, ``chunked``,
+    ``fork-pool``, ``shm-pool``); the remote half lives in
+    :mod:`repro.backends.distributed`.
+
     Executors have two nested lifecycles.  :meth:`open`/:meth:`close` (or
     the equivalent ``with executor:`` block) bracket *long-lived* resources
     — a sweep orchestrator opens an executor once and runs every point of
@@ -162,6 +169,12 @@ class TrialExecutor:
     run (one task).  The in-process executors need neither, so both pairs
     default to no-ops and any executor can be used as a context manager.
     """
+
+    #: Capability flags of the ExecutionBackend protocol: whether batch
+    #: results can travel through shared memory, and whether spans run
+    #: outside this process's memory image.
+    supports_shared_memory = False
+    supports_remote = False
 
     def open(self) -> "TrialExecutor":  # pragma: no cover - trivial
         """Acquire long-lived resources (a worker pool); idempotent."""
@@ -491,6 +504,8 @@ class SweepPoolExecutor(TrialExecutor):
     _pool: Any = field(default=None, repr=False, compare=False)
     _payload: Optional[bytes] = field(default=None, repr=False, compare=False)
 
+    supports_shared_memory = True
+
     def __post_init__(self) -> None:
         check_positive_int(self.jobs, "jobs")
         if self.chunk_size is not None:
@@ -591,8 +606,14 @@ class SweepPoolExecutor(TrialExecutor):
                 slots.release()
             return counts
         finally:
-            block.close()
-            block.unlink()
+            # The unlink is the part that must never be skipped: a block
+            # that survives this frame (e.g. a failing batch raising out
+            # of pool.map, or close() itself raising BufferError on an
+            # exported view) would leak a named segment until reboot.
+            try:
+                block.close()
+            finally:
+                block.unlink()
 
 
 def make_sweep_executor(jobs: int = 1) -> TrialExecutor:

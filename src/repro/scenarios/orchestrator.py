@@ -4,10 +4,12 @@ One :meth:`SweepOrchestrator.run` call owns the whole sweep:
 
 - the point grid comes from :meth:`ScenarioSpec.points` (axes cross
   product, last axis fastest);
-- **one** executor serves every point — for ``jobs > 1`` that is a single
-  :class:`~repro.experiments.executors.SweepPoolExecutor` whose process
-  pool is constructed once per sweep and shipped tasks by pickle, not one
-  pool per point (the serial executor is the no-op fallback);
+- **one** execution backend serves every point, resolved through
+  :mod:`repro.backends` (explicit ``backend`` argument, else the spec's
+  pinned ``engine.backend``, else the ``jobs`` sugar: serial for 1, the
+  shared ``shm-pool`` above) and opened exactly once per sweep — a
+  ``distributed`` backend connects its workers once and streams every
+  point's spans through the same sockets;
 - each point gets its *own* :class:`~repro.experiments.engine.TrialEngine`
   (engines are cheap; the executor is the expensive part) so tolerance can
   vary per point: a spec's :class:`~repro.scenarios.spec.ToleranceSchedule`
@@ -22,13 +24,15 @@ One :meth:`SweepOrchestrator.run` call owns the whole sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.backends import get as get_backend
+from repro.backends.base import BackendSpec
 from repro.experiments.engine import TrialEngine
-from repro.experiments.executors import TrialExecutor, make_sweep_executor
+from repro.experiments.executors import TrialExecutor
 from repro.scenarios.runners import get_runner
 from repro.scenarios.spec import ScenarioSpec, SweepPoint
-from repro.scenarios.store import ResultStore, point_cache_key
+from repro.scenarios.store import STORE_GENERATION, ResultStore, point_cache_key
 from repro.util.validation import check_positive_int
 
 #: Per-point tolerance hook: full parameter dict -> tolerance (or None).
@@ -74,11 +78,22 @@ class SweepOrchestrator:
         Optional :class:`ResultStore`; with one, completed points are
         cached and re-runs/resumes skip them.
     jobs:
-        Worker count for the sweep executor built per run (``1`` =
-        serial).  Ignored when ``executor`` is given.
+        Worker-count sugar for the default backend (``1`` = serial,
+        above that one shared ``shm-pool``).  An explicit value is
+        merged into a named ``backend`` that accepts a ``jobs`` option
+        (including ``jobs=1`` → a one-worker pool); ``None`` keeps a
+        named backend's own default.  Ignored when ``executor`` is
+        given.
     executor:
-        A pre-built executor to own instead; its ``open``/``close``
-        lifecycle still brackets each :meth:`run`.
+        A pre-built :class:`~repro.backends.base.ExecutionBackend`
+        instance to use instead; its ``open``/``close`` lifecycle still
+        brackets each :meth:`run`.
+    backend:
+        A backend registry name or
+        :class:`~repro.backends.base.BackendSpec` — e.g.
+        ``"distributed"`` with ``workers=[...]`` options.  Overrides a
+        spec's pinned ``engine.backend``; itself overridden by
+        ``executor``.
     tolerance:
         Base tolerance override; ``None`` defers to each spec's.
     tolerance_fn:
@@ -89,16 +104,27 @@ class SweepOrchestrator:
     def __init__(
         self,
         store: Optional[ResultStore] = None,
-        jobs: int = 1,
+        jobs: Optional[int] = None,
         executor: Optional[TrialExecutor] = None,
+        backend: Union[str, BackendSpec, TrialExecutor, None] = None,
         tolerance: Optional[float] = None,
         tolerance_fn: Optional[ToleranceFn] = None,
     ) -> None:
         self.store = store
-        self.jobs = check_positive_int(jobs, "jobs")
+        self.jobs = None if jobs is None else check_positive_int(jobs, "jobs")
         self._executor = executor
+        self.backend = backend
         self.tolerance = tolerance
         self.tolerance_fn = tolerance_fn
+
+    def _backend_for(self, spec: ScenarioSpec) -> TrialExecutor:
+        """Resolve one run's backend: executor > backend > spec > jobs."""
+        if self._executor is not None:
+            return self._executor
+        backend = self.backend
+        if backend is None and spec.engine.backend is not None:
+            backend = spec.engine.backend
+        return get_backend(backend, jobs=self.jobs, sweep=True)
 
     def point_tolerance(
         self, spec: ScenarioSpec, point: SweepPoint
@@ -128,9 +154,7 @@ class SweepOrchestrator:
         points = spec.points()
         records: List[Dict[str, Any]] = []
         computed = cached = 0
-        executor = self._executor if self._executor is not None else (
-            make_sweep_executor(self.jobs)
-        )
+        executor = self._backend_for(spec)
         with executor:
             for point in points:
                 tolerance = self.point_tolerance(spec, point)
@@ -172,6 +196,10 @@ class SweepOrchestrator:
                     "seed": spec.seed,
                     "tolerance": tolerance,
                     "result": result,
+                    # Stamped here as well as in save() so a report's
+                    # record shape never depends on cache state (cached
+                    # records come back from disk with their stamp).
+                    "store_generation": STORE_GENERATION,
                 }
                 if self.store is not None:
                     self.store.save(spec.name, key, record)
@@ -187,13 +215,14 @@ class SweepOrchestrator:
 def run_scenario(
     spec: ScenarioSpec,
     store: Optional[ResultStore] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     trials: Optional[int] = None,
     tolerance: Optional[float] = None,
     force: bool = False,
+    backend: Union[str, BackendSpec, None] = None,
 ) -> SweepReport:
     """One-call convenience wrapper around :class:`SweepOrchestrator`."""
     orchestrator = SweepOrchestrator(
-        store=store, jobs=jobs, tolerance=tolerance
+        store=store, jobs=jobs, backend=backend, tolerance=tolerance
     )
     return orchestrator.run(spec, trials=trials, force=force)

@@ -151,6 +151,15 @@ class EngineSettings:
     ``jobs`` is deliberately absent: by the engine's determinism contract
     the worker count never changes results, so it is a run-time choice
     (CLI ``--jobs``) and is excluded from result-store cache keys.
+
+    ``backend`` optionally pins an execution backend
+    (:class:`~repro.backends.base.BackendSpec`) for the whole scenario —
+    a run-time ``--backend`` flag or orchestrator argument still wins.
+    By the same contract a backend never changes results either, so only
+    its *semantically meaningful* options (see
+    :meth:`BackendSpec.cache_fields`; none, for every built-in backend)
+    ever reach a cache key, and ``to_dict`` omits the field entirely
+    when unset so pre-backend stores stay valid byte-for-byte.
     """
 
     min_trials: int = DEFAULT_MIN_TRIALS
@@ -158,6 +167,7 @@ class EngineSettings:
     checkpoint_batches: int = DEFAULT_CHECKPOINT_BATCHES
     ci_method: str = "normal"
     batch_size: Optional[int] = None
+    backend: Optional[Any] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.min_trials, "min_trials")
@@ -169,15 +179,35 @@ class EngineSettings:
             )
         if self.batch_size is not None:
             check_positive_int(self.batch_size, "batch_size")
+        if self.backend is not None:
+            from repro.backends.base import BackendSpec
+
+            if isinstance(self.backend, Mapping):
+                object.__setattr__(
+                    self, "backend", BackendSpec.from_dict(self.backend)
+                )
+            elif isinstance(self.backend, str):
+                object.__setattr__(self, "backend", BackendSpec(self.backend))
+            elif not isinstance(self.backend, BackendSpec):
+                raise TypeError(
+                    "engine backend must be a BackendSpec, a backend name, "
+                    f"or a serialized dict, got {type(self.backend).__name__}"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "min_trials": self.min_trials,
             "check_interval": self.check_interval,
             "checkpoint_batches": self.checkpoint_batches,
             "ci_method": self.ci_method,
             "batch_size": self.batch_size,
         }
+        # Omitted when unset so every pre-backend serialized spec — and,
+        # critically, every pre-backend result-store cache key derived
+        # from this dict — stays byte-identical.
+        if self.backend is not None:
+            payload["backend"] = self.backend.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "EngineSettings":

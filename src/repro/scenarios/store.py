@@ -34,12 +34,31 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.scenarios.spec import ScenarioSpec
 
 _KEY_HEX_CHARS = 32  # 128 bits of SHA-256: collision-free at any sweep scale
+
+#: The store-format generation stamped into every record written by this
+#: code.  Generation 1 is the PR 2/3 format (no stamp — reads as 1);
+#: generation 2 added the stamp itself plus the backend-aware cache-key
+#: derivation.  Bump it whenever the record schema changes in a way
+#: ``repro sweep gc --keep-latest`` should be able to prune.
+STORE_GENERATION = 2
+
+#: What untagged (pre-generation) records read as.
+LEGACY_GENERATION = 1
+
+
+def record_generation(record: Mapping[str, Any]) -> int:
+    """The store-format generation of one record (legacy reads as 1)."""
+    value = record.get("store_generation", LEGACY_GENERATION)
+    return value if isinstance(value, int) and not isinstance(value, bool) else (
+        LEGACY_GENERATION
+    )
 
 
 def canonical_json(payload: Any) -> str:
@@ -58,13 +77,28 @@ def point_cache_key(
     ``trials`` defaults to the spec's; ``tolerance`` is the *resolved*
     per-point tolerance (after any schedule), not the base.
     """
+    engine_payload = spec.engine.to_dict()
+    # A pinned execution backend reaches the key only through its
+    # *semantically meaningful* options (BackendSpec.cache_fields) — by
+    # the determinism contract transport topology (jobs, workers,
+    # chunking) never changes results, and no built-in backend declares
+    # any semantic option, so the engine payload here is byte-identical
+    # to the pre-backend format and existing stores stay valid.
+    engine_payload.pop("backend", None)
+    if spec.engine.backend is not None:
+        semantic = spec.engine.backend.cache_fields()
+        if semantic:
+            engine_payload["backend"] = {
+                "name": spec.engine.backend.name,
+                **semantic,
+            }
     payload = {
         "kind": spec.kind,
         "params": {**spec.fixed, **point_values},
         "trials": spec.trials if trials is None else trials,
         "seed": spec.seed,
         "tolerance": tolerance,
-        "engine": spec.engine.to_dict(),
+        "engine": engine_payload,
     }
     digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
     return digest[:_KEY_HEX_CHARS]
@@ -115,12 +149,18 @@ class ResultStore:
             return json.load(handle)
 
     def save(self, scenario: str, key: str, record: Mapping[str, Any]) -> Path:
-        """Atomically persist one point record (temp file + rename)."""
+        """Atomically persist one point record (temp file + rename).
+
+        Every record is stamped with the current store-format
+        :data:`STORE_GENERATION` so ``gc(keep_latest=True)`` can prune
+        records written by older formats.
+        """
+        stamped = {**record, "store_generation": STORE_GENERATION}
         path = self.path_for(scenario, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_suffix(".json.tmp")
         with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, indent=2, sort_keys=True)
+            json.dump(stamped, handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(temp, path)
         return path
@@ -144,3 +184,84 @@ class ResultStore:
             for entry in self.root.iterdir()
             if entry.is_dir() and any(entry.glob("*.json"))
         )
+
+    # -- garbage collection ------------------------------------------------
+
+    def gc(self, keep_latest: bool = False, dry_run: bool = False) -> "GcReport":
+        """Prune what a healthy store should not contain.
+
+        Always removes *orphans* — ``.json.tmp`` leftovers of writes
+        interrupted before their atomic rename — and *corrupt* records
+        (unreadable JSON; cannot happen through :meth:`save`, but gc is
+        the safety net for torn copies and manual edits).  With
+        ``keep_latest``, additionally removes *stale* records: every
+        record whose :func:`record_generation` is below the newest
+        generation present in the store.  Empty scenario directories
+        are dropped at the end.
+
+        ``dry_run`` reports what would be removed without touching
+        anything.  Pruned points simply recompute on the next sweep —
+        the store is a cache, never the source of truth.
+        """
+        report = GcReport(dry_run=dry_run)
+        if not self.root.is_dir():
+            return report
+        directories = sorted(
+            entry for entry in self.root.iterdir() if entry.is_dir()
+        )
+        records: List[Tuple[Path, int]] = []
+        for directory in directories:
+            for orphan in sorted(directory.glob("*.json.tmp")):
+                report.orphans.append(orphan)
+            for path in sorted(directory.glob("*.json")):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    report.corrupt.append(path)
+                    continue
+                if not isinstance(record, dict):
+                    # Valid JSON but not a record object (`[]`, `"x"`...):
+                    # exactly the manual-edit damage gc exists to prune.
+                    report.corrupt.append(path)
+                    continue
+                records.append((path, record_generation(record)))
+        report.scanned = len(records)
+        if keep_latest and records:
+            newest = max(generation for _, generation in records)
+            report.latest_generation = newest
+            report.stale.extend(
+                path for path, generation in records if generation < newest
+            )
+        stale_set = set(report.stale)
+        report.kept = sum(
+            1 for path, _ in records if path not in stale_set
+        )
+        if not dry_run:
+            for path in report.removed_paths():
+                path.unlink(missing_ok=True)
+            for directory in directories:
+                if not any(directory.iterdir()):
+                    directory.rmdir()
+        return report
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass found (and removed)."""
+
+    dry_run: bool = False
+    scanned: int = 0
+    kept: int = 0
+    latest_generation: Optional[int] = None
+    orphans: List[Path] = field(default_factory=list)
+    corrupt: List[Path] = field(default_factory=list)
+    stale: List[Path] = field(default_factory=list)
+
+    def removed_paths(self) -> List[Path]:
+        """Everything this pass removes (or would, under ``dry_run``)."""
+        return [*self.orphans, *self.corrupt, *self.stale]
+
+    @property
+    def removed(self) -> int:
+        return len(self.removed_paths())

@@ -1,0 +1,194 @@
+"""The backend registry: names, specs, sugar, capabilities, engine wiring."""
+
+import pytest
+
+from repro.backends import (
+    BackendSpec,
+    DistributedBackend,
+    ExecutionBackend,
+    backend_names,
+    get,
+    list_backends,
+    register_backend,
+    resolve_spec,
+    semantic_option_names,
+    spec_for_jobs,
+)
+from repro.experiments.engine import TrialEngine
+from repro.experiments.executors import (
+    ChunkedExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    SweepPoolExecutor,
+)
+
+BUILTINS = ("chunked", "distributed", "fork-pool", "serial", "shm-pool")
+
+
+def bernoulli_trial(rng):
+    return rng.bernoulli(0.4)
+
+
+class TestRegistry:
+    def test_every_builtin_is_registered(self):
+        assert backend_names() == BUILTINS
+
+    def test_get_builds_the_right_classes(self):
+        assert isinstance(get("serial"), SerialExecutor)
+        assert isinstance(get("chunked"), ChunkedExecutor)
+        assert isinstance(get("fork-pool"), ProcessPoolExecutor)
+        assert isinstance(get("shm-pool"), SweepPoolExecutor)
+        distributed = get(BackendSpec("distributed", {"workers": ["h:1"]}))
+        assert isinstance(distributed, DistributedBackend)
+
+    def test_options_reach_the_factory(self):
+        backend = get(BackendSpec("shm-pool", {"jobs": 5, "chunk_size": 7}))
+        assert backend.jobs == 5 and backend.chunk_size == 7
+
+    def test_prebuilt_instances_pass_through(self):
+        executor = SerialExecutor()
+        assert get(executor) is executor
+
+    def test_unknown_backend_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get("gpu-lane")
+
+    def test_unknown_option_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="does not accept option"):
+            get(BackendSpec("serial", {"jobs": 4}))
+
+    def test_semantic_options_empty_for_every_builtin(self):
+        # The determinism contract: no built-in backend can change
+        # results, so none may contribute to result-store cache keys.
+        for name in BUILTINS:
+            assert semantic_option_names(name) == frozenset(), name
+            assert BackendSpec(name).cache_fields() == {}
+
+    def test_register_backend_rejects_undeclared_semantic_options(self):
+        with pytest.raises(ValueError, match="semantic options"):
+            register_backend(
+                "broken",
+                SerialExecutor,
+                description="x",
+                options=("a",),
+                semantic_options=("b",),
+            )
+        assert "broken" not in backend_names()
+
+    def test_list_backends_is_json_safe_and_flagged(self):
+        import json
+
+        entries = {entry["name"]: entry for entry in list_backends()}
+        json.dumps(list(entries.values()))  # must not raise
+        assert set(entries) == set(BUILTINS)
+        assert entries["shm-pool"]["supports_shared_memory"]
+        assert not entries["shm-pool"]["supports_remote"]
+        assert entries["distributed"]["supports_remote"]
+        assert entries["serial"]["available"]
+        assert "workers" in entries["distributed"]["options"]
+
+
+class TestJobsSugar:
+    def test_jobs_one_is_serial_everywhere(self):
+        assert spec_for_jobs(1) == BackendSpec("serial")
+        assert spec_for_jobs(1, sweep=True) == BackendSpec("serial")
+
+    def test_engine_runs_get_fork_pool_sweeps_get_shm_pool(self):
+        assert spec_for_jobs(4) == BackendSpec("fork-pool", {"jobs": 4})
+        assert spec_for_jobs(4, sweep=True) == BackendSpec(
+            "shm-pool", {"jobs": 4}
+        )
+
+    def test_resolve_merges_jobs_into_named_backends(self):
+        assert resolve_spec("shm-pool", jobs=8) == BackendSpec(
+            "shm-pool", {"jobs": 8}
+        )
+        # An explicit jobs=1 is honoured (a one-worker pool), not
+        # silently swapped for the factory default of 2.
+        assert resolve_spec("shm-pool", jobs=1) == BackendSpec(
+            "shm-pool", {"jobs": 1}
+        )
+        # Unset jobs keeps the named backend's own default.
+        assert resolve_spec("fork-pool", jobs=None) == BackendSpec("fork-pool")
+        # Backends without a jobs option are untouched.
+        assert resolve_spec("serial", jobs=8) == BackendSpec("serial")
+        # Explicit options always win over the sugar.
+        pinned = BackendSpec("fork-pool", {"jobs": 2})
+        assert resolve_spec(pinned, jobs=8) == pinned
+
+    def test_explicit_jobs_one_builds_one_worker_pool(self):
+        backend = get("fork-pool", jobs=1)
+        assert isinstance(backend, ProcessPoolExecutor)
+        assert backend.jobs == 1
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            spec_for_jobs(0)
+
+
+class TestBackendSpec:
+    def test_round_trip(self):
+        spec = BackendSpec(
+            "distributed", {"workers": ["a:1", "b:2"], "chunk_size": 3}
+        )
+        assert BackendSpec.from_json(spec.to_json()) == spec
+        assert BackendSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendSpec("")
+        with pytest.raises(TypeError):
+            BackendSpec("serial", {"bad": object()})
+        with pytest.raises(TypeError):
+            BackendSpec("serial", {"nested": [["too", "deep"]]})
+
+    def test_tuples_normalise_to_lists(self):
+        spec = BackendSpec("distributed", {"workers": ("a:1",)})
+        assert spec.options["workers"] == ["a:1"]
+
+    def test_describe(self):
+        assert BackendSpec("serial").describe() == "serial"
+        assert (
+            BackendSpec("shm-pool", {"jobs": 4}).describe() == "shm-pool(jobs=4)"
+        )
+
+
+class TestProtocolAndCapabilities:
+    def test_every_builtin_satisfies_the_protocol(self):
+        instances = [
+            SerialExecutor(),
+            ChunkedExecutor(),
+            ProcessPoolExecutor(),
+            SweepPoolExecutor(),
+            DistributedBackend(["h:1"]),
+        ]
+        for instance in instances:
+            assert isinstance(instance, ExecutionBackend), type(instance)
+
+    def test_capability_flags(self):
+        assert not SerialExecutor().supports_shared_memory
+        assert not SerialExecutor().supports_remote
+        assert SweepPoolExecutor().supports_shared_memory
+        assert DistributedBackend(["h:1"]).supports_remote
+        assert not DistributedBackend(["h:1"]).supports_shared_memory
+
+
+class TestEngineBackendParameter:
+    def test_engine_accepts_backend_names_and_specs(self):
+        reference = TrialEngine().run(bernoulli_trial, trials=60, seed=3)
+        for backend in ("serial", "chunked", BackendSpec("fork-pool", {"jobs": 2})):
+            engine = TrialEngine(backend=backend)
+            assert engine.run(bernoulli_trial, trials=60, seed=3) == reference
+
+    def test_engine_jobs_merges_into_named_backend(self):
+        engine = TrialEngine(backend="shm-pool", jobs=3)
+        try:
+            assert isinstance(engine.executor, SweepPoolExecutor)
+            assert engine.executor.jobs == 3
+        finally:
+            engine.executor.close()
+
+    def test_explicit_executor_wins_over_backend(self):
+        executor = SerialExecutor()
+        engine = TrialEngine(executor=executor, backend="shm-pool")
+        assert engine.executor is executor

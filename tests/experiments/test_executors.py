@@ -168,6 +168,17 @@ def negative_corner_batch(generator, count):
     return (int((draws < 0.001).sum()), int((draws < 0.9).sum()))
 
 
+class FailingBatch:
+    """A picklable batch that dies on the worker mid-``run_batches``.
+
+    The nastiest cleanup path: the shared buffer is live and attached by
+    workers when the run raises out of ``pool.map``.
+    """
+
+    def __call__(self, generator, count):
+        raise RuntimeError("injected shared-memory batch failure")
+
+
 class TestSharedMemoryLane:
     """Batch counts through shared memory match the pickle lane exactly."""
 
@@ -227,6 +238,47 @@ class TestSharedMemoryLane:
                     counting_batch, **kwargs
                 )
             assert result == reference
+
+    def test_failing_batch_never_leaks_the_shared_block(self, monkeypatch):
+        """Regression: an exception mid-run_batches must unlink the buffer.
+
+        Shared-memory segments outlive the process on POSIX; a block
+        whose unlink is skipped on the exception path leaks /dev/shm
+        space until reboot.  Track every created block by name and
+        verify each one is unlinked (unattachable) after the failure.
+        """
+        import types
+
+        real = executors_module._shared_memory
+        created = []
+
+        def tracking_shared_memory(*args, **kwargs):
+            block = real.SharedMemory(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(block.name)
+            return block
+
+        monkeypatch.setattr(
+            executors_module,
+            "_shared_memory",
+            types.SimpleNamespace(SharedMemory=tracking_shared_memory),
+        )
+        with SweepPoolExecutor(jobs=2) as executor:
+            with pytest.raises(RuntimeError, match="injected shared-memory"):
+                TrialEngine(executor=executor).run_batched(
+                    FailingBatch(), trials=120, seed=7, batch_size=10
+                )
+            # The pool survives and the next (healthy) run still works.
+            healthy = TrialEngine(executor=executor).run_batched(
+                counting_batch, trials=120, seed=7, batch_size=10
+            )
+        assert healthy == TrialEngine().run_batched(
+            counting_batch, trials=120, seed=7, batch_size=10
+        )
+        assert created, "the shared lane never engaged"
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real.SharedMemory(name=name)
 
     def test_unpicklable_batch_falls_back_in_process(self):
         bias = 0.25

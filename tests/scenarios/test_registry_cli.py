@@ -177,6 +177,205 @@ class TestCli:
         store = str(tmp_path / "store")
         assert main(["sweep", "run", "fig99", "--store", store]) == 1
 
+    def test_sweep_round_trip_recomputes_zero_trials(self, tmp_path, capsys):
+        """End-to-end run → resume: the store, not just stdout, proves the
+        resume recomputed nothing."""
+        import json as json_module
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        paths = sorted((tmp_path / "store" / "smoke").glob("*.json"))
+        before = {path.name: path.read_text() for path in paths}
+        stats_before = {path.name: path.stat().st_mtime_ns for path in paths}
+
+        assert main(["sweep", "resume", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 computed, 2 cached, 0 new trials" in out
+
+        paths_after = sorted((tmp_path / "store" / "smoke").glob("*.json"))
+        assert {p.name: p.read_text() for p in paths_after} == before
+        assert {
+            p.name: p.stat().st_mtime_ns for p in paths_after
+        } == stats_before  # records were never rewritten, only read
+        for text in before.values():
+            record = json_module.loads(text)
+            assert record["result"]["trials_run"] == record["trials"]
+
+    def test_scenarios_show_json_schema(self, capsys):
+        """The --json output is the full serialized spec schema."""
+        assert main(["scenarios", "show", "smoke", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "name",
+            "kind",
+            "description",
+            "fixed",
+            "axes",
+            "trials",
+            "seed",
+            "tolerance",
+            "schedule",
+            "engine",
+            "value_key",
+        }
+        assert payload["name"] == "smoke"
+        assert isinstance(payload["axes"], list)
+        for axis in payload["axes"]:
+            assert set(axis) == {"name", "values"}
+        engine = payload["engine"]
+        assert {
+            "min_trials",
+            "check_interval",
+            "checkpoint_batches",
+            "ci_method",
+            "batch_size",
+        } <= set(engine)
+        # No pinned backend → no backend key, keeping pre-backend cache
+        # keys (derived from this dict) byte-identical.
+        assert "backend" not in engine
+        assert ScenarioSpec.from_dict(payload) == get_scenario("smoke")
+
+    def test_sweep_run_backend_flag(self, tmp_path, capsys):
+        serial_store = str(tmp_path / "serial")
+        pool_store = str(tmp_path / "pool")
+        assert (
+            main(["sweep", "run", "smoke", "--store", serial_store]) == 0
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    pool_store,
+                    "--backend",
+                    "shm-pool",
+                    "--jobs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        serial_keys = sorted(
+            p.name for p in (tmp_path / "serial" / "smoke").glob("*.json")
+        )
+        pool_keys = sorted(
+            p.name for p in (tmp_path / "pool" / "smoke").glob("*.json")
+        )
+        assert serial_keys == pool_keys  # backend excluded from the keys
+
+    def test_sweep_run_distributed_backend(self, tmp_path, capsys):
+        from repro.backends import WorkerServer
+
+        store = str(tmp_path / "store")
+        with WorkerServer() as worker:
+            host, port = worker.address
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "run",
+                        "smoke",
+                        "--store",
+                        store,
+                        "--backend",
+                        "distributed",
+                        "--workers",
+                        f"{host}:{port}",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "2 computed" in out
+
+    def test_workers_flag_requires_distributed_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers requires"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--workers",
+                    "localhost:1",
+                ]
+            )
+
+    def test_unknown_backend_is_a_clean_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "gpu-lane",
+                ]
+            )
+
+    def test_distributed_backend_requires_workers(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires --workers"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "distributed",
+                ]
+            )
+
+    def test_sweep_gc_cli(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "smoke", "--store", store]) == 0
+        orphan = tmp_path / "store" / "smoke" / "dead.json.tmp"
+        orphan.write_text("{")
+        capsys.readouterr()
+        assert main(["sweep", "gc", "--store", store, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 1 orphan(s)" in out
+        assert orphan.exists()
+        assert main(["sweep", "gc", "--store", store, "--keep-latest"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphan(s)" in out
+        assert not orphan.exists()
+        # The healthy records survived.
+        assert len(list((tmp_path / "store" / "smoke").glob("*.json"))) == 2
+
+    def test_backends_list_cli(self, capsys):
+        assert main(["backends", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "fork-pool", "shm-pool", "distributed"):
+            assert name in out
+        assert "remote" in out
+
+    def test_figures_backend_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "figures",
+                    "--figure",
+                    "6c",
+                    "--trials",
+                    "10",
+                    "--backend",
+                    "chunked",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "attack resilience" in out
+
     def test_sweep_run_trials_override_and_force(self, tmp_path, capsys):
         store = str(tmp_path / "store")
         assert (

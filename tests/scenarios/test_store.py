@@ -3,8 +3,16 @@
 import dataclasses
 import json
 
+from repro.backends import BackendSpec
 from repro.scenarios.spec import Axis, EngineSettings, ScenarioSpec
-from repro.scenarios.store import ResultStore, canonical_json, point_cache_key
+from repro.scenarios.store import (
+    LEGACY_GENERATION,
+    STORE_GENERATION,
+    ResultStore,
+    canonical_json,
+    point_cache_key,
+    record_generation,
+)
 
 
 def spec_for_keys(**overrides) -> ScenarioSpec:
@@ -60,6 +68,19 @@ class TestCacheKeys:
             != reference
         )
 
+    def test_backend_excluded_from_key_unless_semantic(self):
+        # A pinned execution backend must not invalidate existing stores:
+        # the determinism contract makes jobs/worker topology unobservable,
+        # and no built-in backend declares semantic options.
+        reference = point_cache_key(spec_for_keys(), {"p": 0.1})
+        for backend in (
+            BackendSpec("serial"),
+            BackendSpec("shm-pool", {"jobs": 8, "use_shared_memory": False}),
+            BackendSpec("distributed", {"workers": ["a:1", "b:2"]}),
+        ):
+            pinned = spec_for_keys(engine=EngineSettings(backend=backend))
+            assert point_cache_key(pinned, {"p": 0.1}) == reference, backend
+
     def test_name_and_description_excluded_from_key(self):
         # Content-addressing: renaming a scenario keeps its results valid.
         renamed = dataclasses.replace(
@@ -89,8 +110,18 @@ class TestResultStore:
         assert not store.has("scn", "abc")
         path = store.save("scn", "abc", record)
         assert store.has("scn", "abc")
-        assert store.load("scn", "abc") == record
-        assert json.loads(path.read_text()) == record
+        # Saving stamps the store-format generation; everything else
+        # round-trips untouched.
+        stamped = {**record, "store_generation": STORE_GENERATION}
+        assert store.load("scn", "abc") == stamped
+        assert json.loads(path.read_text()) == stamped
+        assert record_generation(store.load("scn", "abc")) == STORE_GENERATION
+
+    def test_untagged_records_read_as_legacy_generation(self):
+        assert record_generation({"result": {}}) == LEGACY_GENERATION
+        assert record_generation({"store_generation": "bogus"}) == (
+            LEGACY_GENERATION
+        )
 
     def test_keys_and_counts(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -121,12 +152,12 @@ class TestResultStore:
         record = {"key": "abc", "result": {"value": 0.5}}
         store.save("old-name", "abc", record)
         assert store.has("new-name", "abc")
-        assert store.load("new-name", "abc") == record
+        assert store.load("new-name", "abc")["result"] == record["result"]
         # The scenario's own directory wins when both exist.
         newer = {"key": "abc", "result": {"value": 0.7}}
         store.save("new-name", "abc", newer)
-        assert store.load("new-name", "abc") == newer
-        assert store.load("old-name", "abc") == record
+        assert store.load("new-name", "abc")["result"] == newer["result"]
+        assert store.load("old-name", "abc")["result"] == record["result"]
 
     def test_load_of_missing_key_is_a_clear_error(self, tmp_path):
         import pytest
@@ -134,3 +165,89 @@ class TestResultStore:
         store = ResultStore(tmp_path)
         with pytest.raises(FileNotFoundError, match="no cached record"):
             store.load("scn", "missing")
+
+
+class TestGarbageCollection:
+    """Generation tags + `gc`: orphans, corrupt records, stale generations."""
+
+    @staticmethod
+    def populated(tmp_path) -> ResultStore:
+        store = ResultStore(tmp_path)
+        store.save("scn", "aaa", {"result": {"value": 0.1}})
+        store.save("scn", "bbb", {"result": {"value": 0.2}})
+        store.save("other", "ccc", {"result": {"value": 0.3}})
+        return store
+
+    def test_clean_store_is_a_no_op(self, tmp_path):
+        store = self.populated(tmp_path)
+        report = store.gc(keep_latest=True)
+        assert report.scanned == 3
+        assert report.kept == 3
+        assert report.removed == 0
+        assert store.count("scn") == 2
+
+    def test_orphaned_temp_files_are_pruned(self, tmp_path):
+        store = self.populated(tmp_path)
+        orphan = tmp_path / "scn" / "deadbeef.json.tmp"
+        orphan.write_text("{\"half\": ")
+        report = store.gc()
+        assert [p.name for p in report.orphans] == ["deadbeef.json.tmp"]
+        assert not orphan.exists()
+        assert store.count("scn") == 2  # real records untouched
+
+    def test_corrupt_records_are_pruned(self, tmp_path):
+        store = self.populated(tmp_path)
+        torn = tmp_path / "scn" / "cafebabe.json"
+        torn.write_text("{\"result\": {\"value\":")  # torn mid-write copy
+        report = store.gc()
+        assert [p.name for p in report.corrupt] == ["cafebabe.json"]
+        assert not torn.exists()
+        assert store.keys("scn") == ["aaa", "bbb"]
+
+    def test_valid_json_that_is_not_an_object_counts_as_corrupt(self, tmp_path):
+        # Manual-edit damage: parses fine but is no record. gc must
+        # classify it, not crash on record_generation.
+        store = self.populated(tmp_path)
+        weird = tmp_path / "scn" / "0123.json"
+        weird.write_text("[1, 2, 3]")
+        report = store.gc()
+        assert [p.name for p in report.corrupt] == ["0123.json"]
+        assert not weird.exists()
+
+    def test_keep_latest_prunes_older_generations(self, tmp_path):
+        store = self.populated(tmp_path)
+        # A legacy (untagged, generation-1) record left over from an old
+        # store format, in its own scenario directory.
+        legacy_dir = tmp_path / "legacy"
+        legacy_dir.mkdir()
+        (legacy_dir / "00ff.json").write_text(
+            json.dumps({"result": {"value": 0.9}})
+        )
+        # Without --keep-latest the legacy record survives.
+        assert store.gc().removed == 0
+        # With it, only the newest generation survives and the emptied
+        # scenario directory disappears.
+        report = store.gc(keep_latest=True)
+        assert report.latest_generation == STORE_GENERATION
+        assert [p.name for p in report.stale] == ["00ff.json"]
+        assert report.kept == 3
+        assert not legacy_dir.exists()
+        assert store.scenarios() == ["other", "scn"]
+
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        store = self.populated(tmp_path)
+        orphan = tmp_path / "scn" / "feed.json.tmp"
+        orphan.write_text("x")
+        legacy = tmp_path / "scn" / "00aa.json"
+        legacy.write_text(json.dumps({"result": {}}))
+        report = store.gc(keep_latest=True, dry_run=True)
+        assert report.dry_run
+        assert {p.name for p in report.removed_paths()} == {
+            "feed.json.tmp",
+            "00aa.json",
+        }
+        assert orphan.exists() and legacy.exists()
+
+    def test_missing_store_directory_is_empty_report(self, tmp_path):
+        report = ResultStore(tmp_path / "nope").gc(keep_latest=True)
+        assert report.scanned == 0 and report.removed == 0
