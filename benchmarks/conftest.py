@@ -18,7 +18,10 @@ the same way:
   name (``serial`` / ``chunked`` / ``fork-pool`` / ``shm-pool`` /
   ``distributed``; unset defers to the ``REPRO_BENCH_JOBS`` sugar), with
   ``REPRO_BENCH_WORKERS=host:port,...`` supplying worker addresses for
-  the distributed backend.
+  the distributed backend (``REPRO_BENCH_POOL=N`` spawns a local pool
+  instead) and ``REPRO_BENCH_CHUNK_SIZE=N|auto`` setting the span size
+  for backends that take one — ``auto`` closes the loop: spans sized
+  from the very ``BENCH_*.json`` records these benchmarks emit.
 
 **Machine-readable records.**  Besides the human tables, every benchmark
 appends a record to ``BENCH_<name>.json`` (written to ``REPRO_BENCH_OUT``,
@@ -71,13 +74,22 @@ def bench_backend():
 
     options = {}
     workers = os.environ.get("REPRO_BENCH_WORKERS")
+    pool = os.environ.get("REPRO_BENCH_POOL")
     if name == "distributed":
-        if not workers:
+        if workers:
+            options["workers"] = [
+                w.strip() for w in workers.split(",") if w.strip()
+            ]
+        if pool:
+            options["pool"] = int(pool)
+        if not options:
             raise RuntimeError(
                 "REPRO_BENCH_BACKEND=distributed needs "
-                "REPRO_BENCH_WORKERS=host:port,..."
+                "REPRO_BENCH_WORKERS=host:port,... or REPRO_BENCH_POOL=N"
             )
-        options["workers"] = [w.strip() for w in workers.split(",") if w.strip()]
+    chunk = os.environ.get("REPRO_BENCH_CHUNK_SIZE")
+    if chunk:
+        options["chunk_size"] = chunk if chunk == "auto" else int(chunk)
     return BackendSpec(name, options=options)
 
 

@@ -11,7 +11,16 @@ The repository's execution layer in one subsystem:
   :func:`register_backend` for new substrates;
 - :mod:`repro.backends.distributed` / :mod:`repro.backends.worker` —
   the TCP span protocol: ``repro worker serve --bind`` on the worker
-  side, :class:`DistributedBackend` on the orchestrator side.
+  side, :class:`DistributedBackend` on the orchestrator side, with
+  worker-failure retry/rebalancing, heartbeat liveness probing, and a
+  per-worker circuit breaker;
+- :mod:`repro.backends.pool` — :class:`WorkerPool`: spawn a local pool
+  of serve processes (or adopt a remote host list) in one call;
+- :mod:`repro.backends.faults` — deterministic, seedable fault
+  injection (:class:`FaultPlan`): how the chaos tests and the CI chaos
+  job prove counts survive worker failure bit-identically;
+- :mod:`repro.backends.autotune` — span sizing from recorded
+  ``BENCH_*.json`` rates (``chunk_size="auto"``).
 
 Every backend honours the determinism contract — streams keyed by
 ``(seed, label, index)`` and exact integer aggregation make results
@@ -21,7 +30,14 @@ meaningful options.
 """
 
 from repro.backends.base import CAPABILITY_FLAGS, BackendSpec, ExecutionBackend
-from repro.backends.distributed import DistributedBackend
+from repro.backends.autotune import bench_rate, suggest_chunk_size
+from repro.backends.distributed import (
+    DistributedBackend,
+    NoWorkersLeft,
+    WorkerLost,
+)
+from repro.backends.faults import FaultPlan, FaultSpec
+from repro.backends.pool import WorkerPool, load_hosts_file
 from repro.backends.registry import (
     BackendEntry,
     backend_names,
@@ -33,6 +49,7 @@ from repro.backends.registry import (
     semantic_option_names,
     spec_for_jobs,
 )
+from repro.backends.wire import probe_worker
 from repro.backends.worker import WorkerServer, serve
 
 __all__ = [
@@ -41,14 +58,23 @@ __all__ = [
     "CAPABILITY_FLAGS",
     "DistributedBackend",
     "ExecutionBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "NoWorkersLeft",
+    "WorkerLost",
+    "WorkerPool",
     "WorkerServer",
     "backend_names",
+    "bench_rate",
     "get",
     "list_backends",
+    "load_hosts_file",
     "make_backend",
+    "probe_worker",
     "register_backend",
     "resolve_spec",
     "semantic_option_names",
     "serve",
     "spec_for_jobs",
+    "suggest_chunk_size",
 ]

@@ -89,6 +89,10 @@ class ExecutionBackend(Protocol):
     supports_shared_memory: bool
     #: Whether spans execute outside this process's memory image.
     supports_remote: bool
+    #: Whether the backend survives worker failures mid-run: failed spans
+    #: are retried on surviving workers with results unchanged, instead of
+    #: failing fast and relying on ``repro sweep resume``.
+    supports_fault_tolerance: bool
 
     def open(self) -> "ExecutionBackend": ...
 
@@ -195,4 +199,8 @@ class BackendSpec:
 
 
 #: The capability flags :func:`repro.backends.list_backends` reports.
-CAPABILITY_FLAGS: Tuple[str, ...] = ("supports_shared_memory", "supports_remote")
+CAPABILITY_FLAGS: Tuple[str, ...] = (
+    "supports_shared_memory",
+    "supports_remote",
+    "supports_fault_tolerance",
+)

@@ -1,46 +1,77 @@
-"""The distributed execution backend: spans over TCP workers.
+"""The distributed execution backend: spans over TCP workers, fault-tolerantly.
 
 :class:`DistributedBackend` implements the
 :class:`~repro.backends.base.ExecutionBackend` protocol against one or
 more ``repro worker serve`` processes (see :mod:`repro.backends.worker`),
-reachable as ``host:port`` addresses.  One persistent connection per
-worker is opened by :meth:`~DistributedBackend.open` and reused for every
-engine run of a sweep — the remote analogue of the one-pool-per-sweep
-contract.
+reachable as ``host:port`` addresses — or spawned on demand as a local
+:class:`~repro.backends.pool.WorkerPool` via ``pool=N``.  One persistent
+connection per worker is opened by :meth:`~DistributedBackend.open` and
+reused for every engine run of a sweep — the remote analogue of the
+one-pool-per-sweep contract.
 
 Execution model per span call:
 
-1. :meth:`start` pickles the task once and broadcasts it to every
-   worker connection (op ``task``); a task that cannot be pickled falls
-   back to exact in-process execution for that run, mirroring
+1. :meth:`start` pickles the task once; each worker receives it lazily,
+   the first time (per engine run) a span is dispatched on its
+   connection — which is also what makes reconnects transparent.  A task
+   that cannot be pickled falls back to exact in-process execution for
+   that run, mirroring
    :class:`~repro.experiments.executors.SweepPoolExecutor`.
 2. ``run_counts``/``run_batches``/``run_collect`` split their half-open
-   range into spans (``chunk_size`` each, default: balanced across
-   workers), assign spans round-robin to workers, and drive each
-   worker's connection from its own thread.
-3. Counts are summed — exact integer addition, associative, so the
-   assignment never matters — and collect values are re-assembled in
-   span order, preserving trial-index order.
+   range into spans (``chunk_size`` each; default balances the range
+   across live workers; ``"auto"`` sizes spans from recorded
+   ``BENCH_*.json`` rates — see :mod:`repro.backends.autotune`), feed
+   them through one shared work queue, and drive each live worker's
+   connection from its own thread — workers *pull* spans as they finish,
+   so a slow worker naturally takes fewer.
+3. Counts are summed in span order — exact integer addition over
+   per-span counts that are pure functions of ``(task, span)`` — and
+   collect values are re-assembled in span order, preserving trial-index
+   order.
 
-Workers compute spans with the same range functions local executors use,
-so results are *identical* to the serial executor for any worker set:
-streams keyed by ``(seed, label, index)`` are backend-invariant.  A
-worker failure raises immediately; because the sweep orchestrator
-persists completed points, ``repro sweep resume`` continues a partially
-failed distributed sweep without recomputing anything.
+**Fault tolerance.**  A span dispatch that fails at the transport level
+(EOF, refused reconnect, a torn frame, a wire timeout, a heartbeat
+declaring the worker dead) *requeues the span* for the surviving
+workers, up to ``span_retries`` attempts per span.  Because every span's
+counts are a pure function of the task and the span bounds, re-executing
+a span — even one the dying worker may have half-finished — produces the
+exact same numbers, so results and result-store cache keys stay
+**byte-identical** to a clean run; the fault-injection suite
+(``tests/backends/test_faults.py``) and the CI ``chaos`` job assert
+exactly that.  Per-worker failures are tracked as consecutive *strikes*
+(reset by any completed span): at ``breaker_threshold`` strikes the
+circuit breaker opens and the worker is excluded for the rest of the
+backend's lifetime, so a flapping worker cannot stall every remaining
+span.  A worker that stops sending reply bytes for
+``heartbeat_interval`` seconds is probed with a ``ping`` on a fresh
+connection (see :func:`~repro.backends.wire.probe_worker`): a *slow*
+worker answers and the client keeps waiting; a *dead* one fails the
+probe and its span is requeued immediately.  Only when every worker is
+dead or circuit-broken with spans still pending does the dispatch raise
+(:class:`NoWorkersLeft`) — and because the sweep orchestrator persists
+completed points, ``repro sweep resume`` continues even that sweep
+without recomputing anything.
+
+Worker-side *task* errors (an ``ok: false`` reply) are deterministic —
+the same span would fail identically on every worker — so they abort the
+dispatch immediately with the remote traceback, exactly as before.
 """
 
 from __future__ import annotations
 
+import pickle
 import socket
 import threading
-from typing import Any, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.backends.wire import (
     WORKER_ROLE,
+    ProtocolError,
     decode_blob,
     encode_blob,
     parse_address,
+    probe_worker,
     request,
 )
 from repro.experiments.executors import (
@@ -52,7 +83,144 @@ from repro.experiments.executors import (
 )
 from repro.util.validation import check_positive_int
 
-import pickle
+#: Re-dispatch attempts allowed per span before the run is declared failed.
+DEFAULT_SPAN_RETRIES = 5
+
+#: Consecutive failures that open a worker's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: Seconds of reply silence before a heartbeat probe checks the worker.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+#: Seconds a heartbeat probe may take before counting as dead.
+DEFAULT_PING_TIMEOUT = 2.0
+
+
+class WorkerLost(ConnectionError):
+    """A worker stopped responding mid-span (heartbeat or hard timeout)."""
+
+
+class NoWorkersLeft(ConnectionError):
+    """Every worker is dead or circuit-broken with spans still pending."""
+
+
+class _Worker:
+    """Client-side state of one worker: connection, task cache, breaker."""
+
+    def __init__(self, address: str, connect_timeout: float) -> None:
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.connect_timeout = connect_timeout
+        self.sock: Optional[socket.socket] = None
+        #: The task payload loaded on the current connection, if any.
+        self.loaded: Optional[str] = None
+        #: Consecutive transport failures; any completed span resets it.
+        self.strikes = 0
+        #: Circuit breaker: once open, the worker is out for good.
+        self.broken = False
+        self.spans_completed = 0
+
+    def connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as error:
+            raise ConnectionError(
+                f"cannot reach worker {self.address}: {error}"
+            ) from error
+        try:
+            hello = request(sock, {"op": "hello"})
+            if hello.get("role") != WORKER_ROLE:
+                raise ConnectionError(
+                    f"{self.address} is not a repro worker "
+                    f"(role {hello.get('role')!r})"
+                )
+        except BaseException:
+            sock.close()
+            raise
+        # Handshake done: span requests may run arbitrarily long (the
+        # idle/heartbeat machinery bounds them, not the socket timeout).
+        sock.settimeout(None)
+        self.sock = sock
+        self.loaded = None
+
+    def drop_connection(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - close on a dead socket
+                pass
+            self.sock = None
+        self.loaded = None
+
+    def probe(self, ping_timeout: float) -> bool:
+        return probe_worker(self.host, self.port, timeout=ping_timeout)
+
+
+class _SpanQueue:
+    """The shared work queue one dispatch's driver threads pull from.
+
+    Items are ``(span_index, (low, high), attempts)``.  A span is
+    *outstanding* until some driver completes it; failed spans re-enter
+    the queue.  :meth:`get` blocks until there is work, every span is
+    done, or the dispatch is aborted — and the last driver to exit with
+    spans still outstanding aborts the dispatch itself, so a caller can
+    never deadlock waiting for workers that no longer exist.
+    """
+
+    def __init__(self, spans: Sequence[Tuple[int, int]], drivers: int) -> None:
+        self._pending = deque(
+            (index, span, 0) for index, span in enumerate(spans)
+        )
+        self._outstanding = len(spans)
+        self._drivers = drivers
+        self._error: Optional[BaseException] = None
+        self._condition = threading.Condition()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        with self._condition:
+            return self._error
+
+    def get(self) -> Optional[Tuple[int, Tuple[int, int], int]]:
+        with self._condition:
+            while True:
+                if self._error is not None or self._outstanding == 0:
+                    return None
+                if self._pending:
+                    return self._pending.popleft()
+                self._condition.wait()
+
+    def task_done(self) -> None:
+        with self._condition:
+            self._outstanding -= 1
+            self._condition.notify_all()
+
+    def requeue(self, item: Tuple[int, Tuple[int, int], int]) -> None:
+        with self._condition:
+            self._pending.append(item)
+            self._condition.notify_all()
+
+    def abort(self, error: BaseException) -> None:
+        with self._condition:
+            if self._error is None:
+                self._error = error
+            self._condition.notify_all()
+
+    def driver_exited(self) -> None:
+        with self._condition:
+            self._drivers -= 1
+            if (
+                self._drivers == 0
+                and self._outstanding > 0
+                and self._error is None
+            ):
+                self._error = NoWorkersLeft(
+                    f"{self._outstanding} span(s) still pending but every "
+                    "worker is dead or circuit-broken"
+                )
+            self._condition.notify_all()
 
 
 class DistributedBackend(TrialExecutor):
@@ -61,158 +229,350 @@ class DistributedBackend(TrialExecutor):
     Parameters
     ----------
     workers:
-        Non-empty sequence of ``"host:port"`` worker addresses.
+        Sequence of ``"host:port"`` worker addresses.  May be empty when
+        ``pool`` is given.
     chunk_size:
-        Trials (or batches) per dispatched span; default balances the
-        range evenly across workers.  Never observable in results.
+        Trials (batches, in batch mode) per dispatched span.  ``None``
+        balances the range across live workers; ``"auto"`` sizes spans
+        from recorded benchmark rates (:mod:`repro.backends.autotune`),
+        targeting sub-second spans so retry/rebalancing stays granular.
+        Never observable in results.
     connect_timeout:
-        Seconds allowed for the TCP connect + hello handshake per
-        worker.  Span requests themselves block without a deadline (a
-        span legitimately runs for minutes at paper-scale trial
-        counts).
+        Seconds allowed for TCP connect + hello handshake per worker.
+    pool:
+        Spawn a local :class:`~repro.backends.pool.WorkerPool` of this
+        many ``repro worker serve`` processes in :meth:`open` and own
+        its lifecycle — sweeps and tests stand up a pool in one call.
+    span_retries:
+        Re-dispatch attempts allowed per span before the run fails.
+    breaker_threshold:
+        Consecutive failures that open a worker's circuit breaker.
+    heartbeat_interval:
+        Seconds of reply silence before a liveness probe; slow workers
+        answer the probe and are waited on, dead ones are requeued.
+    ping_timeout:
+        Deadline for each heartbeat probe.
+    span_timeout:
+        Optional hard cap on one span's wall time; on expiry the worker
+        is treated as lost even if its heartbeat still answers.  ``None``
+        (default) trusts the heartbeat alone.
     """
 
     supports_remote = True
+    supports_fault_tolerance = True
 
     def __init__(
         self,
-        workers: Sequence[str],
-        chunk_size: Optional[int] = None,
+        workers: Sequence[str] = (),
+        chunk_size: Union[int, str, None] = None,
         connect_timeout: float = 10.0,
+        pool: Optional[int] = None,
+        span_retries: int = DEFAULT_SPAN_RETRIES,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        ping_timeout: float = DEFAULT_PING_TIMEOUT,
+        span_timeout: Optional[float] = None,
     ) -> None:
         addresses = [
             worker.strip() for worker in workers if str(worker).strip()
         ]
-        if not addresses:
+        if pool is not None:
+            check_positive_int(pool, "pool")
+            if addresses:
+                # Refusing beats silently ignoring one of them: an
+                # operator who names a fleet AND asks for a pool would
+                # otherwise run on fewer workers than they believe.
+                raise ValueError(
+                    "pass either workers=[...] or pool=N, not both"
+                )
+        if not addresses and pool is None:
             raise ValueError(
                 "DistributedBackend needs at least one worker address "
-                "('host:port')"
+                "('host:port') or pool=N to spawn a local worker pool"
             )
         self.workers: Tuple[str, ...] = tuple(addresses)
-        self._addresses = [parse_address(address) for address in self.workers]
-        if chunk_size is not None:
+        for address in self.workers:
+            parse_address(address)  # fail fast on typos
+        if chunk_size not in (None, "auto"):
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
         self.connect_timeout = connect_timeout
-        self._connections: Optional[List[socket.socket]] = None
+        self.pool_size = pool
+        self.span_retries = check_positive_int(span_retries, "span_retries")
+        self.breaker_threshold = check_positive_int(
+            breaker_threshold, "breaker_threshold"
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.ping_timeout = ping_timeout
+        self.span_timeout = span_timeout
+        self._pool: Optional[Any] = None
+        self._workers: Optional[List[_Worker]] = None
         self._payload: Optional[str] = None
+        self._stats_lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "spans_completed": 0,
+            "spans_requeued": 0,
+            "worker_failures": 0,
+            "workers_broken": 0,
+            "heartbeat_probes": 0,
+        }
+
+    def _count(self, stat: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[stat] += amount
 
     # -- lifecycle ---------------------------------------------------------
 
     def open(self) -> "DistributedBackend":
-        """Connect and handshake every worker; idempotent."""
-        if self._connections is not None:
+        """Connect and handshake every worker; idempotent.
+
+        Unreachable workers fail *loudly* here — at open time a bad
+        address is an operator mistake, not churn; fault tolerance
+        begins once the sweep is running.
+        """
+        if self._workers is not None:
             return self
-        connections: List[socket.socket] = []
+        if self.pool_size is not None:
+            from repro.backends.pool import WorkerPool
+
+            self._pool = WorkerPool(workers=self.pool_size).start()
+            self.workers = tuple(self._pool.addresses)
+        workers = [
+            _Worker(address, self.connect_timeout) for address in self.workers
+        ]
         try:
-            for address, (host, port) in zip(self.workers, self._addresses):
-                try:
-                    connection = socket.create_connection(
-                        (host, port), timeout=self.connect_timeout
-                    )
-                except OSError as error:
-                    raise ConnectionError(
-                        f"cannot reach worker {address}: {error}"
-                    ) from error
-                connections.append(connection)
-                hello = request(connection, {"op": "hello"})
-                if hello.get("role") != WORKER_ROLE:
-                    raise ConnectionError(
-                        f"{address} is not a repro worker "
-                        f"(role {hello.get('role')!r})"
-                    )
-                # Handshake done: span requests may run arbitrarily long.
-                connection.settimeout(None)
+            for worker in workers:
+                worker.connect()
         except BaseException:
-            for connection in connections:
-                connection.close()
+            for worker in workers:
+                worker.drop_connection()
+            if self._pool is not None:
+                self._pool.stop()
+                self._pool = None
             raise
-        self._connections = connections
+        self._workers = workers
         return self
 
     def close(self) -> None:
-        if self._connections is not None:
-            for connection in self._connections:
-                connection.close()
-            self._connections = None
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.drop_connection()
+            self._workers = None
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+            self.workers = ()
         self._payload = None
 
     def start(self, task: TrialTask) -> None:
         self.open()
         try:
-            payload = encode_blob(task)
+            self._payload = encode_blob(task)
         except (pickle.PicklingError, TypeError, AttributeError):
             # Unpicklable task (ad-hoc closure): exact in-process fallback
             # for this run, connections stay open for the next task.
             self._payload = None
-            return
-        self._payload = payload
-        for connection in self._connections:
-            request(connection, {"op": "task", "task": payload})
 
     def finish(self) -> None:
         self._payload = None
 
+    # -- introspection -----------------------------------------------------
+
+    def live_workers(self) -> Tuple[str, ...]:
+        """Addresses whose circuit breaker has not opened."""
+        if self._workers is None:
+            return self.workers
+        return tuple(
+            worker.address for worker in self._workers if not worker.broken
+        )
+
     # -- span dispatch -----------------------------------------------------
 
-    def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
-        if self.chunk_size is not None:
+    def _spans(
+        self, start: int, stop: int, trials_per_unit: int = 1
+    ) -> List[Tuple[int, int]]:
+        live = max(1, len(self.live_workers()))
+        if self.chunk_size == "auto":
+            from repro.backends.autotune import resolved_rate, suggest_chunk_size
+
+            trials = (stop - start) * trials_per_unit
+            span = suggest_chunk_size(
+                "distributed",
+                trials,
+                workers=live,
+                rate=resolved_rate(self, "distributed"),
+            )
+            span = max(1, span // trials_per_unit)
+        elif self.chunk_size is not None:
             span = self.chunk_size
         else:
-            span = max(1, -(-(stop - start) // len(self.workers)))
+            span = max(1, -(-(stop - start) // live))
         return [
             (low, min(low + span, stop)) for low in range(start, stop, span)
         ]
 
+    def _worker_request(
+        self, worker: _Worker, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """One request on a worker's persistent connection, liveness-checked.
+
+        Reply silence beyond ``heartbeat_interval`` triggers a ``ping``
+        probe on a fresh connection: an answering (merely slow) worker is
+        waited on indefinitely — or until ``span_timeout`` — while a
+        silent one raises :class:`WorkerLost` so the span is requeued.
+        """
+        waited = 0.0
+
+        def on_idle() -> None:
+            nonlocal waited
+            waited += self.heartbeat_interval
+            if self.span_timeout is not None and waited >= self.span_timeout:
+                raise WorkerLost(
+                    f"worker {worker.address} exceeded the {self.span_timeout}s "
+                    f"span timeout"
+                )
+            self._count("heartbeat_probes")
+            if not worker.probe(self.ping_timeout):
+                raise WorkerLost(
+                    f"worker {worker.address} stopped answering heartbeat "
+                    f"pings after {waited:.1f}s of silence"
+                )
+
+        return request(
+            worker.sock,
+            payload,
+            idle_timeout=self.heartbeat_interval,
+            on_idle=on_idle,
+        )
+
+    def _ensure_ready(self, worker: _Worker) -> None:
+        """(Re)connect and load the current task onto the connection."""
+        if worker.sock is None:
+            worker.connect()
+        if self._payload is not None and worker.loaded != self._payload:
+            self._worker_request(worker, {"op": "task", "task": self._payload})
+            worker.loaded = self._payload
+
     def _dispatch(
         self, mode: str, spans: List[Tuple[int, int]]
     ) -> List[Any]:
-        """Run every span on some worker; replies in span order.
+        """Run every span on some live worker; replies in span order.
 
-        Spans are assigned round-robin; each worker's connection is
-        driven serially by its own thread (the protocol is one request
-        in flight per connection).  Any failure is re-raised here after
-        every thread has stopped touching its socket.
+        Spans flow through one shared queue that live workers pull from;
+        transport failures requeue the span (bounded by ``span_retries``)
+        and strike the worker (bounded by ``breaker_threshold``), task
+        failures abort the dispatch.  Raises only after every driver
+        thread has stopped touching its socket.
         """
-        assert self._connections is not None
+        assert self._workers is not None
+        workers = [worker for worker in self._workers if not worker.broken]
+        if not workers:
+            raise NoWorkersLeft(
+                "every worker's circuit breaker is open; restart workers "
+                "and reopen the backend (completed sweep points are in the "
+                "store — `repro sweep resume` recomputes nothing)"
+            )
         replies: List[Any] = [None] * len(spans)
-        errors: List[BaseException] = []
+        queue = _SpanQueue(spans, drivers=len(workers))
 
-        def drive(connection: socket.socket, assigned) -> None:
+        def drive(worker: _Worker) -> None:
             try:
-                for span_index, (low, high) in assigned:
-                    replies[span_index] = request(
-                        connection,
-                        {"op": "run", "mode": mode, "start": low, "stop": high},
-                    )
-            except BaseException as error:  # noqa: BLE001 - re-raised below
-                errors.append(error)
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        return
+                    span_index, (low, high), attempts = item
+                    try:
+                        try:
+                            self._ensure_ready(worker)
+                        except RuntimeError as error:
+                            # An ok:false reply to the task *load* is
+                            # worker-specific (version skew, a module
+                            # missing on that host) — the other workers
+                            # may load it fine, so strike this one
+                            # rather than abort the dispatch.
+                            raise WorkerLost(
+                                f"worker {worker.address} cannot load the "
+                                f"task: {error}"
+                            ) from error
+                        reply = self._worker_request(
+                            worker,
+                            {
+                                "op": "run",
+                                "mode": mode,
+                                "start": low,
+                                "stop": high,
+                            },
+                        )
+                    except (ConnectionError, OSError) as error:
+                        # Transport failure: strike the worker, requeue
+                        # the span for whoever is still alive.
+                        worker.drop_connection()
+                        worker.strikes += 1
+                        self._count("worker_failures")
+                        if worker.strikes >= self.breaker_threshold:
+                            worker.broken = True
+                            self._count("workers_broken")
+                        if attempts + 1 >= self.span_retries:
+                            queue.abort(
+                                NoWorkersLeft(
+                                    f"span [{low}, {high}) failed on "
+                                    f"{attempts + 1} workers, giving up: "
+                                    f"{error}"
+                                )
+                            )
+                            return
+                        queue.requeue((span_index, (low, high), attempts + 1))
+                        self._count("spans_requeued")
+                        if worker.broken:
+                            return
+                        continue
+                    except RuntimeError as error:
+                        # An ok:false reply: the task itself failed, and
+                        # deterministically would everywhere — abort with
+                        # the remote traceback, connection left healthy.
+                        queue.abort(error)
+                        return
+                    except BaseException as error:  # pragma: no cover
+                        queue.abort(error)  # surface bugs, don't hang
+                        return
+                    replies[span_index] = reply
+                    worker.strikes = 0
+                    worker.spans_completed += 1
+                    self._count("spans_completed")
+                    queue.task_done()
+            finally:
+                queue.driver_exited()
 
-        groups: List[List[Tuple[int, Tuple[int, int]]]] = [
-            [] for _ in self._connections
-        ]
-        for span_index, span in enumerate(spans):
-            groups[span_index % len(groups)].append((span_index, span))
         threads = [
             threading.Thread(
-                target=drive, args=(connection, assigned), daemon=True
+                target=drive,
+                args=(worker,),
+                name=f"repro-dispatch-{worker.address}",
+                daemon=True,
             )
-            for connection, assigned in zip(self._connections, groups)
-            if assigned
+            for worker in workers
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
+        error = queue.error
+        if error is not None:
+            raise error
         return replies
 
     def _summed_counts(
-        self, task: TrialTask, mode: str, start: int, stop: int
+        self,
+        task: TrialTask,
+        mode: str,
+        start: int,
+        stop: int,
+        trials_per_unit: int = 1,
     ) -> List[int]:
         counts = [0] * task.channels
-        for reply in self._dispatch(mode, self._spans(start, stop)):
+        spans = self._spans(start, stop, trials_per_unit)
+        for reply in self._dispatch(mode, spans):
             chunk = reply["counts"]
             if len(chunk) != task.channels:
                 raise ValueError(
@@ -237,7 +597,9 @@ class DistributedBackend(TrialExecutor):
             return run_batch_range(task, first, last)
         if first >= last:
             return [0] * task.channels
-        return self._summed_counts(task, "batches", first, last)
+        return self._summed_counts(
+            task, "batches", first, last, trials_per_unit=max(1, task.batch_size)
+        )
 
     def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
         if self._payload is None:

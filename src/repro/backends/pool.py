@@ -1,0 +1,297 @@
+"""The worker-pool launcher: stand up a set of trial workers in one call.
+
+PR 4's distributed backend assumed an operator had already started every
+``repro worker serve`` process by hand.  :class:`WorkerPool` removes that
+step for the common cases:
+
+- **Local pool** — ``WorkerPool(workers=3)`` spawns three
+  ``repro worker serve --bind host:0`` subprocesses, reads each one's
+  announced ephemeral address off its stdout, and owns their lifecycle
+  (``stop`` sends SIGTERM, escalating to SIGKILL).  A
+  :class:`~repro.backends.faults.FaultPlan` maps per-worker scripted
+  failures onto the spawned processes (``--fault`` per child), which is
+  how the chaos tests and the CI ``chaos`` job kill a real worker
+  process mid-sweep, deterministically.
+- **Remote hosts** — :meth:`WorkerPool.from_hosts_file` reads a
+  ``host:port``-per-line file describing workers already running
+  elsewhere, optionally heartbeat-probing each; ``stop`` leaves them
+  alone (their operator owns them).
+
+Either way, :attr:`addresses` plugs straight into
+:class:`~repro.backends.distributed.DistributedBackend` — or let the
+backend do both halves itself with ``DistributedBackend(pool=N)`` /
+``repro sweep run ... --backend distributed --pool N``.  The CLI face is
+``repro worker pool`` (see ``repro worker pool --help``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.backends.faults import FaultPlan
+from repro.backends.wire import parse_address, probe_worker
+
+#: What ``repro worker serve`` announces on stdout once bound.
+_ADDRESS_LINE = re.compile(r"listening on (\S+?):(\d+)")
+
+
+def load_hosts_file(path) -> List[str]:
+    """Read a worker host-list file: one ``host:port`` per line.
+
+    Blank lines and ``#`` comments are ignored; every surviving line is
+    validated as an address.  This is both :meth:`WorkerPool.from_hosts_file`
+    and the CLI's ``--workers @path`` spelling.
+    """
+    addresses: List[str] = []
+    for raw_line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parse_address(line)
+        addresses.append(line)
+    if not addresses:
+        raise ValueError(f"hosts file {path} names no workers")
+    return addresses
+
+
+def _await_line(stream, timeout: float, context: str) -> str:
+    """Read one ``\\n``-terminated line off a subprocess pipe, bounded."""
+    deadline = time.monotonic() + timeout
+    buffer = b""
+    descriptor = stream.fileno()
+    while b"\n" not in buffer:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"{context}: no announcement within {timeout}s "
+                f"(got {buffer!r})"
+            )
+        readable, _, _ = select.select([descriptor], [], [], remaining)
+        if not readable:
+            continue
+        chunk = os.read(descriptor, 4096)
+        if not chunk:
+            raise RuntimeError(
+                f"{context}: exited before announcing its address "
+                f"(got {buffer!r})"
+            )
+        buffer += chunk
+    return buffer.split(b"\n", 1)[0].decode("utf-8", "replace")
+
+
+@contextlib.contextmanager
+def worker_import_path(directory):
+    """Temporarily prepend ``directory`` to ``PYTHONPATH`` for spawned workers.
+
+    Workers unpickle task callables by importing their defining module;
+    callables that live outside the installed package (test helpers,
+    benchmark modules) need their directory on the children's path.
+    Spawning happens under this context; the parent environment is
+    restored on exit.
+    """
+    directory = str(directory)
+    previous = os.environ.get("PYTHONPATH")
+    os.environ["PYTHONPATH"] = (
+        directory
+        if not previous
+        else os.pathsep.join([directory, previous])
+    )
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = previous
+
+
+def _worker_environment() -> dict:
+    """The spawned worker's environment: inherit ours, ensure importability.
+
+    The child runs ``python -m repro.cli``, so the directory containing
+    the ``repro`` package must be on its ``PYTHONPATH`` even when the
+    parent imported it via ``pytest``'s ``pythonpath`` or an editable
+    install the child would not see.
+    """
+    import repro
+
+    source_root = str(Path(repro.__file__).resolve().parent.parent)
+    environment = dict(os.environ)
+    existing = environment.get("PYTHONPATH", "")
+    paths = existing.split(os.pathsep) if existing else []
+    if source_root not in paths:
+        environment["PYTHONPATH"] = os.pathsep.join([source_root, *paths])
+    return environment
+
+
+class WorkerPool:
+    """Launch and own local ``repro worker serve`` processes.
+
+    Parameters
+    ----------
+    workers:
+        Local serve processes to spawn (ignored when ``addresses`` names
+        already-running remote workers).
+    host:
+        Interface the local workers bind (loopback by default — the
+        protocol ships pickles).
+    fault_plan:
+        Optional :class:`~repro.backends.faults.FaultPlan` (or its
+        compact string form) mapping worker indices to scripted faults.
+    addresses:
+        Pre-existing workers to adopt instead of spawning; ``stop``
+        leaves them running.
+    startup_timeout:
+        Seconds each spawned worker gets to announce its address.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        fault_plan=None,
+        addresses: Sequence[str] = (),
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan(faults=fault_plan)
+        self.workers = workers
+        self.host = host
+        self.fault_plan = fault_plan
+        self.startup_timeout = startup_timeout
+        self._remote = tuple(addresses)
+        for address in self._remote:
+            parse_address(address)
+        self._processes: List[subprocess.Popen] = []
+        self._addresses: Optional[Tuple[str, ...]] = None
+
+    @classmethod
+    def from_hosts_file(cls, path, probe: bool = False) -> "WorkerPool":
+        """Adopt the remote workers a host-list file names.
+
+        With ``probe``, heartbeat-ping each one and fail loudly on the
+        unreachable — the "is my fleet actually up?" pre-flight.
+        """
+        pool = cls(addresses=load_hosts_file(path))
+        if probe:
+            dead = [
+                address
+                for address in pool._remote
+                if not probe_worker(*parse_address(address))
+            ]
+            if dead:
+                raise ConnectionError(
+                    f"worker(s) not answering pings: {', '.join(dead)}"
+                )
+        return pool
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """Every worker's ``host:port`` — feed to ``DistributedBackend``."""
+        if self._addresses is None:
+            raise RuntimeError("WorkerPool not started; call start() first")
+        return self._addresses
+
+    @property
+    def local(self) -> bool:
+        """Whether this pool owns (spawned) its worker processes."""
+        return not self._remote
+
+    def start(self) -> "WorkerPool":
+        """Spawn the local workers (no-op for remote pools); idempotent."""
+        if self._addresses is not None:
+            return self
+        if self._remote:
+            self._addresses = self._remote
+            return self
+        environment = _worker_environment()
+        addresses: List[str] = []
+        try:
+            for index in range(self.workers):
+                command = [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "worker",
+                    "serve",
+                    "--bind",
+                    f"{self.host}:0",
+                ]
+                fault = (
+                    self.fault_plan.for_worker(index)
+                    if self.fault_plan is not None
+                    else None
+                )
+                if fault is not None:
+                    command += ["--fault", fault.describe()]
+                process = subprocess.Popen(
+                    command,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                    env=environment,
+                )
+                self._processes.append(process)
+                line = _await_line(
+                    process.stdout,
+                    self.startup_timeout,
+                    f"worker {index} (pid {process.pid})",
+                )
+                match = _ADDRESS_LINE.search(line)
+                if match is None:
+                    raise RuntimeError(
+                        f"worker {index} announced {line!r}, expected a "
+                        f"'listening on host:port' line"
+                    )
+                addresses.append(f"{match.group(1)}:{match.group(2)}")
+        except BaseException:
+            self.stop()
+            raise
+        self._addresses = tuple(addresses)
+        return self
+
+    def poll(self) -> List[Optional[int]]:
+        """Each spawned worker's exit code (``None`` while running)."""
+        return [process.poll() for process in self._processes]
+
+    def stop(self, grace_seconds: float = 5.0) -> None:
+        """Terminate spawned workers: SIGTERM, then SIGKILL stragglers.
+
+        Remote (adopted) workers are untouched — their operator owns
+        them.  Safe to call repeatedly.
+        """
+        processes, self._processes = self._processes, []
+        self._addresses = self._remote or None
+        for process in processes:
+            if process.poll() is None:
+                try:
+                    process.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover - already reaped
+                    pass
+        deadline = time.monotonic() + grace_seconds
+        for process in processes:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                process.kill()
+                process.wait()
+        for process in processes:
+            if process.stdout is not None:
+                process.stdout.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -49,6 +49,7 @@ class BackendEntry:
     semantic_options: FrozenSet[str]
     supports_shared_memory: bool
     supports_remote: bool
+    supports_fault_tolerance: bool
     available: Callable[[], bool]
 
 
@@ -64,6 +65,7 @@ def register_backend(
     semantic_options: Tuple[str, ...] = (),
     supports_shared_memory: bool = False,
     supports_remote: bool = False,
+    supports_fault_tolerance: bool = False,
     available: Optional[Callable[[], bool]] = None,
 ) -> None:
     """Register an execution backend under a stable name.
@@ -90,6 +92,7 @@ def register_backend(
         semantic_options=frozenset(semantic_options),
         supports_shared_memory=supports_shared_memory,
         supports_remote=supports_remote,
+        supports_fault_tolerance=supports_fault_tolerance,
         available=available if available is not None else (lambda: True),
     )
 
@@ -128,6 +131,7 @@ def list_backends() -> List[Dict[str, Any]]:
             "semantic_options": sorted(entry.semantic_options),
             "supports_shared_memory": entry.supports_shared_memory,
             "supports_remote": entry.supports_remote,
+            "supports_fault_tolerance": entry.supports_fault_tolerance,
             "available": bool(entry.available()),
         }
         for _, entry in sorted(_REGISTRY.items())
@@ -261,10 +265,22 @@ def _register_builtins() -> None:
         DistributedBackend,
         description=(
             "spans over length-prefixed JSON/TCP to `repro worker serve` "
-            "processes (workers=['host:port', ...])"
+            "processes (workers=['host:port', ...] or pool=N to spawn a "
+            "local pool); retries and rebalances around worker failures"
         ),
-        options=("workers", "chunk_size", "connect_timeout"),
+        options=(
+            "workers",
+            "chunk_size",
+            "connect_timeout",
+            "pool",
+            "span_retries",
+            "breaker_threshold",
+            "heartbeat_interval",
+            "ping_timeout",
+            "span_timeout",
+        ),
         supports_remote=True,
+        supports_fault_tolerance=True,
     )
 
 

@@ -23,6 +23,22 @@ Every reply carries ``ok``; failures carry ``ok: false`` plus ``error``.
 Workers compute spans with the exact same range functions the local
 executors use, so per-trial streams — a pure function of
 ``(seed, label, index)`` — are identical on any machine.
+
+**Liveness.**  Three primitives let a client distinguish a *slow* worker
+from a *dead* one instead of blocking forever:
+
+- ``timeout=`` on :func:`request` bounds the whole round trip
+  (:class:`WireTimeout` on expiry);
+- ``idle_timeout=`` on :func:`recv_message`/:func:`request` bounds the
+  gap *between bytes* — partial frames survive the wait, so a reply that
+  trickles in over many idle windows still arrives intact — and invokes
+  the ``on_idle`` hook each time the line goes quiet (return to keep
+  waiting, raise to abandon the connection);
+- :func:`probe_worker` is the heartbeat: one fresh short-lived
+  connection, one ``ping`` frame.  The worker serves connections on
+  independent threads, so a ping answers even while every other
+  connection is busy computing a span — if the ping fails, the process
+  (or the route to it) is gone, not just busy.
 """
 
 from __future__ import annotations
@@ -30,9 +46,10 @@ from __future__ import annotations
 import base64
 import json
 import pickle
+import select
 import socket
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 #: Bumped on incompatible message-vocabulary changes; ``hello`` reports it.
 PROTOCOL_VERSION = 1
@@ -52,18 +69,49 @@ class ProtocolError(ConnectionError):
     """A malformed or out-of-contract frame on a worker connection."""
 
 
+class WireTimeout(ProtocolError):
+    """A bounded wait on a worker connection expired.
+
+    Subclasses :class:`ProtocolError` (and therefore
+    :class:`ConnectionError`) on purpose: to a fault-tolerant caller a
+    timeout is just another retryable transport failure.
+    """
+
+
 def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
     """Send one framed JSON message."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     sock.sendall(_HEADER.pack(len(body)) + body)
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+def _recv_exact(
+    sock: socket.socket,
+    count: int,
+    idle_timeout: Optional[float] = None,
+    on_idle: Optional[Callable[[], None]] = None,
+) -> Optional[bytes]:
     """Read exactly ``count`` bytes; ``None`` on a clean EOF at a frame
-    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    boundary, :class:`ProtocolError` on EOF mid-frame.
+
+    With ``idle_timeout``, waits for readability in ``idle_timeout``-sized
+    windows instead of blocking in ``recv`` — partially read frames are
+    preserved across windows.  Each idle window calls ``on_idle`` (which
+    may raise to abandon the wait); without a hook, an idle window raises
+    :class:`WireTimeout`.
+    """
     chunks = []
     remaining = count
     while remaining:
+        if idle_timeout is not None:
+            readable, _, _ = select.select([sock], [], [], idle_timeout)
+            if not readable:
+                if on_idle is None:
+                    raise WireTimeout(
+                        f"no data on worker connection for {idle_timeout}s "
+                        f"({count - remaining} of {count} bytes read)"
+                    )
+                on_idle()
+                continue
         chunk = sock.recv(remaining)
         if not chunk:
             if remaining == count:
@@ -77,15 +125,19 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+def recv_message(
+    sock: socket.socket,
+    idle_timeout: Optional[float] = None,
+    on_idle: Optional[Callable[[], None]] = None,
+) -> Optional[Dict[str, Any]]:
     """Receive one framed JSON message; ``None`` on clean connection close."""
-    header = _recv_exact(sock, _HEADER.size)
+    header = _recv_exact(sock, _HEADER.size, idle_timeout, on_idle)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
-    body = _recv_exact(sock, length) if length else b""
+    body = _recv_exact(sock, length, idle_timeout, on_idle) if length else b""
     if length and body is None:  # pragma: no cover - EOF between header/body
         raise ProtocolError("connection closed between frame header and body")
     try:
@@ -108,10 +160,40 @@ def decode_blob(text: str) -> Any:
     return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
-def request(sock: socket.socket, payload: Dict[str, Any]) -> Dict[str, Any]:
-    """One round trip; raises on connection loss or an error reply."""
-    send_message(sock, payload)
-    reply = recv_message(sock)
+def request(
+    sock: socket.socket,
+    payload: Dict[str, Any],
+    timeout: Optional[float] = None,
+    idle_timeout: Optional[float] = None,
+    on_idle: Optional[Callable[[], None]] = None,
+) -> Dict[str, Any]:
+    """One round trip; raises on connection loss or an error reply.
+
+    ``timeout`` bounds the whole round trip via the socket timeout
+    (restored afterwards); ``idle_timeout``/``on_idle`` bound the gap
+    between reply bytes — see :func:`recv_message`.  Both expiries raise
+    :class:`WireTimeout`.
+    """
+    if timeout is not None:
+        previous = sock.gettimeout()
+        sock.settimeout(timeout)
+    try:
+        try:
+            send_message(sock, payload)
+            reply = recv_message(sock, idle_timeout, on_idle)
+        except socket.timeout as error:
+            # Either direction: a stalled send (peer accepted but never
+            # reads) and a stalled reply are the same typed failure.  The
+            # expiry may come from a timeout already set on the socket
+            # (e.g. the connect-phase hello) rather than our parameter.
+            effective = timeout if timeout is not None else sock.gettimeout()
+            raise WireTimeout(
+                f"worker round trip for {payload.get('op')!r} timed out "
+                f"after {effective}s"
+            ) from error
+    finally:
+        if timeout is not None:
+            sock.settimeout(previous)
     if reply is None:
         raise ProtocolError(
             f"worker closed the connection during {payload.get('op')!r}"
@@ -146,3 +228,20 @@ def parse_address(address: str) -> tuple:
     if not 0 <= port <= 65535:
         raise ValueError(f"worker port out of range in {address!r}")
     return host, port
+
+
+def probe_worker(host: str, port: int, timeout: float = 2.0) -> bool:
+    """The heartbeat: can the worker answer a ``ping`` right now?
+
+    Opens a fresh, short-lived connection so the probe never competes
+    with an in-flight span on the persistent one; the threaded worker
+    answers it even while every other connection is busy computing.
+    ``False`` means the process is unreachable or not speaking the
+    protocol — a *busy* worker still returns ``True``.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            return bool(request(sock, {"op": "ping"}).get("ok"))
+    except (OSError, ProtocolError, RuntimeError):
+        return False

@@ -13,18 +13,40 @@ network hop.
 
 Connections are stateful (one current task per connection) and served one
 per thread, so several orchestrators — or several concurrent span threads
-of one — can share a worker.  The server is deliberately trusting: the
-protocol ships pickles, so bind it only on interfaces you control (the
-default is loopback), exactly like every other pickle-based worker pool.
+of one — can share a worker, and a heartbeat ``ping`` on a fresh
+connection answers even while every other connection is busy computing.
+The server is deliberately trusting: the protocol ships pickles, so bind
+it only on interfaces you control (the default is loopback), exactly like
+every other pickle-based worker pool.
+
+**Shutdown.**  Open connections are tracked, and every stop path —
+:meth:`WorkerServer.stop`, ``SIGTERM``/``Ctrl-C`` on the foreground
+:func:`serve` loop — force-closes them after the accept loop exits, so a
+client blocked on a reply observes EOF (a typed
+:class:`~repro.backends.wire.ProtocolError` at the frame layer)
+immediately instead of hanging on a half-open socket.
+
+**Fault injection.**  A server built with a
+:class:`~repro.backends.faults.FaultSpec` applies it at the scripted
+point in its span stream (see :mod:`repro.backends.faults`):
+:meth:`die` is the abrupt worker death (``os._exit`` in a real process,
+close-everything in-process), :meth:`wedge` the silent hang.  This is
+how the chaos tests and the CI chaos job script "kill worker 1 after 2
+spans" deterministically.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import socket
 import socketserver
 import threading
+import time
 import traceback
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.backends.faults import FaultInjector, FaultSpec
 from repro.backends.wire import (
     PROTOCOL_VERSION,
     WORKER_ROLE,
@@ -41,6 +63,10 @@ from repro.experiments.executors import (
 )
 
 _RUN_MODES = ("counts", "batches", "collect")
+
+#: How long a ``hang`` fault holds its wedged connection open when the
+#: spec does not say (long enough that only liveness probing detects it).
+_DEFAULT_HANG_SECONDS = 60.0
 
 
 def _execute_span(task: Any, mode: str, start: int, stop: int) -> Dict[str, Any]:
@@ -63,8 +89,10 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
         while True:
             try:
                 message = recv_message(self.request)
-            except ProtocolError:
-                return  # garbage or a torn frame: drop the connection
+            except (ProtocolError, OSError):
+                # Garbage, a torn frame, or our own shutdown closing the
+                # socket under us: drop the connection.
+                return
             if message is None:
                 return
             op = message.get("op")
@@ -82,6 +110,22 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                     task = decode_blob(message["task"])
                     reply = {"ok": True}
                 elif op == "run":
+                    fault = self.server.take_fault()
+                    if fault is not None and fault.kind != "slow":
+                        # The faulted span is never executed nor answered:
+                        # the client must recover it on another worker.
+                        if fault.kind == "drop":
+                            return
+                        if fault.kind == "kill":
+                            self.server.die()
+                            return
+                        # hang: stop accepting (heartbeats now fail) and
+                        # hold this connection open, silently.
+                        self.server.wedge()
+                        time.sleep(fault.delay or _DEFAULT_HANG_SECONDS)
+                        return
+                    if fault is not None:
+                        time.sleep(fault.delay)  # slow: late but correct
                     if task is None:
                         raise RuntimeError(
                             "no task loaded on this connection (send op=task first)"
@@ -114,17 +158,32 @@ class WorkerServer(socketserver.ThreadingTCPServer):
     the bound ``(host, port)`` either way.  :meth:`serve_background`
     starts the accept loop on a daemon thread and returns, which is how
     the in-process cross-backend tests and the CLI's foreground
-    :func:`serve` both drive it.
+    :func:`serve` both drive it.  ``fault`` scripts this worker's
+    failure (see :mod:`repro.backends.faults`); ``exit_on_kill`` makes a
+    ``kill`` fault a genuine ``os._exit`` — the CLI's subprocess mode.
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault: Optional[FaultSpec] = None,
+        exit_on_kill: bool = False,
+    ) -> None:
         super().__init__((host, port), _WorkerHandler)
         self._thread: Optional[threading.Thread] = None
         self._failures = 0
         self._failures_lock = threading.Lock()
+        self._injector = FaultInjector(fault) if fault is not None else None
+        self._exit_on_kill = exit_on_kill
+        self._connections: Set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._loop_started = False
+        self._dying = False
+        self._wedged = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -142,6 +201,91 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         with self._failures_lock:
             return self._failures
 
+    # -- connection bookkeeping -------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def _close_connections(self) -> None:
+        """Force-close every open connection so blocked peers see EOF."""
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+
+    # -- fault application --------------------------------------------------
+
+    def take_fault(self) -> Optional[FaultSpec]:
+        """Count one ``run`` request against the fault plan (handler hook)."""
+        if self._injector is None:
+            return None
+        return self._injector.on_span()
+
+    @property
+    def spans_served(self) -> int:
+        """``run`` requests seen so far (0 without a fault injector)."""
+        return 0 if self._injector is None else self._injector.spans_seen
+
+    def die(self) -> None:
+        """Abrupt worker death — the ``kill`` fault.
+
+        In ``exit_on_kill`` mode (a real ``repro worker serve`` process)
+        the process exits without any cleanup; in-process servers emulate
+        that by tearing down the accept loop, the listening socket, and
+        every open connection at once.  Either way clients observe EOF
+        mid-conversation and reconnects are refused.
+        """
+        if self._exit_on_kill:
+            print("repro worker: injected kill, exiting", flush=True)
+            os._exit(1)
+        self._dying = True
+        self._stop_loop()
+        self.server_close()
+        self._close_connections()
+
+    def wedge(self) -> None:
+        """Stop accepting without touching open connections — the hang.
+
+        Existing conversations go silent (the wedged handler never
+        replies) and new connections — including heartbeat probes — are
+        refused, which is exactly the signature of a stuck process.
+        """
+        self._wedged = True
+        self.server_close()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.1) -> None:
+        self._loop_started = True
+        try:
+            super().serve_forever(poll_interval=poll_interval)
+        except OSError:
+            # The listening socket vanished under the accept loop: only
+            # legitimate when a fault (die/wedge) closed it on purpose.
+            if not (self._dying or self._wedged):
+                raise
+
+    def _stop_loop(self) -> None:
+        # shutdown() blocks on an event serve_forever() sets on exit —
+        # calling it when the loop never ran would wait forever.
+        if self._loop_started:
+            self.shutdown()
+
     def serve_background(self) -> "WorkerServer":
         """Start the accept loop on a daemon thread; idempotent."""
         if self._thread is None:
@@ -154,12 +298,13 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self) -> None:
-        """Shut the accept loop down and release the socket."""
-        self.shutdown()
+        """Shut down: accept loop, listening socket, open connections."""
+        self._stop_loop()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
         self.server_close()
+        self._close_connections()
 
     def __enter__(self) -> "WorkerServer":
         return self.serve_background()
@@ -168,18 +313,34 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         self.stop()
 
 
-def serve(host: str, port: int) -> None:
-    """Run a worker in the foreground until interrupted (the CLI path)."""
-    server = WorkerServer(host, port)
+def serve(
+    host: str, port: int, fault: Optional[FaultSpec] = None
+) -> None:
+    """Run a worker in the foreground until interrupted (the CLI path).
+
+    ``SIGTERM`` and ``Ctrl-C`` both shut down cleanly: the accept loop
+    exits, the listening socket and every open connection close (blocked
+    clients get an immediate EOF, not a half-open hang), and the process
+    returns 0.
+    """
+    server = WorkerServer(host, port, fault=fault, exit_on_kill=True)
     bound_host, bound_port = server.address
+    suffix = f", fault {fault.describe()}" if fault is not None else ""
     print(
         f"repro worker listening on {bound_host}:{bound_port} "
-        f"(protocol {PROTOCOL_VERSION})",
+        f"(protocol {PROTOCOL_VERSION}{suffix})",
         flush=True,
     )
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive path
-        pass
+    except KeyboardInterrupt:
+        print("repro worker: shutting down", flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
+        server._close_connections()

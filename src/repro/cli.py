@@ -10,8 +10,10 @@ Installed as the ``repro`` console script::
     repro sweep run fig7 --jobs 4 --store .repro-store
     repro sweep resume fig7 --jobs 4 --store .repro-store
     repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
+    repro sweep run fig7 --backend distributed --pool 4
     repro sweep gc --store .repro-store --keep-latest
     repro worker serve --bind 127.0.0.1:7070
+    repro worker pool --workers 3 --addresses-file pool.addr
     repro backends list
     repro cost -k 5 -l 8 -n 10
     repro demo
@@ -60,34 +62,88 @@ def _add_backend_arguments(parser, sweep: bool) -> None:
     parser.add_argument(
         "--workers",
         default=None,
-        help="comma-separated worker addresses for --backend distributed "
-        "(host:port,... of `repro worker serve` processes)",
+        help="worker addresses for --backend distributed: host:port,... of "
+        "`repro worker serve` processes, or @FILE for a host-list file "
+        "(one host:port per line, # comments)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help="with --backend distributed: spawn (and own) a local pool of "
+        "this many worker processes instead of naming --workers",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        default=None,
+        metavar="N|auto",
+        help="span size per dispatched unit of work for backends that "
+        "take one (never observable in results); 'auto' sizes spans "
+        "from recorded BENCH_*.json rates",
     )
 
 
-def _backend_from_args(args, sweep: bool):
-    """Resolve the CLI's (--backend, --workers, --jobs) into a BackendSpec.
+def _parse_chunk_size(text):
+    if text is None or text == "auto":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value <= 0:
+        raise SystemExit(
+            f"--chunk-size must be a positive integer or 'auto', got {text!r}"
+        )
+    return value
 
-    Returns ``None`` when no explicit backend was requested, deferring to
-    the ``--jobs`` sugar (and, for sweeps, a spec's pinned backend).
+
+def _backend_from_args(args, sweep: bool):
+    """Resolve the CLI's backend surface into a BackendSpec.
+
+    (--backend, --workers/--pool, --chunk-size, --jobs) — returns ``None``
+    when no explicit backend was requested, deferring to the ``--jobs``
+    sugar (and, for sweeps, a spec's pinned backend).
     """
     from repro.backends import BackendSpec, resolve_spec
 
     if args.backend is None:
-        if args.workers:
-            raise SystemExit("--workers requires --backend distributed")
+        if args.workers or args.pool:
+            raise SystemExit("--workers/--pool require --backend distributed")
+        if args.chunk_size:
+            raise SystemExit(
+                "--chunk-size requires an explicit --backend that takes one"
+            )
         return None
     options = {}
     if args.backend == "distributed":
-        if not args.workers:
+        if not args.workers and not args.pool:
             raise SystemExit(
-                "--backend distributed requires --workers host:port[,host:port...]"
+                "--backend distributed requires --workers "
+                "host:port[,host:port...] (or @hosts-file) or --pool N"
             )
-        options["workers"] = [
-            worker.strip() for worker in args.workers.split(",") if worker.strip()
-        ]
-    elif args.workers:
-        raise SystemExit("--workers requires --backend distributed")
+        if args.workers and args.pool:
+            raise SystemExit("pass either --workers or --pool, not both")
+        if args.workers:
+            if args.workers.startswith("@"):
+                from repro.backends import load_hosts_file
+
+                try:
+                    options["workers"] = load_hosts_file(args.workers[1:])
+                except (OSError, ValueError) as error:
+                    raise SystemExit(str(error)) from None
+            else:
+                options["workers"] = [
+                    worker.strip()
+                    for worker in args.workers.split(",")
+                    if worker.strip()
+                ]
+        if args.pool:
+            options["pool"] = args.pool
+    elif args.workers or args.pool:
+        raise SystemExit("--workers/--pool require --backend distributed")
+    chunk_size = _parse_chunk_size(args.chunk_size)
+    if chunk_size is not None:
+        options["chunk_size"] = chunk_size
     try:
         return resolve_spec(
             BackendSpec(args.backend, options=options),
@@ -221,6 +277,15 @@ def _build_parser() -> argparse.ArgumentParser:
             help="adaptive early stopping base tolerance; the scenario's "
             "schedule may tighten it per point (e.g. near curve knees)",
         )
+        action_parser.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="override the spec's engine batch size (the batch "
+            "partition shapes results, so this lands in cache keys — "
+            "compare backends with the same value; the chaos harness "
+            "uses it to carve the smoke sweep into many spans)",
+        )
         if action == "run":
             action_parser.add_argument(
                 "--force",
@@ -266,6 +331,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="host:port to listen on; port 0 picks an ephemeral port "
         "(default: %(default)s — loopback only; the protocol ships "
         "pickles, so bind only interfaces you control)",
+    )
+    worker_serve.add_argument(
+        "--fault",
+        default=None,
+        metavar="SPEC",
+        help="scripted fault injection (chaos testing): KIND@AFTER[:DELAY] "
+        "with KIND in kill/drop/slow/hang, e.g. kill@2 = die abruptly "
+        "when asked for a 3rd span",
+    )
+    worker_pool = worker_actions.add_parser(
+        "pool",
+        help="launch a local pool of serve processes (or adopt a remote "
+        "host list) and run until interrupted",
+    )
+    worker_pool.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes to spawn (default: %(default)s)",
+    )
+    worker_pool.add_argument(
+        "--bind-host",
+        default="127.0.0.1",
+        help="interface the spawned workers bind, each on an ephemeral "
+        "port (default: %(default)s)",
+    )
+    worker_pool.add_argument(
+        "--hosts-file",
+        default=None,
+        help="adopt already-running remote workers from a host-list file "
+        "(one host:port per line) instead of spawning local ones; each "
+        "is heartbeat-probed before the pool reports ready",
+    )
+    worker_pool.add_argument(
+        "--fault",
+        default=None,
+        metavar="PLAN",
+        help="scripted per-worker fault plan (chaos testing): "
+        "IDX:KIND@AFTER[:DELAY],... e.g. '1:kill@2,2:slow@0:0.05'",
+    )
+    worker_pool.add_argument(
+        "--addresses-file",
+        default=None,
+        help="write the ready pool's addresses (one host:port per line) "
+        "to this file — consumable as `--workers @FILE`",
     )
 
     backends = subparsers.add_parser(
@@ -506,6 +616,7 @@ def _command_sweep(args) -> int:
         jobs=args.jobs,
         backend=_backend_from_args(args, sweep=True),
         tolerance=args.tolerance,
+        batch_size=args.batch_size,
     )
     total = spec.point_count
 
@@ -566,12 +677,77 @@ def _sweep_gc(args) -> int:
 
 
 def _command_worker(args) -> int:
+    if args.action == "pool":
+        return _worker_pool(args)
+    from repro.backends.faults import FaultSpec
     from repro.backends.wire import parse_address
     from repro.backends.worker import serve
 
     host, port = parse_address(args.bind)
-    serve(host, port)
+    fault = None
+    if args.fault:
+        try:
+            fault = FaultSpec.parse(args.fault)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    serve(host, port, fault=fault)
     return 0
+
+
+def _worker_pool(args) -> int:
+    """Foreground `repro worker pool`: stand up workers, wait, tear down."""
+    import signal
+    import time
+
+    from repro.backends.pool import WorkerPool
+
+    if args.hosts_file is not None:
+        if args.fault:
+            raise SystemExit("--fault only applies to spawned local workers")
+        pool = WorkerPool.from_hosts_file(args.hosts_file, probe=True)
+    else:
+        pool = WorkerPool(
+            workers=args.workers,
+            host=args.bind_host,
+            fault_plan=args.fault,
+        )
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    previous_handler = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        with pool:
+            addresses = pool.addresses
+            print(f"repro worker pool ready: {','.join(addresses)}", flush=True)
+            if args.addresses_file:
+                with open(args.addresses_file, "w", encoding="utf-8") as handle:
+                    handle.write("\n".join(addresses) + "\n")
+            reported = set()
+            while True:
+                time.sleep(0.5)
+                codes = pool.poll()
+                for index, code in enumerate(codes):
+                    # Announce each death once: operators (and the CI
+                    # chaos job) read this to confirm a worker really
+                    # went down rather than the sweep merely passing.
+                    if code is not None and index not in reported:
+                        reported.add(index)
+                        print(
+                            f"repro worker pool: worker {index} exited "
+                            f"(code {code})",
+                            flush=True,
+                        )
+                if pool.local and codes and all(
+                    code is not None for code in codes
+                ):
+                    print("repro worker pool: every worker exited", flush=True)
+                    return 1
+    except KeyboardInterrupt:
+        print("repro worker pool: shutting down", flush=True)
+        return 0
+    finally:
+        signal.signal(signal.SIGTERM, previous_handler)
 
 
 def _command_backends(args) -> int:
@@ -585,6 +761,7 @@ def _command_backends(args) -> int:
             for flag, label in (
                 ("shared-memory", "supports_shared_memory"),
                 ("remote", "supports_remote"),
+                ("fault-tolerant", "supports_fault_tolerance"),
             )
             if entry[label]
         ]

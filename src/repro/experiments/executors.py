@@ -171,10 +171,12 @@ class TrialExecutor:
     """
 
     #: Capability flags of the ExecutionBackend protocol: whether batch
-    #: results can travel through shared memory, and whether spans run
-    #: outside this process's memory image.
+    #: results can travel through shared memory, whether spans run
+    #: outside this process's memory image, and whether the backend
+    #: survives (retries/rebalances around) worker failures mid-run.
     supports_shared_memory = False
     supports_remote = False
+    supports_fault_tolerance = False
 
     def open(self) -> "TrialExecutor":  # pragma: no cover - trivial
         """Acquire long-lived resources (a worker pool); idempotent."""
@@ -225,6 +227,34 @@ def _split_spans(start: int, stop: int, span: int) -> List[Tuple[int, int]]:
     ]
 
 
+def _check_chunk_size(chunk_size) -> None:
+    """Pool chunk sizes are a positive int, ``None`` (balanced), or
+    ``"auto"`` (sized from bench records — :mod:`repro.backends.autotune`)."""
+    if chunk_size not in (None, "auto"):
+        check_positive_int(chunk_size, "chunk_size")
+
+
+def _pool_span(
+    executor, chunk_size, backend_name: str, start: int, stop: int, jobs: int
+) -> int:
+    """Resolve a pool executor's span size for one block."""
+    if chunk_size == "auto":
+        # Imported lazily: the backends package imports this module.  The
+        # resolved rate is memoised on the executor so the bench-record
+        # scan happens once per instance, not once per block.
+        from repro.backends.autotune import resolved_rate, suggest_chunk_size
+
+        return suggest_chunk_size(
+            backend_name,
+            stop - start,
+            workers=jobs,
+            rate=resolved_rate(executor, backend_name),
+        )
+    if chunk_size is not None:
+        return chunk_size
+    return max(1, -(-(stop - start) // jobs))
+
+
 @dataclass
 class ChunkedExecutor(TrialExecutor):
     """In-process executor that works in fixed-size chunks.
@@ -235,27 +265,31 @@ class ChunkedExecutor(TrialExecutor):
     pool executor shares its arithmetic with.
     """
 
-    chunk_size: int = 64
+    chunk_size: Any = 64
 
     def __post_init__(self) -> None:
-        check_positive_int(self.chunk_size, "chunk_size")
+        if self.chunk_size != "auto":
+            check_positive_int(self.chunk_size, "chunk_size")
+
+    def _span(self, start: int, stop: int) -> int:
+        return _pool_span(self, self.chunk_size, "chunked", start, stop, 1)
 
     def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
         counts = [0] * task.channels
-        for low, high in _split_spans(start, stop, self.chunk_size):
+        for low, high in _split_spans(start, stop, self._span(start, stop)):
             for channel, value in enumerate(run_count_range(task, low, high)):
                 counts[channel] += value
         return counts
 
     def run_collect(self, task: TrialTask, start: int, stop: int) -> List[Any]:
         values: List[Any] = []
-        for low, high in _split_spans(start, stop, self.chunk_size):
+        for low, high in _split_spans(start, stop, self._span(start, stop)):
             values.extend(run_collect_range(task, low, high))
         return values
 
     def run_batches(self, task: TrialTask, first: int, last: int) -> List[int]:
         counts = [0] * task.channels
-        for low, high in _split_spans(first, last, self.chunk_size):
+        for low, high in _split_spans(first, last, self._span(first, last)):
             for channel, value in enumerate(run_batch_range(task, low, high)):
                 counts[channel] += value
         return counts
@@ -321,14 +355,13 @@ class ProcessPoolExecutor(TrialExecutor):
     """
 
     jobs: int = 2
-    chunk_size: Optional[int] = None
+    chunk_size: Any = None
     # None doubles as the serial-fallback signal on platforms without fork.
     _pool: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_positive_int(self.jobs, "jobs")
-        if self.chunk_size is not None:
-            check_positive_int(self.chunk_size, "chunk_size")
+        _check_chunk_size(self.chunk_size)
 
     def start(self, task: TrialTask) -> None:
         global _ACTIVE_TASK
@@ -346,10 +379,9 @@ class ProcessPoolExecutor(TrialExecutor):
         _ACTIVE_TASK = None
 
     def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
-        if self.chunk_size is not None:
-            span = self.chunk_size
-        else:
-            span = max(1, -(-(stop - start) // self.jobs))
+        span = _pool_span(
+            self, self.chunk_size, "fork-pool", start, stop, self.jobs
+        )
         return _split_spans(start, stop, span)
 
     def run_counts(self, task: TrialTask, start: int, stop: int) -> List[int]:
@@ -499,7 +531,7 @@ class SweepPoolExecutor(TrialExecutor):
     """
 
     jobs: int = 2
-    chunk_size: Optional[int] = None
+    chunk_size: Any = None
     use_shared_memory: bool = True
     _pool: Any = field(default=None, repr=False, compare=False)
     _payload: Optional[bytes] = field(default=None, repr=False, compare=False)
@@ -508,8 +540,7 @@ class SweepPoolExecutor(TrialExecutor):
 
     def __post_init__(self) -> None:
         check_positive_int(self.jobs, "jobs")
-        if self.chunk_size is not None:
-            check_positive_int(self.chunk_size, "chunk_size")
+        _check_chunk_size(self.chunk_size)
 
     def open(self) -> "SweepPoolExecutor":
         if self._pool is None and fork_available():
@@ -536,10 +567,9 @@ class SweepPoolExecutor(TrialExecutor):
         self._payload = None
 
     def _spans(self, start: int, stop: int) -> List[Tuple[int, int]]:
-        if self.chunk_size is not None:
-            span = self.chunk_size
-        else:
-            span = max(1, -(-(stop - start) // self.jobs))
+        span = _pool_span(
+            self, self.chunk_size, "shm-pool", start, stop, self.jobs
+        )
         return _split_spans(start, stop, span)
 
     def _ship(self, spans: List[Tuple[int, int]]) -> List[Tuple[bytes, int, int]]:

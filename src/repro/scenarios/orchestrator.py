@@ -23,7 +23,7 @@ One :meth:`SweepOrchestrator.run` call owns the whole sweep:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.backends import get as get_backend
@@ -99,6 +99,14 @@ class SweepOrchestrator:
     tolerance_fn:
         Per-point hook receiving the point's full parameter dict and
         returning its tolerance; overrides base + schedule entirely.
+    batch_size:
+        Override of each spec's pinned engine ``batch_size`` — i.e. of
+        the batch *partition*, which (unlike any backend choice) is
+        allowed to change results, so the override is folded into the
+        effective engine settings *before* cache keys are derived: runs
+        sharing a ``batch_size`` share store entries, runs differing in
+        it never collide.  What the chaos harness uses to carve the
+        smoke sweep into enough spans to kill a worker mid-point.
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class SweepOrchestrator:
         backend: Union[str, BackendSpec, TrialExecutor, None] = None,
         tolerance: Optional[float] = None,
         tolerance_fn: Optional[ToleranceFn] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.store = store
         self.jobs = None if jobs is None else check_positive_int(jobs, "jobs")
@@ -116,6 +125,11 @@ class SweepOrchestrator:
         self.backend = backend
         self.tolerance = tolerance
         self.tolerance_fn = tolerance_fn
+        self.batch_size = (
+            None
+            if batch_size is None
+            else check_positive_int(batch_size, "batch_size")
+        )
 
     def _backend_for(self, spec: ScenarioSpec) -> TrialExecutor:
         """Resolve one run's backend: executor > backend > spec > jobs."""
@@ -149,6 +163,12 @@ class SweepOrchestrator:
         already persisted, so the next ``run`` continues where it stopped.
         """
         runner = get_runner(spec.kind)
+        if self.batch_size is not None:
+            # Folded in before any cache key is derived: the partition is
+            # result-shaping, so overridden runs get their own entries.
+            spec = replace(
+                spec, engine=replace(spec.engine, batch_size=self.batch_size)
+            )
         effective_trials = spec.trials if trials is None else trials
         check_positive_int(effective_trials, "trials", minimum=0)
         points = spec.points()
@@ -220,9 +240,14 @@ def run_scenario(
     tolerance: Optional[float] = None,
     force: bool = False,
     backend: Union[str, BackendSpec, None] = None,
+    batch_size: Optional[int] = None,
 ) -> SweepReport:
     """One-call convenience wrapper around :class:`SweepOrchestrator`."""
     orchestrator = SweepOrchestrator(
-        store=store, jobs=jobs, backend=backend, tolerance=tolerance
+        store=store,
+        jobs=jobs,
+        backend=backend,
+        tolerance=tolerance,
+        batch_size=batch_size,
     )
     return orchestrator.run(spec, trials=trials, force=force)

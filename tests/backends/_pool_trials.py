@@ -1,0 +1,11 @@
+"""Module-level trial callables for subprocess-worker tests.
+
+Spawned ``repro worker serve`` processes unpickle tasks by importing the
+callable's module — so callables tested against *real* worker processes
+must live in an importable module, not in the pytest test module.  The
+pool tests put this directory on the children's ``PYTHONPATH``.
+"""
+
+
+def bernoulli_trial(rng):
+    return rng.bernoulli(0.4)

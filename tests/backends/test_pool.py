@@ -1,0 +1,221 @@
+"""The worker-pool launcher and the clean-shutdown contract.
+
+Two halves:
+
+- :class:`~repro.backends.pool.WorkerPool` must stand up real
+  ``repro worker serve`` subprocesses in one call, announce usable
+  addresses, and tear everything down on exit (including via SIGTERM) —
+  the regression target being PR 4's half-open-connection shutdown,
+  where a killed worker left a connected client hanging forever.
+- ``repro worker serve`` itself must turn SIGTERM/KeyboardInterrupt
+  into a clean exit: accept loop down, listening socket closed, every
+  open connection force-closed so a blocked client gets a typed framed
+  error *immediately*.
+"""
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from _pool_trials import bernoulli_trial
+from repro.backends import (
+    DistributedBackend,
+    FaultSpec,
+    WorkerPool,
+    WorkerServer,
+    load_hosts_file,
+)
+from repro.backends.pool import _worker_environment, worker_import_path
+from repro.backends.wire import ProtocolError, recv_message, request
+from repro.experiments.engine import TrialEngine
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _trials_importable_by_workers():
+    """Expose ``_pool_trials`` to spawned workers via their PYTHONPATH."""
+    with worker_import_path(Path(__file__).resolve().parent):
+        yield
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One spawned 2-worker pool shared by the module (spawns are slow)."""
+    with WorkerPool(workers=2, startup_timeout=60) as pool:
+        yield pool
+
+
+class TestWorkerPool:
+    def test_addresses_are_live_ephemeral_workers(self, pool):
+        assert len(pool.addresses) == 2
+        assert pool.local
+        assert pool.poll() == [None, None]
+
+    def test_engine_results_match_serial_through_the_pool(self, pool):
+        reference = TrialEngine().run(bernoulli_trial, trials=60, seed=9)
+        with DistributedBackend(pool.addresses, connect_timeout=10) as backend:
+            result = TrialEngine(executor=backend).run(
+                bernoulli_trial, trials=60, seed=9
+            )
+        assert result == reference
+
+    def test_backend_owned_pool_spawns_and_reaps(self):
+        reference = TrialEngine().run(bernoulli_trial, trials=40, seed=3)
+        backend = DistributedBackend(pool=2, connect_timeout=10)
+        with backend:
+            owned = backend._pool
+            assert len(backend.workers) == 2
+            result = TrialEngine(executor=backend).run(
+                bernoulli_trial, trials=40, seed=3
+            )
+        assert result == reference
+        # close() stopped the owned pool and forgot the addresses.
+        assert backend.workers == ()
+        assert owned.poll() == []  # all processes reaped
+
+    def test_hosts_file_round_trip(self, pool, tmp_path):
+        hosts = tmp_path / "hosts.txt"
+        hosts.write_text(
+            "# my fleet\n"
+            + "\n".join(pool.addresses)
+            + "\n\n   # trailing comment\n"
+        )
+        assert load_hosts_file(hosts) == list(pool.addresses)
+        adopted = WorkerPool.from_hosts_file(hosts, probe=True).start()
+        assert adopted.addresses == pool.addresses
+        assert not adopted.local
+        adopted.stop()  # a no-op: adopted workers belong to their operator
+        assert pool.poll() == [None, None]
+
+    def test_workers_and_pool_together_are_rejected(self):
+        # Silently preferring one over the other would run the sweep on
+        # fewer workers than the operator believes.
+        with pytest.raises(ValueError, match="not both"):
+            DistributedBackend(["h:1"], pool=2)
+        with pytest.raises(SystemExit, match="not both"):
+            from repro.cli import main
+
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--backend",
+                    "distributed",
+                    "--workers",
+                    "h:1",
+                    "--pool",
+                    "2",
+                ]
+            )
+
+    def test_hosts_file_rejects_garbage_and_empty(self, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing\n\n")
+        with pytest.raises(ValueError, match="names no workers"):
+            load_hosts_file(empty)
+        bad = tmp_path / "bad.txt"
+        bad.write_text("localhost\n")
+        with pytest.raises(ValueError, match="host:port"):
+            load_hosts_file(bad)
+
+    def test_fault_plan_reaches_the_spawned_worker(self):
+        """A pool-scripted kill really terminates the worker *process*."""
+        reference = TrialEngine().run(bernoulli_trial, trials=60, seed=5)
+        with WorkerPool(
+            workers=2, fault_plan="0:kill@0", startup_timeout=60
+        ) as pool:
+            with DistributedBackend(
+                pool.addresses,
+                chunk_size=5,
+                heartbeat_interval=0.2,
+                ping_timeout=0.5,
+                connect_timeout=10,
+            ) as backend:
+                result = TrialEngine(executor=backend).run(
+                    bernoulli_trial, trials=60, seed=5
+                )
+                assert result == reference
+                assert backend.stats["spans_requeued"] >= 1
+            deadline = time.monotonic() + 10
+            while pool.poll()[0] is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+            codes = pool.poll()
+        assert codes[0] is not None  # the victim process actually died
+        assert codes[1] is None  # the survivor kept serving until stop()
+
+
+class TestServeShutdown:
+    """The satellite fix: no more half-open connections on shutdown."""
+
+    def test_stop_unblocks_a_waiting_client_with_a_typed_error(self):
+        # A slow fault holds our span; stopping the server mid-wait must
+        # surface promptly as a framed-layer error, not a hang.
+        server = WorkerServer(
+            fault=FaultSpec("slow", after_spans=0, delay=30)
+        ).serve_background()
+        connection = socket.create_connection(server.address, timeout=30)
+        try:
+            assert request(connection, {"op": "hello"})["ok"]
+            from repro.backends.wire import send_message
+
+            send_message(
+                connection,
+                {"op": "run", "mode": "counts", "start": 0, "stop": 1},
+            )
+            time.sleep(0.2)  # let the handler enter its 30s sleep
+            started = time.monotonic()
+            server.stop()
+            with pytest.raises(ProtocolError):
+                reply = recv_message(connection)
+                if reply is None:  # clean EOF is equally acceptable
+                    raise ProtocolError("EOF")
+            assert time.monotonic() - started < 5  # immediate, not 30s
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_serve_process_exits_cleanly_and_closes_connections(self, signum):
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "serve",
+                "--bind",
+                "127.0.0.1:0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=_worker_environment(),
+            text=True,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening on" in line
+            address = line.split("listening on ", 1)[1].split(" ")[0]
+            host, port_text = address.rsplit(":", 1)
+            connection = socket.create_connection((host, int(port_text)), timeout=10)
+            try:
+                assert request(connection, {"op": "ping"})["ok"]
+                process.send_signal(signum)
+                assert process.wait(timeout=10) == 0  # clean exit
+                # Our connection was force-closed: EOF (or a reset),
+                # never a hang on a half-open socket.
+                connection.settimeout(5)
+                try:
+                    assert recv_message(connection) is None
+                except (ProtocolError, OSError):
+                    pass
+            finally:
+                connection.close()
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup path
+                process.kill()
+            process.wait()
+            process.stdout.close()

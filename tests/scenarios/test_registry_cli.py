@@ -292,8 +292,139 @@ class TestCli:
         out = capsys.readouterr().out
         assert "2 computed" in out
 
+    def test_chaos_flags_end_to_end_store_parity(self, tmp_path):
+        """--workers @file + --chunk-size + --batch-size: byte-identical
+        stores between the serial backend and a faulted worker trio."""
+        from repro.backends import FaultSpec, WorkerServer
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path / "serial"),
+                    "--backend",
+                    "serial",
+                    "--batch-size",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        servers = [
+            WorkerServer(
+                fault=FaultSpec("kill", after_spans=2)
+                if index == 0
+                else FaultSpec("slow", delay=0.02)
+            ).serve_background()
+            for index in range(3)
+        ]
+        hosts_file = tmp_path / "pool.addr"
+        hosts_file.write_text(
+            "\n".join(f"{h}:{p}" for h, p in (s.address for s in servers)) + "\n"
+        )
+        try:
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "run",
+                        "smoke",
+                        "--store",
+                        str(tmp_path / "chaos"),
+                        "--backend",
+                        "distributed",
+                        "--workers",
+                        f"@{hosts_file}",
+                        "--chunk-size",
+                        "1",
+                        "--batch-size",
+                        "4",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            for server in servers:
+                server.stop()
+        reference = {
+            path.name: path.read_bytes()
+            for path in sorted((tmp_path / "serial" / "smoke").glob("*.json"))
+        }
+        chaos = {
+            path.name: path.read_bytes()
+            for path in sorted((tmp_path / "chaos" / "smoke").glob("*.json"))
+        }
+        assert len(reference) == 2
+        assert chaos == reference
+
+    def test_chunk_size_flag_requires_a_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="--chunk-size requires"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--chunk-size",
+                    "8",
+                ]
+            )
+
+    @pytest.mark.parametrize("bad", ["0", "-5", "fast"])
+    def test_chunk_size_flag_rejects_non_positive_values(self, tmp_path, bad):
+        with pytest.raises(SystemExit, match="positive integer or 'auto'"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "chunked",
+                    "--chunk-size",
+                    bad,
+                ]
+            )
+
+    def test_chunk_size_auto_works_on_every_chunked_backend(self, tmp_path):
+        """'auto' must not blow up mid-sweep on any backend taking the
+        option — and by the determinism contract it changes nothing."""
+        reference = None
+        for backend in ("chunked", "shm-pool"):
+            store = tmp_path / backend
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "run",
+                        "smoke",
+                        "--store",
+                        str(store),
+                        "--backend",
+                        backend,
+                        "--chunk-size",
+                        "auto",
+                    ]
+                )
+                == 0
+            )
+            records = {
+                path.name: path.read_bytes()
+                for path in sorted((store / "smoke").glob("*.json"))
+            }
+            assert len(records) == 2
+            if reference is None:
+                reference = records
+            else:
+                assert records == reference
+
     def test_workers_flag_requires_distributed_backend(self, tmp_path):
-        with pytest.raises(SystemExit, match="--workers requires"):
+        with pytest.raises(SystemExit, match="--workers/--pool require"):
             main(
                 [
                     "sweep",
