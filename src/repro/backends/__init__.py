@@ -15,7 +15,11 @@ The repository's execution layer in one subsystem:
   worker-failure retry/rebalancing, heartbeat liveness probing, and a
   per-worker circuit breaker;
 - :mod:`repro.backends.pool` — :class:`WorkerPool`: spawn a local pool
-  of serve processes (or adopt a remote host list) in one call;
+  of serve processes (or adopt a remote host list) in one call, with
+  bounded respawn of dead children;
+- :mod:`repro.backends.membership` — elastic-fleet membership: the
+  driver-side announce registry (``repro worker serve --announce``) and
+  the hosts-file watcher that let workers join/leave a *running* sweep;
 - :mod:`repro.backends.faults` — deterministic, seedable fault
   injection (:class:`FaultPlan`): how the chaos tests and the CI chaos
   job prove counts survive worker failure bit-identically;
@@ -30,14 +34,24 @@ meaningful options.
 """
 
 from repro.backends.base import CAPABILITY_FLAGS, BackendSpec, ExecutionBackend
-from repro.backends.autotune import bench_rate, suggest_chunk_size
+from repro.backends.autotune import (
+    bench_rate,
+    record_observed_rates,
+    suggest_chunk_size,
+)
 from repro.backends.distributed import (
     DistributedBackend,
     NoWorkersLeft,
     WorkerLost,
 )
 from repro.backends.faults import FaultPlan, FaultSpec
-from repro.backends.pool import WorkerPool, load_hosts_file
+from repro.backends.membership import (
+    HostsFileWatcher,
+    MembershipRegistry,
+    announce_worker,
+    retire_worker,
+)
+from repro.backends.pool import WorkerPool, load_hosts_file, write_addresses_file
 from repro.backends.registry import (
     BackendEntry,
     backend_names,
@@ -60,10 +74,13 @@ __all__ = [
     "ExecutionBackend",
     "FaultPlan",
     "FaultSpec",
+    "HostsFileWatcher",
+    "MembershipRegistry",
     "NoWorkersLeft",
     "WorkerLost",
     "WorkerPool",
     "WorkerServer",
+    "announce_worker",
     "backend_names",
     "bench_rate",
     "get",
@@ -71,10 +88,13 @@ __all__ = [
     "load_hosts_file",
     "make_backend",
     "probe_worker",
+    "record_observed_rates",
     "register_backend",
     "resolve_spec",
+    "retire_worker",
     "semantic_option_names",
     "serve",
     "spec_for_jobs",
     "suggest_chunk_size",
+    "write_addresses_file",
 ]

@@ -28,10 +28,11 @@ applies.
 from __future__ import annotations
 
 import json
+import math
 import os
 import statistics
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 #: Fallback Monte-Carlo rate (trials/second) when no records exist —
 #: deliberately conservative: underestimating the rate yields smaller
@@ -58,6 +59,27 @@ MIN_SPANS_PER_WORKER = 4
 #: sugar; they are filed under this key and approximate any local lane.
 LOCAL_KEY = "local"
 
+#: Where :func:`record_observed_rates` appends per-worker rates measured
+#: during real runs (the distributed backend's autotune feedback loop).
+OBSERVED_FILE = "BENCH_observed.json"
+
+#: Observed-rate records kept in :data:`OBSERVED_FILE` (oldest dropped).
+OBSERVED_KEEP = 200
+
+
+def _usable_rate(rate: Any) -> bool:
+    """A rate that may enter a median: a finite, positive, real number.
+
+    ``bool`` is excluded explicitly (it is an ``int`` subclass, so
+    ``True`` would otherwise sneak in as 1.0), as are NaN (every
+    comparison is False, so ``rate <= 0`` does *not* reject it — and one
+    NaN poisons the whole median) and ±inf (``inf > 0`` holds, and an
+    infinite median drives ``chunk_size="auto"`` to nonsense spans).
+    """
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)):
+        return False
+    return math.isfinite(rate) and rate > 0
+
 
 def bench_directory(directory=None) -> Path:
     """Where ``BENCH_*.json`` records live (``REPRO_BENCH_OUT`` or cwd)."""
@@ -71,8 +93,10 @@ def load_bench_rates(directory=None) -> Dict[str, List[float]]:
 
     The ``backend`` field holds :meth:`BackendSpec.describe` output
     (``"distributed(workers=...)"``) — only the name before the options
-    matters here.  Unreadable files and rate-less records are skipped:
-    autotuning must never fail a run over a torn benchmark artifact.
+    matters here.  Unreadable files and rate-less records are skipped,
+    and so are corrupt rates (zero, negative, NaN, ±inf, booleans, any
+    non-number): autotuning must never fail a run — or skew a median —
+    over a torn or hand-edited benchmark artifact.
     """
     rates: Dict[str, List[float]] = {}
     root = bench_directory(directory)
@@ -90,7 +114,7 @@ def load_bench_rates(directory=None) -> Dict[str, List[float]]:
             if not isinstance(record, dict):
                 continue
             rate = record.get("trials_per_second")
-            if not isinstance(rate, (int, float)) or rate <= 0:
+            if not _usable_rate(rate):
                 continue
             described = record.get("backend")
             name = (
@@ -162,3 +186,63 @@ def resolved_rate(holder: Any, backend_name: str, directory=None) -> float:
         cached = bench_rate(backend_name, directory) or DEFAULT_RATE
         setattr(holder, "_autotune_rate", cached)
     return cached
+
+
+def record_observed_rates(
+    backend_name: str,
+    rates: Mapping[str, float],
+    directory=None,
+    keep: int = OBSERVED_KEEP,
+) -> Optional[Path]:
+    """Append per-worker observed rates to :data:`OBSERVED_FILE`.
+
+    The feedback half of autotuning: the distributed backend measures
+    what each worker *actually* sustained (``{address: trials/second}``)
+    and records it here on close, so the next ``chunk_size="auto"`` run
+    starts from real numbers instead of the conservative default.  The
+    file is a normal ``BENCH_*.json`` record set — :func:`load_bench_rates`
+    picks it up with no special casing — written via tmp-file +
+    ``os.replace`` so a concurrent reader never sees a torn file.
+    Corrupt inputs are dropped by the same :func:`_usable_rate` filter
+    applied on load; with nothing usable, nothing is written.
+    """
+    usable = {
+        address: float(rate)
+        for address, rate in rates.items()
+        if _usable_rate(rate)
+    }
+    if not usable:
+        return None
+    root = bench_directory(directory)
+    if not root.is_dir():
+        return None
+    path = root / OBSERVED_FILE
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        payload = None
+    records: List[Dict[str, Any]] = []
+    if isinstance(payload, dict) and isinstance(payload.get("records"), list):
+        records = [
+            record for record in payload["records"] if isinstance(record, dict)
+        ]
+    for address in sorted(usable):
+        records.append(
+            {
+                "backend": backend_name,
+                "trials_per_second": usable[address],
+                "worker": address,
+            }
+        )
+    records = records[-max(1, keep):]
+    temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        temp.write_text(
+            json.dumps({"records": records}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(temp, path)
+    except OSError:  # pragma: no cover - read-only bench dir
+        temp.unlink(missing_ok=True)
+        return None
+    return path

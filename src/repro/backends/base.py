@@ -93,6 +93,12 @@ class ExecutionBackend(Protocol):
     #: are retried on surviving workers with results unchanged, instead of
     #: failing fast and relying on ``repro sweep resume``.
     supports_fault_tolerance: bool
+    #: Whether the worker fleet can change *while a run is in flight*:
+    #: workers join (announce registry, hosts-file edits, pool respawn)
+    #: and leave (retire/drain) a running dispatch, and tripped circuit
+    #: breakers re-admit after cooldown — results unchanged, by the same
+    #: determinism contract.
+    supports_elastic_membership: bool
 
     def open(self) -> "ExecutionBackend": ...
 
@@ -203,4 +209,5 @@ CAPABILITY_FLAGS: Tuple[str, ...] = (
     "supports_shared_memory",
     "supports_remote",
     "supports_fault_tolerance",
+    "supports_elastic_membership",
 )

@@ -1,4 +1,4 @@
-"""The distributed execution backend: spans over TCP workers, fault-tolerantly.
+"""The distributed execution backend: spans over TCP workers, elastically.
 
 :class:`DistributedBackend` implements the
 :class:`~repro.backends.base.ExecutionBackend` protocol against one or
@@ -17,17 +17,17 @@ Execution model per span call:
    that cannot be pickled falls back to exact in-process execution for
    that run, mirroring
    :class:`~repro.experiments.executors.SweepPoolExecutor`.
-2. ``run_counts``/``run_batches``/``run_collect`` split their half-open
-   range into spans (``chunk_size`` each; default balances the range
-   across live workers; ``"auto"`` sizes spans from recorded
-   ``BENCH_*.json`` rates — see :mod:`repro.backends.autotune`), feed
-   them through one shared work queue, and drive each live worker's
-   connection from its own thread — workers *pull* spans as they finish,
-   so a slow worker naturally takes fewer.
-3. Counts are summed in span order — exact integer addition over
-   per-span counts that are pure functions of ``(task, span)`` — and
-   collect values are re-assembled in span order, preserving trial-index
-   order.
+2. ``run_counts``/``run_batches``/``run_collect`` carve their half-open
+   range on demand: each live worker's driver thread pulls the next span
+   off a shared cursor, sized for *that* worker (``chunk_size`` trials;
+   default balances the range across live workers; ``"auto"`` sizes
+   spans from the worker's own observed rate, falling back to recorded
+   ``BENCH_*.json`` rates — see :mod:`repro.backends.autotune`), so slow
+   workers naturally take less and fast ones more.
+3. Counts are summed over spans — exact integer addition over per-span
+   counts that are pure functions of ``(task, span)``, so *any* disjoint
+   partition of the range gives identical totals — and collect values
+   are re-assembled in span (trial-index) order.
 
 **Fault tolerance.**  A span dispatch that fails at the transport level
 (EOF, refused reconnect, a torn frame, a wire timeout, a heartbeat
@@ -39,16 +39,44 @@ exact same numbers, so results and result-store cache keys stay
 **byte-identical** to a clean run; the fault-injection suite
 (``tests/backends/test_faults.py``) and the CI ``chaos`` job assert
 exactly that.  Per-worker failures are tracked as consecutive *strikes*
-(reset by any completed span): at ``breaker_threshold`` strikes the
-circuit breaker opens and the worker is excluded for the rest of the
-backend's lifetime, so a flapping worker cannot stall every remaining
-span.  A worker that stops sending reply bytes for
-``heartbeat_interval`` seconds is probed with a ``ping`` on a fresh
-connection (see :func:`~repro.backends.wire.probe_worker`): a *slow*
-worker answers and the client keeps waiting; a *dead* one fails the
-probe and its span is requeued immediately.  Only when every worker is
-dead or circuit-broken with spans still pending does the dispatch raise
-(:class:`NoWorkersLeft`) — and because the sweep orchestrator persists
+(reset by any completed span, and reset again at every engine-run
+boundary so one run's blips never poison the next): at
+``breaker_threshold`` strikes the circuit breaker opens.  A worker that
+stops sending reply bytes for ``heartbeat_interval`` seconds is probed
+with a ``ping`` on a fresh connection (see
+:func:`~repro.backends.wire.probe_worker`): a *slow* worker answers and
+the client keeps waiting; a *dead* one fails the probe and its span is
+requeued immediately.
+
+**Elasticity.**  The fleet is no longer frozen at :meth:`open`:
+
+- *Breaker re-admission* — an open breaker is a cooldown, not a death
+  sentence.  Each trip schedules an exponentially backed-off cooldown
+  (``breaker_cooldown`` doubling per trip, capped at
+  ``breaker_cooldown_max``); once it expires, a successful heartbeat
+  probe re-admits the worker with reset strikes.  Re-admission probes
+  are counted separately (``readmission_probes``) and never as
+  ``worker_failures``.
+- *Dynamic membership* — with ``announce_bind="host:port"`` the backend
+  runs a :class:`~repro.backends.membership.MembershipRegistry`;
+  ``repro worker serve --announce HOST:PORT`` joins a *running* sweep,
+  and a clean worker shutdown retires itself so the backend drains it
+  (finish the in-flight span, take no more) instead of striking it.
+  ``watch_hosts=PATH`` watches a ``--workers @FILE``-style hosts file
+  for the same events.  New members get a driver thread on the next
+  admission sweep and start pulling spans immediately.
+- *Pool respawn* — a backend-owned pool (``pool=N``) with
+  ``pool_respawns=K`` relaunches up to ``K`` dead children on fresh
+  ephemeral ports (without their scripted ``--fault``, so chaos stays
+  deterministic) and adopts the new addresses mid-dispatch.
+- *Work-stealing* — a requeued span sized for a slower (or dead) worker
+  is split when a faster worker picks it up: the thief takes a span
+  sized for itself and the remainder goes back on the queue for the
+  next idle worker (``spans_split`` in :attr:`stats`).
+
+Only when every avenue is exhausted — all workers dead or cooling down,
+nothing to respawn, nobody announcing — does the dispatch raise
+(:class:`NoWorkersLeft`); and because the sweep orchestrator persists
 completed points, ``repro sweep resume`` continues even that sweep
 without recomputing anything.
 
@@ -62,8 +90,18 @@ from __future__ import annotations
 import pickle
 import socket
 import threading
+import time
 from collections import deque
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.backends.wire import (
     WORKER_ROLE,
@@ -95,6 +133,19 @@ DEFAULT_HEARTBEAT_INTERVAL = 5.0
 #: Seconds a heartbeat probe may take before counting as dead.
 DEFAULT_PING_TIMEOUT = 2.0
 
+#: Base cooldown after a breaker trips (doubles per consecutive trip).
+#: Long enough that the fast chaos tests never re-admit by accident,
+#: short enough that a restarted worker rejoins a real sweep promptly.
+DEFAULT_BREAKER_COOLDOWN = 5.0
+
+#: Cap on the exponential breaker cooldown.
+DEFAULT_BREAKER_COOLDOWN_MAX = 60.0
+
+#: How often a running dispatch sweeps for membership changes (announce
+#: registry, hosts file, pool respawns, cooldown expiries).  Span
+#: completion wakes the sweep early, so this adds no happy-path latency.
+DEFAULT_MEMBERSHIP_INTERVAL = 0.25
+
 
 class WorkerLost(ConnectionError):
     """A worker stopped responding mid-span (heartbeat or hard timeout)."""
@@ -105,20 +156,36 @@ class NoWorkersLeft(ConnectionError):
 
 
 class _Worker:
-    """Client-side state of one worker: connection, task cache, breaker."""
+    """Client-side state of one worker: connection, breaker, rate."""
 
-    def __init__(self, address: str, connect_timeout: float) -> None:
+    def __init__(
+        self, address: str, connect_timeout: float, origin: str = "static"
+    ) -> None:
         self.address = address
         self.host, self.port = parse_address(address)
         self.connect_timeout = connect_timeout
+        #: How this worker entered the fleet: ``static`` (given at
+        #: construction), ``announce``, ``hosts``, or ``respawn``.
+        self.origin = origin
         self.sock: Optional[socket.socket] = None
         #: The task payload loaded on the current connection, if any.
         self.loaded: Optional[str] = None
-        #: Consecutive transport failures; any completed span resets it.
+        #: Consecutive transport failures; any completed span resets it,
+        #: as does every engine-run boundary (:meth:`DistributedBackend.start`).
         self.strikes = 0
-        #: Circuit breaker: once open, the worker is out for good.
+        #: Circuit breaker: open means "cooling down", not "out for good" —
+        #: after :attr:`cooldown_until` a successful probe re-admits.
         self.broken = False
+        #: Departing cleanly (retired via the registry / removed from the
+        #: hosts file): finish nothing new, never probe, never strike.
+        self.draining = False
+        self.breaker_trips = 0
+        self.cooldown_until = 0.0
+        self.readmissions = 0
         self.spans_completed = 0
+        #: Observed throughput accounting for per-worker span sizing.
+        self.trials_done = 0
+        self.busy_seconds = 0.0
 
     def connect(self) -> None:
         try:
@@ -157,24 +224,73 @@ class _Worker:
     def probe(self, ping_timeout: float) -> bool:
         return probe_worker(self.host, self.port, timeout=ping_timeout)
 
+    # -- breaker lifecycle -------------------------------------------------
 
-class _SpanQueue:
-    """The shared work queue one dispatch's driver threads pull from.
+    def schedule_cooldown(self, base: float, cap: float) -> None:
+        """Start (or extend, doubling) this worker's breaker cooldown."""
+        self.breaker_trips += 1
+        backoff = min(base * (2 ** (self.breaker_trips - 1)), cap)
+        self.cooldown_until = time.monotonic() + backoff
 
-    Items are ``(span_index, (low, high), attempts)``.  A span is
-    *outstanding* until some driver completes it; failed spans re-enter
-    the queue.  :meth:`get` blocks until there is work, every span is
-    done, or the dispatch is aborted — and the last driver to exit with
-    spans still outstanding aborts the dispatch itself, so a caller can
-    never deadlock waiting for workers that no longer exist.
+    def trip_breaker(self, base: float, cap: float) -> None:
+        self.broken = True
+        self.schedule_cooldown(base, cap)
+
+    def readmit(self) -> None:
+        """Close the breaker: fresh strikes, fresh connection next span."""
+        self.broken = False
+        self.draining = False
+        self.strikes = 0
+        self.readmissions += 1
+        self.drop_connection()
+
+    # -- observed throughput ----------------------------------------------
+
+    def record_span(self, trials: int, elapsed: float) -> None:
+        self.trials_done += max(0, trials)
+        self.busy_seconds += max(0.0, elapsed)
+
+    def observed_rate(self) -> Optional[float]:
+        """Trials/second this worker has demonstrated (``None`` if unknown)."""
+        if self.trials_done <= 0 or self.busy_seconds < 1e-9:
+            return None
+        return self.trials_done / self.busy_seconds
+
+
+class _SpanSource:
+    """The demand-carved span supply one dispatch's drivers pull from.
+
+    Instead of a precomputed partition, spans are carved off a shared
+    cursor *when a worker asks*, sized by ``sizer(worker)`` — which is
+    what lets span sizes track per-worker observed rates.  Failed spans
+    re-enter a requeue deque as ``(low, high, attempts)``; a requeued
+    span much larger than the asking worker's target size is *split*
+    (the work-stealing half: the thief takes its own-sized piece, the
+    remainder stays queued for the next idle worker).  Any disjoint
+    partition of the range yields identical totals — per-span counts are
+    pure functions of ``(task, span)`` — so demand carving and splitting
+    are invisible in results.
+
+    Drivers come and go (elastic membership), so exhaustion is *not*
+    decided here: :meth:`get` simply returns ``None`` for a broken or
+    draining worker, and the dispatch controller — which can admit new
+    members and re-admit cooled-down ones — owns the only abort.
     """
 
-    def __init__(self, spans: Sequence[Tuple[int, int]], drivers: int) -> None:
-        self._pending = deque(
-            (index, span, 0) for index, span in enumerate(spans)
-        )
-        self._outstanding = len(spans)
-        self._drivers = drivers
+    def __init__(
+        self,
+        start: int,
+        stop: int,
+        sizer: Callable[[_Worker], int],
+        on_split: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._cursor = start
+        self._stop = stop
+        self._sizer = sizer
+        self._on_split = on_split
+        self._requeued: deque = deque()
+        self._active = 0
+        self._drivers = 0
         self._error: Optional[BaseException] = None
         self._condition = threading.Condition()
 
@@ -183,23 +299,67 @@ class _SpanQueue:
         with self._condition:
             return self._error
 
-    def get(self) -> Optional[Tuple[int, Tuple[int, int], int]]:
+    @property
+    def drivers(self) -> int:
+        with self._condition:
+            return self._drivers
+
+    def _settled_locked(self) -> bool:
+        return self._error is not None or (
+            self._cursor >= self._stop
+            and not self._requeued
+            and self._active == 0
+        )
+
+    @property
+    def settled(self) -> bool:
+        """Finished or aborted: no span will ever be handed out again."""
+        with self._condition:
+            return self._settled_locked()
+
+    def get(self, worker: _Worker) -> Optional[Tuple[int, int, int]]:
+        """The next span for ``worker`` as ``(low, high, attempts)``.
+
+        ``None`` means this driver is done: the dispatch settled, or the
+        worker itself is out (broken/draining).  Blocks — waking
+        periodically to re-check the worker's standing — while other
+        drivers hold spans that may yet be requeued.
+        """
         with self._condition:
             while True:
-                if self._error is not None or self._outstanding == 0:
+                if self._settled_locked():
                     return None
-                if self._pending:
-                    return self._pending.popleft()
-                self._condition.wait()
+                if worker.broken or worker.draining:
+                    return None
+                size = max(1, int(self._sizer(worker)))
+                if self._requeued:
+                    low, high, attempts = self._requeued.popleft()
+                    if high - low >= 2 * size:
+                        # Steal-split: take an own-sized bite, leave the
+                        # rest for the next idle worker.
+                        self._requeued.append((low + size, high, attempts))
+                        if self._on_split is not None:
+                            self._on_split()
+                        high = low + size
+                    self._active += 1
+                    return low, high, attempts
+                if self._cursor < self._stop:
+                    low = self._cursor
+                    high = min(low + size, self._stop)
+                    self._cursor = high
+                    self._active += 1
+                    return low, high, 0
+                self._condition.wait(0.05)
 
-    def task_done(self) -> None:
+    def complete(self) -> None:
         with self._condition:
-            self._outstanding -= 1
+            self._active -= 1
             self._condition.notify_all()
 
-    def requeue(self, item: Tuple[int, Tuple[int, int], int]) -> None:
+    def requeue(self, low: int, high: int, attempts: int) -> None:
         with self._condition:
-            self._pending.append(item)
+            self._active -= 1
+            self._requeued.append((low, high, attempts))
             self._condition.notify_all()
 
     def abort(self, error: BaseException) -> None:
@@ -208,19 +368,20 @@ class _SpanQueue:
                 self._error = error
             self._condition.notify_all()
 
+    def add_driver(self) -> None:
+        with self._condition:
+            self._drivers += 1
+
     def driver_exited(self) -> None:
         with self._condition:
             self._drivers -= 1
-            if (
-                self._drivers == 0
-                and self._outstanding > 0
-                and self._error is None
-            ):
-                self._error = NoWorkersLeft(
-                    f"{self._outstanding} span(s) still pending but every "
-                    "worker is dead or circuit-broken"
-                )
             self._condition.notify_all()
+
+    def wait(self, timeout: float) -> None:
+        """Park the dispatch controller until progress or ``timeout``."""
+        with self._condition:
+            if not self._settled_locked():
+                self._condition.wait(timeout)
 
 
 class DistributedBackend(TrialExecutor):
@@ -233,10 +394,11 @@ class DistributedBackend(TrialExecutor):
         ``pool`` is given.
     chunk_size:
         Trials (batches, in batch mode) per dispatched span.  ``None``
-        balances the range across live workers; ``"auto"`` sizes spans
-        from recorded benchmark rates (:mod:`repro.backends.autotune`),
-        targeting sub-second spans so retry/rebalancing stays granular.
-        Never observable in results.
+        balances the range across live workers; ``"auto"`` sizes each
+        worker's spans from its own observed rate, seeded by recorded
+        benchmark rates (:mod:`repro.backends.autotune`), targeting
+        sub-second spans so retry/rebalancing stays granular.  Never
+        observable in results.
     connect_timeout:
         Seconds allowed for TCP connect + hello handshake per worker.
     pool:
@@ -256,10 +418,33 @@ class DistributedBackend(TrialExecutor):
         Optional hard cap on one span's wall time; on expiry the worker
         is treated as lost even if its heartbeat still answers.  ``None``
         (default) trusts the heartbeat alone.
+    breaker_cooldown:
+        Base seconds an open breaker cools down before a re-admission
+        probe; doubles on every consecutive trip.
+    breaker_cooldown_max:
+        Cap on the exponential breaker cooldown.
+    membership_interval:
+        Seconds between membership sweeps during a dispatch.
+    announce_bind:
+        ``"host:port"`` to run a
+        :class:`~repro.backends.membership.MembershipRegistry` on (port
+        0 binds ephemeral; see :attr:`registry_address`).  Workers
+        started with ``repro worker serve --announce`` join through it.
+    watch_hosts:
+        Path to a ``host:port``-per-line file to watch for membership
+        edits (the ``--workers @FILE`` file, typically).
+    pool_faults:
+        :class:`~repro.backends.faults.FaultPlan` (or compact string)
+        for a backend-owned pool — how chaos tests script a real
+        worker-process death under ``pool=N``.
+    pool_respawns:
+        Dead backend-owned pool children to relaunch (total budget, 0
+        disables).  Respawned children carry no scripted fault.
     """
 
     supports_remote = True
     supports_fault_tolerance = True
+    supports_elastic_membership = True
 
     def __init__(
         self,
@@ -272,6 +457,13 @@ class DistributedBackend(TrialExecutor):
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         ping_timeout: float = DEFAULT_PING_TIMEOUT,
         span_timeout: Optional[float] = None,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        breaker_cooldown_max: float = DEFAULT_BREAKER_COOLDOWN_MAX,
+        membership_interval: float = DEFAULT_MEMBERSHIP_INTERVAL,
+        announce_bind: Optional[str] = None,
+        watch_hosts: Optional[Any] = None,
+        pool_faults: Optional[Any] = None,
+        pool_respawns: int = 0,
     ) -> None:
         addresses = [
             worker.strip() for worker in workers if str(worker).strip()
@@ -305,16 +497,55 @@ class DistributedBackend(TrialExecutor):
         self.heartbeat_interval = heartbeat_interval
         self.ping_timeout = ping_timeout
         self.span_timeout = span_timeout
+        if breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be > 0, got {breaker_cooldown!r}"
+            )
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.breaker_cooldown_max = max(
+            float(breaker_cooldown), float(breaker_cooldown_max)
+        )
+        if membership_interval <= 0:
+            raise ValueError(
+                f"membership_interval must be > 0, got {membership_interval!r}"
+            )
+        self.membership_interval = float(membership_interval)
+        if announce_bind is not None:
+            parse_address(announce_bind)  # fail fast; port 0 is fine
+        self.announce_bind = announce_bind
+        self.watch_hosts = watch_hosts
+        if not isinstance(pool_respawns, int) or isinstance(
+            pool_respawns, bool
+        ) or pool_respawns < 0:
+            raise ValueError(
+                f"pool_respawns must be a non-negative int, got {pool_respawns!r}"
+            )
+        if (pool_faults is not None or pool_respawns) and pool is None:
+            raise ValueError(
+                "pool_faults/pool_respawns only apply to a backend-owned "
+                "pool (pass pool=N)"
+            )
+        self.pool_faults = pool_faults
+        self.pool_respawns = pool_respawns
         self._pool: Optional[Any] = None
+        self._registry: Optional[Any] = None
+        self._watcher: Optional[Any] = None
         self._workers: Optional[List[_Worker]] = None
+        self._membership_lock = threading.Lock()
         self._payload: Optional[str] = None
         self._stats_lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "spans_completed": 0,
             "spans_requeued": 0,
+            "spans_split": 0,
             "worker_failures": 0,
             "workers_broken": 0,
+            "workers_readmitted": 0,
+            "workers_joined": 0,
+            "workers_left": 0,
+            "workers_respawned": 0,
             "heartbeat_probes": 0,
+            "readmission_probes": 0,
         }
 
     def _count(self, stat: str, amount: int = 1) -> None:
@@ -328,14 +559,19 @@ class DistributedBackend(TrialExecutor):
 
         Unreachable workers fail *loudly* here — at open time a bad
         address is an operator mistake, not churn; fault tolerance
-        begins once the sweep is running.
+        begins once the sweep is running.  The elastic machinery (the
+        announce registry, the hosts watcher) also comes up here.
         """
         if self._workers is not None:
             return self
         if self.pool_size is not None:
             from repro.backends.pool import WorkerPool
 
-            self._pool = WorkerPool(workers=self.pool_size).start()
+            self._pool = WorkerPool(
+                workers=self.pool_size,
+                fault_plan=self.pool_faults,
+                max_respawns=self.pool_respawns,
+            ).start()
             self.workers = tuple(self._pool.addresses)
         workers = [
             _Worker(address, self.connect_timeout) for address in self.workers
@@ -351,9 +587,27 @@ class DistributedBackend(TrialExecutor):
                 self._pool = None
             raise
         self._workers = workers
+        if self.announce_bind is not None:
+            from repro.backends.membership import MembershipRegistry
+
+            host, port = parse_address(self.announce_bind)
+            self._registry = MembershipRegistry(
+                host, port, ping_timeout=self.ping_timeout
+            ).start()
+        if self.watch_hosts is not None:
+            from repro.backends.membership import HostsFileWatcher
+
+            self._watcher = HostsFileWatcher(
+                self.watch_hosts, initial=self.workers
+            )
         return self
 
     def close(self) -> None:
+        self._record_observed_rates()
+        if self._registry is not None:
+            self._registry.stop()
+            self._registry = None
+        self._watcher = None
         if self._workers is not None:
             for worker in self._workers:
                 worker.drop_connection()
@@ -366,6 +620,15 @@ class DistributedBackend(TrialExecutor):
 
     def start(self, task: TrialTask) -> None:
         self.open()
+        # Per-run state: strikes are *consecutive* failures within a run;
+        # carrying them across engine runs let a transient blip in sweep A
+        # permanently break the worker early in sweep B.
+        for worker in self._workers or ():
+            if not worker.broken:
+                worker.strikes = 0
+        # A run boundary is also a natural admission point: adopt joins,
+        # drains, respawns, and any cooled-down breakers before spans fly.
+        self._admit_members()
         try:
             self._payload = encode_blob(task)
         except (pickle.PicklingError, TypeError, AttributeError):
@@ -379,37 +642,168 @@ class DistributedBackend(TrialExecutor):
     # -- introspection -----------------------------------------------------
 
     def live_workers(self) -> Tuple[str, ...]:
-        """Addresses whose circuit breaker has not opened."""
+        """Addresses currently pulling spans (not broken, not draining)."""
+        with self._membership_lock:
+            if self._workers is None:
+                return self.workers
+            return tuple(
+                worker.address
+                for worker in self._workers
+                if not worker.broken and not worker.draining
+            )
+
+    @property
+    def registry_address(self) -> Optional[str]:
+        """The announce registry's bound ``host:port`` (``None`` if off)."""
+        if self._registry is None:
+            return None
+        host, port = self._registry.address
+        return f"{host}:{port}"
+
+    def worker_rates(self) -> Dict[str, float]:
+        """Observed trials/second per worker address (measured ones only)."""
+        with self._membership_lock:
+            workers = list(self._workers or ())
+        rates: Dict[str, float] = {}
+        for worker in workers:
+            rate = worker.observed_rate()
+            if rate is not None:
+                rates[worker.address] = rate
+        return rates
+
+    def _record_observed_rates(self) -> None:
+        """Feed per-worker observed rates back into the autotune records.
+
+        Only when autotuning was actually in play (``chunk_size="auto"``):
+        a fixed-chunk run's rates are equally valid, but an operator who
+        never opted into autotuning should not find benchmark artifacts
+        appearing in their working directory.
+        """
+        if self.chunk_size != "auto" or self._workers is None:
+            return
+        rates = self.worker_rates()
+        if not rates:
+            return
+        from repro.backends.autotune import record_observed_rates
+
+        record_observed_rates("distributed", rates)
+
+    # -- membership --------------------------------------------------------
+
+    def _admit_members(self, force: bool = False) -> None:
+        """One membership sweep: respawns, announces, drains, re-admissions.
+
+        ``force`` ignores breaker cooldowns — the dispatch controller's
+        last resort before declaring :class:`NoWorkersLeft`.
+        """
         if self._workers is None:
-            return self.workers
-        return tuple(
-            worker.address for worker in self._workers if not worker.broken
-        )
+            return
+        with self._membership_lock:
+            by_address = {worker.address: worker for worker in self._workers}
+            joined: List[str] = []
+            left: List[str] = []
+            if (
+                self._pool is not None
+                and self.pool_respawns
+                and self._pool.local
+            ):
+                for old_address, new_address in self._pool.respawn_dead():
+                    replaced = by_address.get(old_address)
+                    if replaced is not None:
+                        replaced.draining = True
+                    if new_address not in by_address:
+                        worker = _Worker(
+                            new_address, self.connect_timeout, origin="respawn"
+                        )
+                        self._workers.append(worker)
+                        by_address[new_address] = worker
+                        self._count("workers_respawned")
+            if self._registry is not None:
+                registry_joined, registry_left = self._registry.poll()
+                joined += registry_joined
+                left += registry_left
+            if self._watcher is not None:
+                watcher_joined, watcher_left = self._watcher.poll()
+                joined += watcher_joined
+                left += watcher_left
+            for address in joined:
+                worker = by_address.get(address)
+                if worker is None:
+                    try:
+                        worker = _Worker(
+                            address, self.connect_timeout, origin="announce"
+                        )
+                    except ValueError:  # pragma: no cover - registry validates
+                        continue
+                    self._workers.append(worker)
+                    by_address[address] = worker
+                    self._count("workers_joined")
+                elif worker.broken or worker.draining:
+                    # A known address announcing again is a restart: treat
+                    # it as the re-admission it is.
+                    worker.readmit()
+                    self._count("workers_readmitted")
+            for address in left:
+                worker = by_address.get(address)
+                if worker is not None and not worker.draining:
+                    worker.draining = True
+                    self._count("workers_left")
+            now = time.monotonic()
+            for worker in self._workers:
+                if not worker.broken or worker.draining:
+                    continue
+                if not force and now < worker.cooldown_until:
+                    continue
+                # A re-admission probe is diagnostic, not a failure: it
+                # must never count toward worker_failures.
+                self._count("readmission_probes")
+                if worker.probe(self.ping_timeout):
+                    worker.readmit()
+                    self._count("workers_readmitted")
+                else:
+                    worker.schedule_cooldown(
+                        self.breaker_cooldown, self.breaker_cooldown_max
+                    )
+
+    def _dispatchable_workers(self) -> List[_Worker]:
+        with self._membership_lock:
+            return [
+                worker
+                for worker in self._workers or ()
+                if not worker.broken and not worker.draining
+            ]
 
     # -- span dispatch -----------------------------------------------------
 
-    def _spans(
-        self, start: int, stop: int, trials_per_unit: int = 1
-    ) -> List[Tuple[int, int]]:
-        live = max(1, len(self.live_workers()))
-        if self.chunk_size == "auto":
-            from repro.backends.autotune import resolved_rate, suggest_chunk_size
+    def _make_sizer(
+        self, start: int, stop: int, trials_per_unit: int
+    ) -> Callable[[_Worker], int]:
+        """Per-worker span sizing (in range *units*) for one dispatch."""
+        total_units = stop - start
+        if isinstance(self.chunk_size, int):
+            size = self.chunk_size
+            return lambda worker: size
+        if self.chunk_size is None:
+            live = max(1, len(self.live_workers()))
+            size = max(1, -(-total_units // live))
+            return lambda worker: size
+        # "auto": each worker's demonstrated rate sizes its own spans —
+        # slow workers get small spans (cheap to requeue or steal), fast
+        # ones get spans near the target wall time.
+        from repro.backends.autotune import resolved_rate, suggest_chunk_size
 
-            trials = (stop - start) * trials_per_unit
-            span = suggest_chunk_size(
-                "distributed",
-                trials,
-                workers=live,
-                rate=resolved_rate(self, "distributed"),
+        total_trials = total_units * trials_per_unit
+        fallback_rate = resolved_rate(self, "distributed")
+
+        def sizer(worker: _Worker) -> int:
+            live = max(1, len(self.live_workers()))
+            rate = worker.observed_rate() or fallback_rate
+            trials = suggest_chunk_size(
+                "distributed", total_trials, workers=live, rate=rate
             )
-            span = max(1, span // trials_per_unit)
-        elif self.chunk_size is not None:
-            span = self.chunk_size
-        else:
-            span = max(1, -(-(stop - start) // live))
-        return [
-            (low, min(low + span, stop)) for low in range(start, stop, span)
-        ]
+            return max(1, trials // trials_per_unit)
+
+        return sizer
 
     def _worker_request(
         self, worker: _Worker, payload: Dict[str, Any]
@@ -454,34 +848,36 @@ class DistributedBackend(TrialExecutor):
             worker.loaded = self._payload
 
     def _dispatch(
-        self, mode: str, spans: List[Tuple[int, int]]
+        self, mode: str, start: int, stop: int, trials_per_unit: int = 1
     ) -> List[Any]:
-        """Run every span on some live worker; replies in span order.
+        """Run the whole range on the live fleet; replies in span order.
 
-        Spans flow through one shared queue that live workers pull from;
-        transport failures requeue the span (bounded by ``span_retries``)
-        and strike the worker (bounded by ``breaker_threshold``), task
-        failures abort the dispatch.  Raises only after every driver
-        thread has stopped touching its socket.
+        Each live worker gets a driver thread pulling demand-carved spans
+        off one shared :class:`_SpanSource`; transport failures requeue
+        the span (bounded by ``span_retries``) and strike the worker
+        (breaker at ``breaker_threshold``), task failures abort the
+        dispatch.  Between spans the controller thread sweeps membership —
+        admitting announced workers, adopting respawned pool children,
+        re-admitting cooled-down breakers — and spawns drivers for every
+        newcomer, so the fleet flexes *while the range is running*.
+        Raises only after every driver thread has stopped touching its
+        socket.
         """
         assert self._workers is not None
-        workers = [worker for worker in self._workers if not worker.broken]
-        if not workers:
-            raise NoWorkersLeft(
-                "every worker's circuit breaker is open; restart workers "
-                "and reopen the backend (completed sweep points are in the "
-                "store — `repro sweep resume` recomputes nothing)"
-            )
-        replies: List[Any] = [None] * len(spans)
-        queue = _SpanQueue(spans, drivers=len(workers))
+        sizer = self._make_sizer(start, stop, trials_per_unit)
+        source = _SpanSource(
+            start, stop, sizer, on_split=lambda: self._count("spans_split")
+        )
+        results: List[Tuple[int, Any]] = []
+        results_lock = threading.Lock()
 
         def drive(worker: _Worker) -> None:
             try:
                 while True:
-                    item = queue.get()
+                    item = source.get(worker)
                     if item is None:
                         return
-                    span_index, (low, high), attempts = item
+                    low, high, attempts = item
                     try:
                         try:
                             self._ensure_ready(worker)
@@ -495,6 +891,7 @@ class DistributedBackend(TrialExecutor):
                                 f"worker {worker.address} cannot load the "
                                 f"task: {error}"
                             ) from error
+                        began = time.monotonic()
                         reply = self._worker_request(
                             worker,
                             {
@@ -510,11 +907,17 @@ class DistributedBackend(TrialExecutor):
                         worker.drop_connection()
                         worker.strikes += 1
                         self._count("worker_failures")
-                        if worker.strikes >= self.breaker_threshold:
-                            worker.broken = True
+                        if (
+                            worker.strikes >= self.breaker_threshold
+                            and not worker.broken
+                        ):
+                            worker.trip_breaker(
+                                self.breaker_cooldown,
+                                self.breaker_cooldown_max,
+                            )
                             self._count("workers_broken")
                         if attempts + 1 >= self.span_retries:
-                            queue.abort(
+                            source.abort(
                                 NoWorkersLeft(
                                     f"span [{low}, {high}) failed on "
                                     f"{attempts + 1} workers, giving up: "
@@ -522,7 +925,7 @@ class DistributedBackend(TrialExecutor):
                                 )
                             )
                             return
-                        queue.requeue((span_index, (low, high), attempts + 1))
+                        source.requeue(low, high, attempts + 1)
                         self._count("spans_requeued")
                         if worker.broken:
                             return
@@ -531,36 +934,84 @@ class DistributedBackend(TrialExecutor):
                         # An ok:false reply: the task itself failed, and
                         # deterministically would everywhere — abort with
                         # the remote traceback, connection left healthy.
-                        queue.abort(error)
+                        source.abort(error)
                         return
                     except BaseException as error:  # pragma: no cover
-                        queue.abort(error)  # surface bugs, don't hang
+                        source.abort(error)  # surface bugs, don't hang
                         return
-                    replies[span_index] = reply
+                    with results_lock:
+                        results.append((low, reply))
                     worker.strikes = 0
                     worker.spans_completed += 1
+                    worker.record_span(
+                        (high - low) * trials_per_unit,
+                        time.monotonic() - began,
+                    )
                     self._count("spans_completed")
-                    queue.task_done()
+                    source.complete()
             finally:
-                queue.driver_exited()
+                source.driver_exited()
 
-        threads = [
-            threading.Thread(
-                target=drive,
-                args=(worker,),
-                name=f"repro-dispatch-{worker.address}",
-                daemon=True,
-            )
-            for worker in workers
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
+        threads: Dict[str, threading.Thread] = {}
+        all_threads: List[threading.Thread] = []
+
+        def spawn_drivers() -> bool:
+            spawned = False
+            for worker in self._dispatchable_workers():
+                existing = threads.get(worker.address)
+                if existing is not None and existing.is_alive():
+                    continue
+                source.add_driver()
+                thread = threading.Thread(
+                    target=drive,
+                    args=(worker,),
+                    name=f"repro-dispatch-{worker.address}",
+                    daemon=True,
+                )
+                threads[worker.address] = thread
+                all_threads.append(thread)
+                thread.start()
+                spawned = True
+            return spawned
+
+        spawn_drivers()
+        if source.drivers == 0:
+            # Nobody to even begin with: give the elastic paths one shot
+            # (cooldown overridden) before refusing the dispatch.
+            self._admit_members(force=True)
+            if not spawn_drivers():
+                raise NoWorkersLeft(
+                    "every worker is dead or circuit-broken; restart "
+                    "workers (or join replacements via --announce) and "
+                    "retry — completed sweep points are in the store "
+                    "(`repro sweep resume` recomputes nothing)"
+                )
+        while not source.settled:
+            self._admit_members()
+            spawn_drivers()
+            if source.drivers == 0 and not source.settled:
+                # Every driver is gone with spans still pending.  Last
+                # resort: probe even cooling-down breakers, adopt any
+                # late joiner, then concede.
+                self._admit_members(force=True)
+                spawn_drivers()
+                if source.drivers == 0 and not source.settled:
+                    source.abort(
+                        NoWorkersLeft(
+                            "span(s) still pending but every worker is "
+                            "dead or circuit-broken (and no replacement "
+                            "joined)"
+                        )
+                    )
+                    break
+            source.wait(self.membership_interval)
+        for thread in all_threads:
             thread.join()
-        error = queue.error
+        error = source.error
         if error is not None:
             raise error
-        return replies
+        results.sort(key=lambda pair: pair[0])
+        return [reply for _, reply in results]
 
     def _summed_counts(
         self,
@@ -571,8 +1022,7 @@ class DistributedBackend(TrialExecutor):
         trials_per_unit: int = 1,
     ) -> List[int]:
         counts = [0] * task.channels
-        spans = self._spans(start, stop, trials_per_unit)
-        for reply in self._dispatch(mode, spans):
+        for reply in self._dispatch(mode, start, stop, trials_per_unit):
             chunk = reply["counts"]
             if len(chunk) != task.channels:
                 raise ValueError(
@@ -607,6 +1057,6 @@ class DistributedBackend(TrialExecutor):
         if start >= stop:
             return []
         values: List[Any] = []
-        for reply in self._dispatch("collect", self._spans(start, stop)):
+        for reply in self._dispatch("collect", start, stop):
             values.extend(decode_blob(reply["values"]))
         return values

@@ -16,6 +16,15 @@ step for the common cases:
   ``host:port``-per-line file describing workers already running
   elsewhere, optionally heartbeat-probing each; ``stop`` leaves them
   alone (their operator owns them).
+- **Respawn** — with ``max_respawns=K``, :meth:`WorkerPool.respawn_dead`
+  relaunches up to ``K`` dead children on fresh ephemeral ports.
+  Respawned children carry *no* ``--fault`` flag: a scripted fault has
+  already fired once, and re-arming it on the replacement would make
+  chaos runs non-deterministic.  The attached
+  :class:`~repro.backends.distributed.DistributedBackend` adopts the
+  new addresses through its membership sweep, and
+  :func:`write_addresses_file` republishes them atomically for any
+  ``--workers @FILE`` reader.
 
 Either way, :attr:`addresses` plugs straight into
 :class:`~repro.backends.distributed.DistributedBackend` — or let the
@@ -61,6 +70,22 @@ def load_hosts_file(path) -> List[str]:
     if not addresses:
         raise ValueError(f"hosts file {path} names no workers")
     return addresses
+
+
+def write_addresses_file(path, addresses: Sequence[str]) -> None:
+    """Publish worker addresses to a hosts file, atomically.
+
+    Written via a same-directory temp file + :func:`os.replace`, so a
+    concurrently-launched adopter (``--workers @FILE``, a
+    :class:`~repro.backends.membership.HostsFileWatcher`) can never read
+    a half-written list — it sees the old complete file or the new one.
+    """
+    path = Path(path)
+    temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    temp.write_text(
+        "\n".join(addresses) + "\n" if addresses else "", encoding="utf-8"
+    )
+    os.replace(temp, path)
 
 
 def _await_line(stream, timeout: float, context: str) -> str:
@@ -152,6 +177,10 @@ class WorkerPool:
         leaves them running.
     startup_timeout:
         Seconds each spawned worker gets to announce its address.
+    max_respawns:
+        Total budget of dead-child relaunches :meth:`respawn_dead` may
+        spend (0, the default, disables respawning — scripted chaos
+        tests rely on a killed worker *staying* dead unless they opt in).
     """
 
     def __init__(
@@ -161,6 +190,7 @@ class WorkerPool:
         fault_plan=None,
         addresses: Sequence[str] = (),
         startup_timeout: float = 30.0,
+        max_respawns: int = 0,
     ) -> None:
         if isinstance(fault_plan, str):
             fault_plan = FaultPlan.parse(fault_plan)
@@ -170,6 +200,8 @@ class WorkerPool:
         self.host = host
         self.fault_plan = fault_plan
         self.startup_timeout = startup_timeout
+        self.max_respawns = max_respawns
+        self.respawns_used = 0
         self._remote = tuple(addresses)
         for address in self._remote:
             parse_address(address)
@@ -208,6 +240,46 @@ class WorkerPool:
         """Whether this pool owns (spawned) its worker processes."""
         return not self._remote
 
+    def _spawn_worker(self, index: int, fault=None) -> Tuple[subprocess.Popen, str]:
+        """Launch one ``repro worker serve`` child; its process + address."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "serve",
+            "--bind",
+            f"{self.host}:0",
+        ]
+        if fault is not None:
+            command += ["--fault", fault.describe()]
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=_worker_environment(),
+        )
+        try:
+            line = _await_line(
+                process.stdout,
+                self.startup_timeout,
+                f"worker {index} (pid {process.pid})",
+            )
+            match = _ADDRESS_LINE.search(line)
+            if match is None:
+                raise RuntimeError(
+                    f"worker {index} announced {line!r}, expected a "
+                    f"'listening on host:port' line"
+                )
+        except BaseException:
+            if process.poll() is None:
+                process.kill()
+            process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+            raise
+        return process, f"{match.group(1)}:{match.group(2)}"
+
     def start(self) -> "WorkerPool":
         """Spawn the local workers (no-op for remote pools); idempotent."""
         if self._addresses is not None:
@@ -215,45 +287,17 @@ class WorkerPool:
         if self._remote:
             self._addresses = self._remote
             return self
-        environment = _worker_environment()
         addresses: List[str] = []
         try:
             for index in range(self.workers):
-                command = [
-                    sys.executable,
-                    "-m",
-                    "repro.cli",
-                    "worker",
-                    "serve",
-                    "--bind",
-                    f"{self.host}:0",
-                ]
                 fault = (
                     self.fault_plan.for_worker(index)
                     if self.fault_plan is not None
                     else None
                 )
-                if fault is not None:
-                    command += ["--fault", fault.describe()]
-                process = subprocess.Popen(
-                    command,
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.STDOUT,
-                    env=environment,
-                )
+                process, address = self._spawn_worker(index, fault)
                 self._processes.append(process)
-                line = _await_line(
-                    process.stdout,
-                    self.startup_timeout,
-                    f"worker {index} (pid {process.pid})",
-                )
-                match = _ADDRESS_LINE.search(line)
-                if match is None:
-                    raise RuntimeError(
-                        f"worker {index} announced {line!r}, expected a "
-                        f"'listening on host:port' line"
-                    )
-                addresses.append(f"{match.group(1)}:{match.group(2)}")
+                addresses.append(address)
         except BaseException:
             self.stop()
             raise
@@ -263,6 +307,43 @@ class WorkerPool:
     def poll(self) -> List[Optional[int]]:
         """Each spawned worker's exit code (``None`` while running)."""
         return [process.poll() for process in self._processes]
+
+    def respawn_dead(self) -> List[Tuple[str, str]]:
+        """Relaunch dead children on fresh ports, within ``max_respawns``.
+
+        Returns ``[(old_address, new_address), ...]`` for each slot
+        relaunched, so an attached backend can drain the dead address
+        and admit the new one.  Replacements are spawned *without* the
+        slot's scripted fault — it already fired once, and a replacement
+        that re-dies on schedule would make chaos runs non-deterministic.
+        Remote (adopted) pools never respawn: their operator owns them.
+        """
+        if not self.local or self._addresses is None:
+            return []
+        replaced: List[Tuple[str, str]] = []
+        addresses = list(self._addresses)
+        for index, process in enumerate(self._processes):
+            if process.poll() is None:
+                continue
+            if self.respawns_used >= self.max_respawns:
+                break
+            try:
+                replacement, address = self._spawn_worker(index)
+            except (OSError, RuntimeError, TimeoutError):
+                # A failed relaunch still spends budget: a slot that
+                # cannot come back should not be retried forever.
+                self.respawns_used += 1
+                continue
+            process.wait()
+            if process.stdout is not None:
+                process.stdout.close()
+            self._processes[index] = replacement
+            replaced.append((addresses[index], address))
+            addresses[index] = address
+            self.respawns_used += 1
+        if replaced:
+            self._addresses = tuple(addresses)
+        return replaced
 
     def stop(self, grace_seconds: float = 5.0) -> None:
         """Terminate spawned workers: SIGTERM, then SIGKILL stragglers.

@@ -50,6 +50,7 @@ class BackendEntry:
     supports_shared_memory: bool
     supports_remote: bool
     supports_fault_tolerance: bool
+    supports_elastic_membership: bool
     available: Callable[[], bool]
 
 
@@ -66,6 +67,7 @@ def register_backend(
     supports_shared_memory: bool = False,
     supports_remote: bool = False,
     supports_fault_tolerance: bool = False,
+    supports_elastic_membership: bool = False,
     available: Optional[Callable[[], bool]] = None,
 ) -> None:
     """Register an execution backend under a stable name.
@@ -93,6 +95,7 @@ def register_backend(
         supports_shared_memory=supports_shared_memory,
         supports_remote=supports_remote,
         supports_fault_tolerance=supports_fault_tolerance,
+        supports_elastic_membership=supports_elastic_membership,
         available=available if available is not None else (lambda: True),
     )
 
@@ -132,6 +135,7 @@ def list_backends() -> List[Dict[str, Any]]:
             "supports_shared_memory": entry.supports_shared_memory,
             "supports_remote": entry.supports_remote,
             "supports_fault_tolerance": entry.supports_fault_tolerance,
+            "supports_elastic_membership": entry.supports_elastic_membership,
             "available": bool(entry.available()),
         }
         for _, entry in sorted(_REGISTRY.items())
@@ -266,7 +270,10 @@ def _register_builtins() -> None:
         description=(
             "spans over length-prefixed JSON/TCP to `repro worker serve` "
             "processes (workers=['host:port', ...] or pool=N to spawn a "
-            "local pool); retries and rebalances around worker failures"
+            "local pool); retries and rebalances around worker failures, "
+            "and the fleet is elastic: breakers re-admit after cooldown, "
+            "workers join mid-sweep via announce_bind/watch_hosts, dead "
+            "pool children respawn"
         ),
         options=(
             "workers",
@@ -278,9 +285,17 @@ def _register_builtins() -> None:
             "heartbeat_interval",
             "ping_timeout",
             "span_timeout",
+            "breaker_cooldown",
+            "breaker_cooldown_max",
+            "membership_interval",
+            "announce_bind",
+            "watch_hosts",
+            "pool_faults",
+            "pool_respawns",
         ),
         supports_remote=True,
         supports_fault_tolerance=True,
+        supports_elastic_membership=True,
     )
 
 

@@ -24,6 +24,13 @@ Workers compute spans with the exact same range functions the local
 executors use, so per-trial streams — a pure function of
 ``(seed, label, index)`` — are identical on any machine.
 
+The driver-side membership registry (:mod:`repro.backends.membership`)
+speaks the same framing with two additional ops — ``announce`` and
+``retire``, each carrying a ``worker`` (``"host:port"``) field — and
+identifies itself with its own ``role`` in the ``hello`` reply, so a
+worker pointed at the wrong port fails the handshake instead of
+misbehaving silently.
+
 **Liveness.**  Three primitives let a client distinguish a *slow* worker
 from a *dead* one instead of blocking forever:
 

@@ -313,8 +313,18 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         self.stop()
 
 
+#: How long ``--announce`` keeps retrying an unreachable driver registry.
+#: A replacement worker is routinely started *before* (or racing) the
+#: sweep whose registry it joins — the CI chaos job does exactly that —
+#: so a refused connection means "keep trying", not "give up".
+_ANNOUNCE_RETRY_SECONDS = 60.0
+
+
 def serve(
-    host: str, port: int, fault: Optional[FaultSpec] = None
+    host: str,
+    port: int,
+    fault: Optional[FaultSpec] = None,
+    announce: Optional[str] = None,
 ) -> None:
     """Run a worker in the foreground until interrupted (the CLI path).
 
@@ -322,6 +332,13 @@ def serve(
     exits, the listening socket and every open connection close (blocked
     clients get an immediate EOF, not a half-open hang), and the process
     returns 0.
+
+    ``announce`` names a driver-side
+    :class:`~repro.backends.membership.MembershipRegistry`
+    (``"host:port"``): the worker announces its own bound address there
+    from a background thread — retrying while the driver is still
+    starting — and retires itself on clean shutdown so the driver drains
+    it instead of striking it.
     """
     server = WorkerServer(host, port, fault=fault, exit_on_kill=True)
     bound_host, bound_port = server.address
@@ -331,6 +348,41 @@ def serve(
         f"(protocol {PROTOCOL_VERSION}{suffix})",
         flush=True,
     )
+
+    announced_as: Optional[str] = None
+    if announce is not None:
+        from repro.backends.membership import (
+            announce_worker,
+            resolve_announced_address,
+        )
+
+        def _announce() -> None:
+            nonlocal announced_as
+            try:
+                own_address = resolve_announced_address(
+                    bound_host, bound_port, announce
+                )
+            except (OSError, ValueError):
+                own_address = f"{bound_host}:{bound_port}"
+            if announce_worker(
+                announce,
+                own_address,
+                retry_seconds=_ANNOUNCE_RETRY_SECONDS,
+            ):
+                announced_as = own_address
+                print(
+                    f"repro worker announced {own_address} to {announce}",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"repro worker: announce to {announce} not accepted",
+                    flush=True,
+                )
+
+        threading.Thread(
+            target=_announce, name="repro-announce", daemon=True
+        ).start()
 
     def _terminate(signum, frame):  # pragma: no cover - signal path
         raise KeyboardInterrupt
@@ -344,3 +396,7 @@ def serve(
         signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
         server._close_connections()
+        if announce is not None and announced_as is not None:
+            from repro.backends.membership import retire_worker
+
+            retire_worker(announce, announced_as)

@@ -11,9 +11,11 @@ Installed as the ``repro`` console script::
     repro sweep resume fig7 --jobs 4 --store .repro-store
     repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
     repro sweep run fig7 --backend distributed --pool 4
+    repro sweep run fig7 --backend distributed --pool 2 --announce-bind 127.0.0.1:7171
     repro sweep gc --store .repro-store --keep-latest
     repro worker serve --bind 127.0.0.1:7070
-    repro worker pool --workers 3 --addresses-file pool.addr
+    repro worker serve --bind 127.0.0.1:0 --announce 127.0.0.1:7171
+    repro worker pool --workers 3 --addresses-file pool.addr --respawn 1
     repro backends list
     repro cost -k 5 -l 8 -n 10
     repro demo
@@ -81,6 +83,21 @@ def _add_backend_arguments(parser, sweep: bool) -> None:
         "take one (never observable in results); 'auto' sizes spans "
         "from recorded BENCH_*.json rates",
     )
+    parser.add_argument(
+        "--announce-bind",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --backend distributed: run a membership registry on "
+        "this address so `repro worker serve --announce` processes can "
+        "join the fleet mid-sweep (port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--watch-workers",
+        action="store_true",
+        help="with --backend distributed --workers @FILE: re-read the "
+        "host-list file while the sweep runs, joining added workers and "
+        "draining removed ones",
+    )
 
 
 def _parse_chunk_size(text):
@@ -109,6 +126,10 @@ def _backend_from_args(args, sweep: bool):
     if args.backend is None:
         if args.workers or args.pool:
             raise SystemExit("--workers/--pool require --backend distributed")
+        if args.announce_bind or args.watch_workers:
+            raise SystemExit(
+                "--announce-bind/--watch-workers require --backend distributed"
+            )
         if args.chunk_size:
             raise SystemExit(
                 "--chunk-size requires an explicit --backend that takes one"
@@ -131,16 +152,34 @@ def _backend_from_args(args, sweep: bool):
                     options["workers"] = load_hosts_file(args.workers[1:])
                 except (OSError, ValueError) as error:
                     raise SystemExit(str(error)) from None
+                if args.watch_workers:
+                    options["watch_hosts"] = args.workers[1:]
+            elif args.watch_workers:
+                raise SystemExit(
+                    "--watch-workers requires --workers @FILE (a host-list "
+                    "file the sweep can re-read)"
+                )
             else:
                 options["workers"] = [
                     worker.strip()
                     for worker in args.workers.split(",")
                     if worker.strip()
                 ]
+        elif args.watch_workers:
+            raise SystemExit(
+                "--watch-workers requires --workers @FILE (a host-list "
+                "file the sweep can re-read)"
+            )
         if args.pool:
             options["pool"] = args.pool
+        if args.announce_bind:
+            options["announce_bind"] = args.announce_bind
     elif args.workers or args.pool:
         raise SystemExit("--workers/--pool require --backend distributed")
+    elif args.announce_bind or args.watch_workers:
+        raise SystemExit(
+            "--announce-bind/--watch-workers require --backend distributed"
+        )
     chunk_size = _parse_chunk_size(args.chunk_size)
     if chunk_size is not None:
         options["chunk_size"] = chunk_size
@@ -340,6 +379,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "with KIND in kill/drop/slow/hang, e.g. kill@2 = die abruptly "
         "when asked for a 3rd span",
     )
+    worker_serve.add_argument(
+        "--announce",
+        default=None,
+        metavar="HOST:PORT",
+        help="announce this worker to a running sweep's membership "
+        "registry (`--announce-bind` on the orchestrator side); retried "
+        "in the background until the registry answers, and the worker "
+        "retires itself on shutdown",
+    )
     worker_pool = worker_actions.add_parser(
         "pool",
         help="launch a local pool of serve processes (or adopt a remote "
@@ -375,7 +423,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--addresses-file",
         default=None,
         help="write the ready pool's addresses (one host:port per line) "
-        "to this file — consumable as `--workers @FILE`",
+        "to this file — consumable as `--workers @FILE`; rewritten "
+        "atomically whenever --respawn replaces a dead worker",
+    )
+    worker_pool.add_argument(
+        "--respawn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="relaunch up to N dead local workers on fresh ephemeral "
+        "ports (respawned workers carry no --fault; the addresses file, "
+        "if any, is rewritten so watchers pick up the new members)",
     )
 
     backends = subparsers.add_parser(
@@ -640,6 +698,14 @@ def _command_sweep(args) -> int:
         f"{report.cached} cached, {report.trials_run} new trials; "
         f"store: {args.store}"
     )
+    if report.backend_stats:
+        # One greppable line for operators and the CI chaos job:
+        # requeues, breaker trips, re-admissions, mid-sweep joins.
+        rendered = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(report.backend_stats.items())
+        )
+        print(f"backend stats: {rendered}")
     if spec.axes:
         print()
         print(
@@ -690,7 +756,12 @@ def _command_worker(args) -> int:
             fault = FaultSpec.parse(args.fault)
         except ValueError as error:
             raise SystemExit(str(error)) from None
-    serve(host, port, fault=fault)
+    if args.announce:
+        try:
+            parse_address(args.announce)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    serve(host, port, fault=fault, announce=args.announce)
     return 0
 
 
@@ -699,17 +770,22 @@ def _worker_pool(args) -> int:
     import signal
     import time
 
-    from repro.backends.pool import WorkerPool
+    from repro.backends.pool import WorkerPool, write_addresses_file
 
+    if args.respawn < 0:
+        raise SystemExit("--respawn must be a non-negative integer")
     if args.hosts_file is not None:
         if args.fault:
             raise SystemExit("--fault only applies to spawned local workers")
+        if args.respawn:
+            raise SystemExit("--respawn only applies to spawned local workers")
         pool = WorkerPool.from_hosts_file(args.hosts_file, probe=True)
     else:
         pool = WorkerPool(
             workers=args.workers,
             host=args.bind_host,
             fault_plan=args.fault,
+            max_respawns=args.respawn,
         )
 
     def _terminate(signum, frame):  # pragma: no cover - signal path
@@ -721,8 +797,7 @@ def _worker_pool(args) -> int:
             addresses = pool.addresses
             print(f"repro worker pool ready: {','.join(addresses)}", flush=True)
             if args.addresses_file:
-                with open(args.addresses_file, "w", encoding="utf-8") as handle:
-                    handle.write("\n".join(addresses) + "\n")
+                write_addresses_file(args.addresses_file, addresses)
             reported = set()
             while True:
                 time.sleep(0.5)
@@ -738,6 +813,23 @@ def _worker_pool(args) -> int:
                             f"(code {code})",
                             flush=True,
                         )
+                if args.respawn:
+                    replaced = pool.respawn_dead()
+                    if replaced:
+                        for old_address, new_address in replaced:
+                            print(
+                                f"repro worker pool: respawned {old_address} "
+                                f"as {new_address}",
+                                flush=True,
+                            )
+                        # Respawned slots may die again; let the loop
+                        # report those deaths too.
+                        reported.clear()
+                        if args.addresses_file:
+                            write_addresses_file(
+                                args.addresses_file, pool.addresses
+                            )
+                        codes = pool.poll()
                 if pool.local and codes and all(
                     code is not None for code in codes
                 ):
@@ -762,6 +854,7 @@ def _command_backends(args) -> int:
                 ("shared-memory", "supports_shared_memory"),
                 ("remote", "supports_remote"),
                 ("fault-tolerant", "supports_fault_tolerance"),
+                ("elastic", "supports_elastic_membership"),
             )
             if entry[label]
         ]

@@ -172,11 +172,13 @@ class TrialExecutor:
 
     #: Capability flags of the ExecutionBackend protocol: whether batch
     #: results can travel through shared memory, whether spans run
-    #: outside this process's memory image, and whether the backend
-    #: survives (retries/rebalances around) worker failures mid-run.
+    #: outside this process's memory image, whether the backend survives
+    #: (retries/rebalances around) worker failures mid-run, and whether
+    #: its worker fleet can change while a run is in flight.
     supports_shared_memory = False
     supports_remote = False
     supports_fault_tolerance = False
+    supports_elastic_membership = False
 
     def open(self) -> "TrialExecutor":  # pragma: no cover - trivial
         """Acquire long-lived resources (a worker pool); idempotent."""

@@ -50,6 +50,11 @@ class SweepReport:
     records: Tuple[Dict[str, Any], ...]
     computed: int
     cached: int
+    #: The executor's fault/elasticity counters (``backend.stats``),
+    #: snapshotted before close for executors that expose them —
+    #: requeues, breaker trips, re-admissions, mid-sweep joins.  ``None``
+    #: for executors without stats (all the local ones).
+    backend_stats: Optional[Dict[str, int]] = None
 
     @property
     def points(self) -> int:
@@ -227,8 +232,16 @@ class SweepOrchestrator:
                 computed += 1
                 if progress is not None:
                     progress(point, record, False)
+            # Snapshot inside the with-block: close() may tear down the
+            # very state (workers, pool) the stats describe.
+            stats = getattr(executor, "stats", None)
+            backend_stats = dict(stats) if isinstance(stats, dict) else None
         return SweepReport(
-            spec=spec, records=tuple(records), computed=computed, cached=cached
+            spec=spec,
+            records=tuple(records),
+            computed=computed,
+            cached=cached,
+            backend_stats=backend_stats,
         )
 
 

@@ -78,6 +78,161 @@ class TestBenchRecordSeeding:
         assert bench_rate("distributed", tmp_path) is None
         assert load_bench_rates(tmp_path / "missing-dir") == {}
 
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            float("nan"),
+            float("inf"),
+            float("-inf"),
+            0,
+            0.0,
+            -125.0,
+            True,  # bool is an int subclass: would sneak in as 1.0
+            False,
+            "fast",
+            None,
+            [1000.0],
+        ],
+        ids=repr,
+    )
+    def test_corrupt_rates_are_filtered_not_loaded(self, tmp_path, corrupt):
+        """Satellite regression: NaN poisons a median silently, inf
+        drives spans to nonsense, True parses as 1.0 — every corrupt
+        shape must be dropped, never 'any float accepted'."""
+        _write_bench(
+            tmp_path,
+            "mixed",
+            [
+                {"trials_per_second": corrupt, "backend": None},
+                {"trials_per_second": 800.0, "backend": None},
+            ],
+        )
+        assert load_bench_rates(tmp_path) == {"local": [800.0]}
+        assert bench_rate("distributed", tmp_path) == 800.0
+
+    def test_all_corrupt_records_fall_back_to_default(self, tmp_path):
+        _write_bench(
+            tmp_path,
+            "bad",
+            [{"trials_per_second": float("nan"), "backend": None}],
+        )
+        assert bench_rate("distributed", tmp_path) is None
+        span = suggest_chunk_size(
+            "distributed", total=10**9, workers=1, directory=tmp_path
+        )
+        assert span == int(DEFAULT_RATE * 0.5)
+
+
+class TestObservedRateFeedback:
+    """``record_observed_rates``: the autotune feedback loop's disk half."""
+
+    def test_recorded_rates_round_trip_into_bench_rate(self, tmp_path):
+        from repro.backends.autotune import record_observed_rates
+
+        path = record_observed_rates(
+            "distributed",
+            {"127.0.0.1:7070": 1500.0, "127.0.0.1:7071": 500.0},
+            directory=tmp_path,
+        )
+        assert path is not None and path.exists()
+        assert bench_rate("distributed", tmp_path) == 1000.0  # the median
+        payload = json.loads(path.read_text())
+        assert [record["worker"] for record in payload["records"]] == [
+            "127.0.0.1:7070",
+            "127.0.0.1:7071",
+        ]
+
+    def test_corrupt_observed_rates_are_dropped_at_the_door(self, tmp_path):
+        from repro.backends.autotune import record_observed_rates
+
+        assert (
+            record_observed_rates(
+                "distributed",
+                {
+                    "a:1": float("nan"),
+                    "b:2": float("inf"),
+                    "c:3": 0.0,
+                    "d:4": True,
+                },
+                directory=tmp_path,
+            )
+            is None
+        )
+        assert list(tmp_path.iterdir()) == []  # nothing usable → no file
+
+    def test_records_append_and_trim_to_keep(self, tmp_path):
+        from repro.backends.autotune import record_observed_rates
+
+        record_observed_rates("distributed", {"a:1": 100.0}, directory=tmp_path)
+        record_observed_rates(
+            "distributed",
+            {"a:1": 200.0, "b:2": 300.0},
+            directory=tmp_path,
+            keep=2,
+        )
+        payload = json.loads((tmp_path / "BENCH_observed.json").read_text())
+        # The keep budget trimmed the oldest record.
+        assert [r["trials_per_second"] for r in payload["records"]] == [
+            200.0,
+            300.0,
+        ]
+
+    def test_torn_observed_file_is_replaced_not_fatal(self, tmp_path):
+        from repro.backends.autotune import record_observed_rates
+
+        (tmp_path / "BENCH_observed.json").write_text('{"records": [')
+        path = record_observed_rates(
+            "distributed", {"a:1": 100.0}, directory=tmp_path
+        )
+        assert path is not None
+        assert bench_rate("distributed", tmp_path) == 100.0
+
+    def test_missing_directory_is_a_no_op(self, tmp_path):
+        from repro.backends.autotune import record_observed_rates
+
+        assert (
+            record_observed_rates(
+                "distributed", {"a:1": 100.0}, directory=tmp_path / "absent"
+            )
+            is None
+        )
+
+    def test_auto_distributed_run_records_worker_rates(self, tmp_path, monkeypatch):
+        """End to end: a chunk_size='auto' run feeds what its workers
+        sustained back into the bench records on close."""
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        with WorkerServer() as server:
+            host, port = server.address
+            with DistributedBackend(
+                [f"{host}:{port}"], chunk_size="auto"
+            ) as backend:
+                TrialEngine(executor=backend).run(
+                    bernoulli_trial, trials=101, seed=5
+                )
+                rates = backend.worker_rates()
+                assert f"{host}:{port}" in rates
+                assert rates[f"{host}:{port}"] > 0
+        payload = json.loads((tmp_path / "BENCH_observed.json").read_text())
+        assert any(
+            record["backend"] == "distributed"
+            and record["worker"] == f"{host}:{port}"
+            for record in payload["records"]
+        )
+
+    def test_fixed_chunk_size_runs_record_nothing(self, tmp_path, monkeypatch):
+        """Observed-rate feedback is an 'auto' feature: a pinned span
+        size leaves the bench records alone."""
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        with WorkerServer() as server:
+            host, port = server.address
+            with DistributedBackend(
+                [f"{host}:{port}"], chunk_size=20
+            ) as backend:
+                TrialEngine(executor=backend).run(
+                    bernoulli_trial, trials=60, seed=5
+                )
+        assert not (tmp_path / "BENCH_observed.json").exists()
+
 
 class TestSizingMath:
     def test_rate_times_target_bounded_by_granularity(self):

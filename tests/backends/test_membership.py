@@ -1,0 +1,356 @@
+"""Elastic membership: the announce registry and the hosts-file watcher.
+
+Unit half: :class:`MembershipRegistry` accepts only live, well-formed
+announcements; :class:`HostsFileWatcher` turns file edits into
+``(joined, left)`` batches and treats torn/unreadable states as "no
+change".  Integration half: workers that join a *running* dispatch —
+through the registry or through a watched hosts file — pick up spans,
+show in ``backend.stats``, and (by the determinism contract) never
+change a single count.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.backends import (
+    DistributedBackend,
+    FaultSpec,
+    HostsFileWatcher,
+    MembershipRegistry,
+    WorkerServer,
+    announce_worker,
+    retire_worker,
+    write_addresses_file,
+)
+from repro.backends.membership import (
+    REGISTRY_ROLE,
+    _registry_request,
+    resolve_announced_address,
+)
+from repro.experiments.engine import TrialEngine
+
+
+def bernoulli_trial(rng):
+    return rng.bernoulli(0.4)
+
+
+def _address(server):
+    return f"{server.address[0]}:{server.address[1]}"
+
+
+#: Keeps the initial fleet slow enough that a mid-run joiner still finds
+#: spans to serve (see the same constant's rationale in test_faults).
+_SLIGHTLY_SLOW = FaultSpec("slow", after_spans=0, delay=0.02)
+
+
+class TestMembershipRegistry:
+    def test_hello_identifies_the_registry_role(self):
+        with MembershipRegistry() as registry:
+            host, port = registry.address
+            reply = _registry_request(f"{host}:{port}", {"op": "ping"})
+            assert reply["ok"]
+
+    def test_announce_probes_then_queues_the_worker(self):
+        worker = WorkerServer().serve_background()
+        try:
+            with MembershipRegistry() as registry:
+                host, port = registry.address
+                assert announce_worker(f"{host}:{port}", _address(worker))
+                joined, left = registry.poll()
+                assert joined == [_address(worker)]
+                assert left == []
+                # poll drains: a second poll reports nothing new.
+                assert registry.poll() == ([], [])
+        finally:
+            worker.stop()
+
+    def test_duplicate_announcements_are_idempotent(self):
+        worker = WorkerServer().serve_background()
+        try:
+            with MembershipRegistry() as registry:
+                host, port = registry.address
+                registry_address = f"{host}:{port}"
+                assert announce_worker(registry_address, _address(worker))
+                assert announce_worker(registry_address, _address(worker))
+                joined, _ = registry.poll()
+                assert joined == [_address(worker)]
+        finally:
+            worker.stop()
+
+    def test_dead_or_malformed_announcements_are_refused(self):
+        with MembershipRegistry() as registry:
+            host, port = registry.address
+            registry_address = f"{host}:{port}"
+            # Nothing listens on port 1; the pre-admission probe refuses.
+            assert not announce_worker(registry_address, "127.0.0.1:1")
+            assert not announce_worker(registry_address, "not-an-address")
+            assert registry.poll() == ([], [])
+
+    def test_retire_queues_a_departure(self):
+        with MembershipRegistry() as registry:
+            host, port = registry.address
+            assert retire_worker(f"{host}:{port}", "127.0.0.1:9999")
+            joined, left = registry.poll()
+            assert joined == []
+            assert left == ["127.0.0.1:9999"]
+
+    def test_announce_to_a_span_worker_is_a_role_error(self):
+        """A worker port is not a registry; the role check catches the
+        mix-up instead of feeding it announce frames it cannot parse."""
+        worker = WorkerServer().serve_background()
+        try:
+            assert not announce_worker(_address(worker), "127.0.0.1:1")
+        finally:
+            worker.stop()
+
+    def test_announce_retries_until_the_registry_exists(self):
+        """The replacement-worker race: announcing before the driver's
+        registry is up must retry, then succeed."""
+        import socket as socket_module
+
+        worker = WorkerServer().serve_background()
+        # Reserve a port, release it, and only start the registry there
+        # 0.3s into the announce's retry window.
+        with socket_module.create_server(("127.0.0.1", 0)) as probe:
+            port = probe.getsockname()[1]
+        started: list = []
+
+        def late_start():
+            time.sleep(0.3)
+            started.append(MembershipRegistry(port=port).start())
+
+        thread = threading.Thread(target=late_start)
+        thread.start()
+        try:
+            assert announce_worker(
+                f"127.0.0.1:{port}",
+                _address(worker),
+                retry_seconds=10.0,
+                retry_interval=0.05,
+            )
+            thread.join()
+            assert started[0].poll() == ([_address(worker)], [])
+        finally:
+            thread.join()
+            if started:
+                started[0].stop()
+            worker.stop()
+
+    def test_resolve_announced_address_keeps_concrete_hosts(self):
+        with MembershipRegistry() as registry:
+            host, port = registry.address
+            assert (
+                resolve_announced_address("127.0.0.1", 7070, f"{host}:{port}")
+                == "127.0.0.1:7070"
+            )
+            # A wildcard bind resolves to the interface that reaches the
+            # registry — on loopback, loopback.
+            resolved = resolve_announced_address("0.0.0.0", 7070, f"{host}:{port}")
+            assert resolved == "127.0.0.1:7070"
+
+    def test_retire_against_a_dead_registry_is_best_effort(self):
+        assert retire_worker("127.0.0.1:1", "127.0.0.1:7070") is False
+
+
+class TestHostsFileWatcher:
+    def test_added_and_removed_hosts_become_events(self, tmp_path):
+        path = tmp_path / "hosts.txt"
+        write_addresses_file(path, ["a:1", "b:2"])
+        watcher = HostsFileWatcher(path, initial=("a:1", "b:2"))
+        assert watcher.poll() == ([], [])  # unchanged since snapshot
+        time.sleep(0.01)  # ensure a distinct mtime_ns
+        write_addresses_file(path, ["a:1", "c:3"])
+        assert watcher.poll() == (["c:3"], ["b:2"])
+        assert watcher.poll() == ([], [])
+
+    def test_blank_lines_and_comments_are_tolerated(self, tmp_path):
+        path = tmp_path / "hosts.txt"
+        path.write_text("a:1\n")
+        watcher = HostsFileWatcher(path, initial=("a:1",))
+        time.sleep(0.01)
+        path.write_text("# fleet\n\na:1\n   \nb:2\n")
+        assert watcher.poll() == (["b:2"], [])
+
+    def test_torn_or_missing_file_reads_as_no_change(self, tmp_path):
+        path = tmp_path / "hosts.txt"
+        path.write_text("a:1\n")
+        watcher = HostsFileWatcher(path, initial=("a:1",))
+        time.sleep(0.01)
+        path.write_text("not-an-address\n")  # torn/invalid state
+        assert watcher.poll() == ([], [])
+        path.unlink()
+        assert watcher.poll() == ([], [])
+        # The snapshot survived the bad states: restoring the file with
+        # one extra host reports exactly that host.
+        write_addresses_file(path, ["a:1", "b:2"])
+        assert watcher.poll() == (["b:2"], [])
+
+    def test_missing_file_at_construction_is_fine(self, tmp_path):
+        watcher = HostsFileWatcher(tmp_path / "absent.txt", initial=("a:1",))
+        assert watcher.poll() == ([], [])
+
+
+class TestElasticJoin:
+    """Workers joining a *running* dispatch serve spans; counts never move."""
+
+    def test_worker_joins_mid_run_via_announce(self):
+        reference = TrialEngine().run(bernoulli_trial, trials=120, seed=9)
+        initial = WorkerServer(fault=_SLIGHTLY_SLOW).serve_background()
+        extra = WorkerServer().serve_background()
+        try:
+            with DistributedBackend(
+                [_address(initial)],
+                chunk_size=2,
+                heartbeat_interval=0.1,
+                ping_timeout=0.5,
+                announce_bind="127.0.0.1:0",
+                membership_interval=0.05,
+            ) as backend:
+                registry_address = backend.registry_address
+                assert registry_address is not None
+
+                def join_late():
+                    time.sleep(0.2)
+                    announce_worker(registry_address, _address(extra))
+
+                joiner = threading.Thread(target=join_late)
+                joiner.start()
+                try:
+                    result = TrialEngine(executor=backend).run(
+                        bernoulli_trial, trials=120, seed=9
+                    )
+                finally:
+                    joiner.join()
+                assert result == reference
+                assert backend.stats["workers_joined"] == 1
+                assert len(backend.live_workers()) == 2
+        finally:
+            initial.stop()
+            extra.stop()
+
+    def test_retired_worker_is_drained_not_struck(self):
+        reference = TrialEngine().run(bernoulli_trial, trials=80, seed=4)
+        workers = [
+            WorkerServer(fault=_SLIGHTLY_SLOW).serve_background()
+            for _ in range(2)
+        ]
+        try:
+            with DistributedBackend(
+                [_address(worker) for worker in workers],
+                chunk_size=2,
+                heartbeat_interval=0.1,
+                ping_timeout=0.5,
+                announce_bind="127.0.0.1:0",
+                membership_interval=0.05,
+            ) as backend:
+                registry_address = backend.registry_address
+
+                def retire_late():
+                    time.sleep(0.15)
+                    retire_worker(registry_address, _address(workers[1]))
+
+                leaver = threading.Thread(target=retire_late)
+                leaver.start()
+                try:
+                    result = TrialEngine(executor=backend).run(
+                        bernoulli_trial, trials=80, seed=4
+                    )
+                finally:
+                    leaver.join()
+                assert result == reference
+                assert backend.stats["workers_left"] == 1
+                # A drain is not a failure: no strikes, no breaker.
+                assert backend.stats["workers_broken"] == 0
+                assert backend.live_workers() == (_address(workers[0]),)
+        finally:
+            for worker in workers:
+                worker.stop()
+
+    def test_worker_joins_mid_run_via_watched_hosts_file(self, tmp_path):
+        reference = TrialEngine().run(bernoulli_trial, trials=120, seed=2)
+        initial = WorkerServer(fault=_SLIGHTLY_SLOW).serve_background()
+        extra = WorkerServer().serve_background()
+        hosts = tmp_path / "fleet.txt"
+        write_addresses_file(hosts, [_address(initial)])
+        try:
+            with DistributedBackend(
+                [_address(initial)],
+                chunk_size=2,
+                heartbeat_interval=0.1,
+                ping_timeout=0.5,
+                watch_hosts=str(hosts),
+                membership_interval=0.05,
+            ) as backend:
+                def grow_fleet():
+                    time.sleep(0.2)
+                    write_addresses_file(
+                        hosts, [_address(initial), _address(extra)]
+                    )
+
+                editor = threading.Thread(target=grow_fleet)
+                editor.start()
+                try:
+                    result = TrialEngine(executor=backend).run(
+                        bernoulli_trial, trials=120, seed=2
+                    )
+                finally:
+                    editor.join()
+                assert result == reference
+                assert backend.stats["workers_joined"] == 1
+                assert len(backend.live_workers()) == 2
+        finally:
+            initial.stop()
+            extra.stop()
+
+    def test_serve_announce_cli_round_trip(self):
+        """`repro worker serve --announce` end-to-end: the subprocess
+        announces its bound address and retires itself on SIGTERM."""
+        import signal
+        import subprocess
+        import sys
+
+        from repro.backends.pool import _worker_environment
+
+        with MembershipRegistry() as registry:
+            host, port = registry.address
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "worker",
+                    "serve",
+                    "--bind",
+                    "127.0.0.1:0",
+                    "--announce",
+                    f"{host}:{port}",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                env=_worker_environment(),
+                text=True,
+            )
+            try:
+                deadline = time.monotonic() + 30
+                joined = []
+                while not joined and time.monotonic() < deadline:
+                    joined, _ = registry.poll()
+                    if not joined:
+                        time.sleep(0.05)
+                assert joined, "worker never announced itself"
+                process.send_signal(signal.SIGTERM)
+                assert process.wait(timeout=10) == 0
+                deadline = time.monotonic() + 10
+                left = []
+                while not left and time.monotonic() < deadline:
+                    _, left = registry.poll()
+                    if not left:
+                        time.sleep(0.05)
+                assert left == joined  # clean shutdown retired the address
+            finally:
+                if process.poll() is None:  # pragma: no cover - cleanup
+                    process.kill()
+                process.wait()
+                process.stdout.close()

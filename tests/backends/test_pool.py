@@ -123,6 +123,81 @@ class TestWorkerPool:
         with pytest.raises(ValueError, match="host:port"):
             load_hosts_file(bad)
 
+    def test_write_addresses_file_is_atomic_and_round_trips(self, tmp_path):
+        from repro.backends.pool import write_addresses_file
+
+        path = tmp_path / "fleet.txt"
+        write_addresses_file(path, ["a:1", "b:2"])
+        assert load_hosts_file(path) == ["a:1", "b:2"]
+        write_addresses_file(path, ["c:3"])
+        assert load_hosts_file(path) == ["c:3"]
+        # No temp-file droppings: the tmp + os.replace dance cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["fleet.txt"]
+
+    def test_workers_at_file_tolerates_blanks_and_comments(self, tmp_path, pool):
+        """Satellite regression: `--workers @FILE` must accept the same
+        blank/comment lines `load_hosts_file` documents."""
+        from repro.cli import main
+
+        hosts = tmp_path / "fleet.txt"
+        hosts.write_text(
+            "# the fleet\n\n"
+            + "\n".join(f"{address}  # spawned" for address in pool.addresses)
+            + "\n   \n"
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path / "store"),
+                    "--backend",
+                    "distributed",
+                    "--workers",
+                    f"@{hosts}",
+                ]
+            )
+            == 0
+        )
+
+    def test_respawn_dead_replaces_the_process_within_budget(self):
+        with WorkerPool(
+            workers=2, fault_plan="0:kill@0", max_respawns=1, startup_timeout=60
+        ) as pool:
+            original = pool.addresses
+            # Trip the scripted kill by asking worker 0 for a span.
+            with DistributedBackend(
+                pool.addresses,
+                chunk_size=5,
+                heartbeat_interval=0.2,
+                ping_timeout=0.5,
+                connect_timeout=10,
+            ) as backend:
+                TrialEngine(executor=backend).run(
+                    bernoulli_trial, trials=60, seed=5
+                )
+            deadline = time.monotonic() + 10
+            while pool.poll()[0] is None and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert pool.poll()[0] is not None
+            replaced = pool.respawn_dead()
+            assert len(replaced) == 1
+            old_address, new_address = replaced[0]
+            assert old_address == original[0]
+            assert new_address != old_address
+            assert pool.addresses == (new_address, original[1])
+            assert pool.poll() == [None, None]  # both slots live again
+            assert pool.respawns_used == 1
+            # The budget is spent: another death cannot respawn.
+            assert pool.respawn_dead() == []
+
+    def test_respawn_without_budget_or_ownership_is_a_no_op(self, pool):
+        assert pool.respawn_dead() == []  # healthy pool: nothing to do
+        adopted = WorkerPool(addresses=pool.addresses, max_respawns=5).start()
+        assert adopted.respawn_dead() == []  # remote pools never respawn
+
     def test_fault_plan_reaches_the_spawned_worker(self):
         """A pool-scripted kill really terminates the worker *process*."""
         reference = TrialEngine().run(bernoulli_trial, trials=60, seed=5)

@@ -291,6 +291,98 @@ class TestCli:
             )
         out = capsys.readouterr().out
         assert "2 computed" in out
+        # The greppable stats line the CI chaos job asserts on.
+        assert "backend stats:" in out
+        assert "spans_completed=" in out
+
+    def test_announce_bind_flag_requires_distributed_backend(self, tmp_path):
+        with pytest.raises(SystemExit, match="--announce-bind/--watch-workers"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--announce-bind",
+                    "127.0.0.1:0",
+                ]
+            )
+        with pytest.raises(SystemExit, match="--announce-bind/--watch-workers"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "serial",
+                    "--watch-workers",
+                ]
+            )
+
+    def test_watch_workers_requires_an_at_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="--watch-workers requires"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "distributed",
+                    "--workers",
+                    "127.0.0.1:7070",
+                    "--watch-workers",
+                ]
+            )
+        with pytest.raises(SystemExit, match="--watch-workers requires"):
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "smoke",
+                    "--store",
+                    str(tmp_path),
+                    "--backend",
+                    "distributed",
+                    "--pool",
+                    "2",
+                    "--watch-workers",
+                ]
+            )
+
+    def test_sweep_run_with_announce_bind_registry(self, tmp_path, capsys):
+        """--announce-bind stands up a registry for the sweep's duration;
+        an unused one changes nothing (and the stats line reports 0 joins)."""
+        from repro.backends import WorkerServer
+
+        store = str(tmp_path / "store")
+        with WorkerServer() as worker:
+            host, port = worker.address
+            assert (
+                main(
+                    [
+                        "sweep",
+                        "run",
+                        "smoke",
+                        "--store",
+                        store,
+                        "--backend",
+                        "distributed",
+                        "--workers",
+                        f"{host}:{port}",
+                        "--announce-bind",
+                        "127.0.0.1:0",
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "2 computed" in out
+        assert "workers_joined=0" in out
 
     def test_chaos_flags_end_to_end_store_parity(self, tmp_path):
         """--workers @file + --chunk-size + --batch-size: byte-identical
@@ -488,6 +580,7 @@ class TestCli:
         for name in ("serial", "fork-pool", "shm-pool", "distributed"):
             assert name in out
         assert "remote" in out
+        assert "elastic" in out
 
     def test_figures_backend_flag(self, capsys):
         assert (
