@@ -1,0 +1,83 @@
+"""Tracing overhead: a traced smoke sweep must cost ~nothing extra.
+
+The observability contract says tracing is a pure side channel; this
+bench pins the performance half of that claim.  It runs the smoke sweep
+cold (fresh store each time) with tracing off and on, interleaved and
+min-of-N so scheduler noise cancels, and asserts the traced lane stays
+within ``REPRO_BENCH_OBS_FACTOR`` (default 1.05, i.e. <5% overhead) of
+the untraced one.  Honours ``REPRO_BENCH_TRIALS`` (default 2000 here —
+the sweep has to be long enough for the ratio to mean anything).
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from conftest import bench_trials, record_bench, run_once, time_call
+
+from repro import api
+from repro.obs import read_trace
+
+
+def _overhead_factor() -> float:
+    return float(os.environ.get("REPRO_BENCH_OBS_FACTOR", "1.05"))
+
+
+def _sweep(tmp: str, trials: int, trace=None):
+    store = Path(tmp) / "store"
+    return api.run_sweep("smoke", store=store, trials=trials, trace=trace)
+
+
+def test_obs_tracing_overhead(benchmark):
+    trials = bench_trials(2000)
+    factor = _overhead_factor()
+    rounds = 3
+
+    untraced, traced = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        # Warm imports/allocator outside the measured laps.
+        _sweep(tmp + "/warmup", trials)
+        for lap in range(rounds):
+            with tempfile.TemporaryDirectory() as cold:
+                _, wall = time_call(_sweep, cold, trials)
+            untraced.append(wall)
+            with tempfile.TemporaryDirectory() as cold:
+                trace_path = Path(tmp) / f"lap{lap}.jsonl"
+                report, wall = time_call(_sweep, cold, trials, trace_path)
+            traced.append(wall)
+        assert report.computed == report.points
+        # The trace is real, not elided: a schema-valid span tree exists.
+        records = read_trace(trace_path)
+        assert any(r["type"] == "span" and r["name"] == "sweep"
+                   for r in records)
+
+        # One representative traced lap under pytest-benchmark so the
+        # harness timing lands in its usual table too.
+        with tempfile.TemporaryDirectory() as cold:
+            run_once(benchmark, _sweep, cold, trials,
+                     Path(tmp) / "bench.jsonl")
+
+    best_untraced, best_traced = min(untraced), min(traced)
+    overhead = best_traced / best_untraced
+    print()
+    print(
+        f"obs overhead: untraced min {best_untraced:.4f}s, "
+        f"traced min {best_traced:.4f}s over {rounds} laps "
+        f"-> x{overhead:.4f} (limit x{factor:.2f})"
+    )
+    record_bench(
+        "obs_overhead",
+        benchmark,
+        trials=trials * report.points,
+        wall=best_traced,
+        untraced_seconds=round(best_untraced, 6),
+        traced_seconds=round(best_traced, 6),
+        overhead_factor=round(overhead, 4),
+        limit_factor=factor,
+        rounds=rounds,
+        trace_records=len(records),
+    )
+    assert overhead <= factor, (
+        f"tracing added {100 * (overhead - 1):.1f}% wall-clock "
+        f"(limit {100 * (factor - 1):.0f}%)"
+    )

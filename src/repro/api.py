@@ -76,6 +76,7 @@ def run_scenario(
     tolerance: Optional[float] = None,
     backend: BackendLike = None,
     jobs: Optional[int] = None,
+    trace: Optional[Any] = None,
 ) -> SweepReport:
     """Run every point of one scenario, without persistence.
 
@@ -90,6 +91,7 @@ def run_scenario(
         tolerance=tolerance,
         backend=backend,
         jobs=jobs,
+        trace=trace,
     )
 
 
@@ -103,6 +105,7 @@ def run_sweep(
     jobs: Optional[int] = None,
     force: bool = False,
     progress: Optional[Any] = None,
+    trace: Optional[Any] = None,
 ) -> SweepReport:
     """Run (or resume) a scenario sweep through the orchestrator.
 
@@ -113,15 +116,40 @@ def run_sweep(
     (``"serial"``, ``"fork-pool"``, ``"shm-pool"``, ``"distributed"``
     with a workers option, or any registered/pre-built backend);
     ``jobs`` is the usual sugar.  Neither changes results or cache keys.
+
+    ``trace`` records the run's span tree and typed events — a
+    :class:`~repro.obs.trace.Tracer`, or a path to write a JSONL trace
+    to (the tracer is then owned, and closed, by this call).  Tracing is
+    a pure side channel: results and store records are byte-identical
+    with it on, off, or failing.
     """
     spec = _resolve_scenario(scenario)
+    tracer, owned = _resolve_trace(trace)
     orchestrator = SweepOrchestrator(
         store=_resolve_store(store),
         jobs=jobs,
         backend=backend,
         tolerance=tolerance,
+        tracer=tracer,
     )
-    return orchestrator.run(spec, trials=trials, force=force, progress=progress)
+    try:
+        return orchestrator.run(
+            spec, trials=trials, force=force, progress=progress
+        )
+    finally:
+        if owned and tracer is not None:
+            tracer.close()
+
+
+def _resolve_trace(trace: Optional[Any]):
+    """``trace`` → ``(tracer, owned)``: paths become owned Tracers."""
+    if trace is None:
+        return None, False
+    if isinstance(trace, (str, Path)):
+        from repro.obs import JsonlSink, Tracer
+
+        return Tracer(JsonlSink(trace)), True
+    return trace, False
 
 
 def load_results(store: StoreLike, scenario: ScenarioLike) -> List[Dict[str, Any]]:

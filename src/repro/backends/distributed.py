@@ -108,6 +108,7 @@ from repro.backends.wire import (
     ProtocolError,
     decode_blob,
     encode_blob,
+    fetch_worker_stats,
     parse_address,
     probe_worker,
     request,
@@ -119,6 +120,8 @@ from repro.experiments.executors import (
     run_collect_range,
     run_count_range,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.util.validation import check_positive_int
 
 #: Re-dispatch attempts allowed per span before the run is declared failed.
@@ -145,6 +148,36 @@ DEFAULT_BREAKER_COOLDOWN_MAX = 60.0
 #: registry, hosts file, pool respawns, cooldown expiries).  Span
 #: completion wakes the sweep early, so this adds no happy-path latency.
 DEFAULT_MEMBERSHIP_INTERVAL = 0.25
+
+#: Every fault/elasticity counter the backend keeps, registered at zero
+#: so :attr:`DistributedBackend.stats` always carries the full key set.
+STAT_NAMES = (
+    "spans_completed",
+    "spans_requeued",
+    "spans_split",
+    "worker_failures",
+    "workers_broken",
+    "workers_readmitted",
+    "workers_joined",
+    "workers_left",
+    "workers_respawned",
+    "heartbeat_probes",
+    "readmission_probes",
+)
+
+#: Counter → typed trace event: every fault/membership increment that
+#: deserves a timestamped point in the trace (probes and completions are
+#: volume, not incident — the span records already carry them).
+_STAT_EVENTS = {
+    "spans_requeued": "requeue",
+    "spans_split": "steal",
+    "worker_failures": "worker_failure",
+    "workers_broken": "breaker_trip",
+    "workers_readmitted": "readmit",
+    "workers_joined": "join",
+    "workers_left": "leave",
+    "workers_respawned": "respawn",
+}
 
 
 class WorkerLost(ConnectionError):
@@ -533,24 +566,44 @@ class DistributedBackend(TrialExecutor):
         self._workers: Optional[List[_Worker]] = None
         self._membership_lock = threading.Lock()
         self._payload: Optional[str] = None
-        self._stats_lock = threading.Lock()
-        self.stats: Dict[str, int] = {
-            "spans_completed": 0,
-            "spans_requeued": 0,
-            "spans_split": 0,
-            "worker_failures": 0,
-            "workers_broken": 0,
-            "workers_readmitted": 0,
-            "workers_joined": 0,
-            "workers_left": 0,
-            "workers_respawned": 0,
-            "heartbeat_probes": 0,
-            "readmission_probes": 0,
+        #: The numeric half of this backend's telemetry.  Fault counters
+        #: live under ``backend.*`` (pre-registered at zero so the
+        #: :attr:`stats` view always carries the full key set); worker
+        #: snapshots merge in under ``worker.<address>.*`` at close.
+        self.metrics = MetricsRegistry()
+        self._stat_counters = {
+            stat: self.metrics.counter(f"backend.{stat}")
+            for stat in STAT_NAMES
         }
+        #: Set by the sweep orchestrator so dispatch spans and
+        #: fault/membership events join the sweep's trace tree.  A pure
+        #: side channel: results are byte-identical with or without it.
+        self.tracer: Any = NULL_TRACER
+        #: Per-address registry snapshots fetched over the ``stats`` wire
+        #: op by the most recent :meth:`close`.
+        self.last_worker_stats: Dict[str, Dict[str, Any]] = {}
 
-    def _count(self, stat: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            self.stats[stat] += amount
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The fault/elasticity counters as a plain short-keyed dict.
+
+        A *view* over :attr:`metrics` (the ``backend.*`` counters with
+        the prefix stripped), so the dict consumers have always read —
+        ``stats["spans_requeued"]`` and friends — keeps working while
+        the registry remains the single source of truth.
+        """
+        return self.metrics.counter_values("backend.", strip=True)
+
+    def _count(self, stat: str, amount: int = 1, **attrs: Any) -> None:
+        """Bump one fault/elasticity counter, tracing it when typed.
+
+        ``attrs`` ride on the trace event only (worker address, span
+        bounds, ...) — the counter itself stays a bare int.
+        """
+        self._stat_counters[stat].inc(amount)
+        event = _STAT_EVENTS.get(stat)
+        if event is not None and self.tracer.enabled:
+            self.tracer.event(event, **attrs)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -603,6 +656,7 @@ class DistributedBackend(TrialExecutor):
         return self
 
     def close(self) -> None:
+        self._collect_worker_stats()
         self._record_observed_rates()
         if self._registry is not None:
             self._registry.stop()
@@ -688,6 +742,33 @@ class DistributedBackend(TrialExecutor):
 
         record_observed_rates("distributed", rates)
 
+    def _collect_worker_stats(self) -> None:
+        """Pull every live worker's telemetry and merge it into ours.
+
+        Runs at close, over fresh short-lived connections (the
+        persistent sockets may be mid-teardown), bounded by
+        ``ping_timeout`` per worker.  Failures — dead worker, a worker
+        predating the ``stats`` op — just skip that worker: telemetry
+        must never be able to fail a sweep that already finished.
+        """
+        with self._membership_lock:
+            workers = list(self._workers or ())
+        for worker in workers:
+            if worker.broken or worker.draining:
+                continue
+            snapshot = fetch_worker_stats(
+                worker.host, worker.port, timeout=self.ping_timeout
+            )
+            if snapshot is None:
+                continue
+            self.last_worker_stats[worker.address] = snapshot
+            self.metrics.merge(snapshot, prefix=f"worker.{worker.address}.")
+            if self.tracer.enabled:
+                counters = snapshot.get("counters") or {}
+                self.tracer.event(
+                    "worker_stats", worker=worker.address, **counters
+                )
+
     # -- membership --------------------------------------------------------
 
     def _admit_members(self, force: bool = False) -> None:
@@ -717,7 +798,11 @@ class DistributedBackend(TrialExecutor):
                         )
                         self._workers.append(worker)
                         by_address[new_address] = worker
-                        self._count("workers_respawned")
+                        self._count(
+                            "workers_respawned",
+                            worker=new_address,
+                            replaced=old_address,
+                        )
             if self._registry is not None:
                 registry_joined, registry_left = self._registry.poll()
                 joined += registry_joined
@@ -737,17 +822,19 @@ class DistributedBackend(TrialExecutor):
                         continue
                     self._workers.append(worker)
                     by_address[address] = worker
-                    self._count("workers_joined")
+                    self._count("workers_joined", worker=address)
                 elif worker.broken or worker.draining:
                     # A known address announcing again is a restart: treat
                     # it as the re-admission it is.
                     worker.readmit()
-                    self._count("workers_readmitted")
+                    self._count(
+                        "workers_readmitted", worker=address, via="announce"
+                    )
             for address in left:
                 worker = by_address.get(address)
                 if worker is not None and not worker.draining:
                     worker.draining = True
-                    self._count("workers_left")
+                    self._count("workers_left", worker=address)
             now = time.monotonic()
             for worker in self._workers:
                 if not worker.broken or worker.draining:
@@ -759,7 +846,11 @@ class DistributedBackend(TrialExecutor):
                 self._count("readmission_probes")
                 if worker.probe(self.ping_timeout):
                     worker.readmit()
-                    self._count("workers_readmitted")
+                    self._count(
+                        "workers_readmitted",
+                        worker=worker.address,
+                        via="probe",
+                    )
                 else:
                     worker.schedule_cooldown(
                         self.breaker_cooldown, self.breaker_cooldown_max
@@ -870,8 +961,14 @@ class DistributedBackend(TrialExecutor):
         )
         results: List[Tuple[int, Any]] = []
         results_lock = threading.Lock()
+        # Opened (and closed) by the controller thread; driver threads
+        # parent their per-span records on it explicitly, since they
+        # never see the controller's thread-local stack.
+        dispatch_context = self.tracer.span(
+            "backend.dispatch", mode=mode, start=start, stop=stop
+        )
 
-        def drive(worker: _Worker) -> None:
+        def drive(worker: _Worker, dispatch_span: Any) -> None:
             try:
                 while True:
                     item = source.get(worker)
@@ -879,34 +976,49 @@ class DistributedBackend(TrialExecutor):
                         return
                     low, high, attempts = item
                     try:
-                        try:
-                            self._ensure_ready(worker)
-                        except RuntimeError as error:
-                            # An ok:false reply to the task *load* is
-                            # worker-specific (version skew, a module
-                            # missing on that host) — the other workers
-                            # may load it fine, so strike this one
-                            # rather than abort the dispatch.
-                            raise WorkerLost(
-                                f"worker {worker.address} cannot load the "
-                                f"task: {error}"
-                            ) from error
-                        began = time.monotonic()
-                        reply = self._worker_request(
-                            worker,
-                            {
-                                "op": "run",
-                                "mode": mode,
-                                "start": low,
-                                "stop": high,
-                            },
-                        )
+                        with self.tracer.span(
+                            "backend.span",
+                            parent=dispatch_span,
+                            worker=worker.address,
+                            mode=mode,
+                            low=low,
+                            high=high,
+                            attempt=attempts,
+                        ):
+                            try:
+                                self._ensure_ready(worker)
+                            except RuntimeError as error:
+                                # An ok:false reply to the task *load* is
+                                # worker-specific (version skew, a module
+                                # missing on that host) — the other workers
+                                # may load it fine, so strike this one
+                                # rather than abort the dispatch.
+                                raise WorkerLost(
+                                    f"worker {worker.address} cannot load the "
+                                    f"task: {error}"
+                                ) from error
+                            began = time.monotonic()
+                            reply = self._worker_request(
+                                worker,
+                                {
+                                    "op": "run",
+                                    "mode": mode,
+                                    "start": low,
+                                    "stop": high,
+                                },
+                            )
                     except (ConnectionError, OSError) as error:
                         # Transport failure: strike the worker, requeue
                         # the span for whoever is still alive.
                         worker.drop_connection()
                         worker.strikes += 1
-                        self._count("worker_failures")
+                        self._count(
+                            "worker_failures",
+                            worker=worker.address,
+                            low=low,
+                            high=high,
+                            error=type(error).__name__,
+                        )
                         if (
                             worker.strikes >= self.breaker_threshold
                             and not worker.broken
@@ -915,7 +1027,11 @@ class DistributedBackend(TrialExecutor):
                                 self.breaker_cooldown,
                                 self.breaker_cooldown_max,
                             )
-                            self._count("workers_broken")
+                            self._count(
+                                "workers_broken",
+                                worker=worker.address,
+                                trips=worker.breaker_trips,
+                            )
                         if attempts + 1 >= self.span_retries:
                             source.abort(
                                 NoWorkersLeft(
@@ -926,7 +1042,13 @@ class DistributedBackend(TrialExecutor):
                             )
                             return
                         source.requeue(low, high, attempts + 1)
-                        self._count("spans_requeued")
+                        self._count(
+                            "spans_requeued",
+                            worker=worker.address,
+                            low=low,
+                            high=high,
+                            attempt=attempts + 1,
+                        )
                         if worker.broken:
                             return
                         continue
@@ -952,64 +1074,66 @@ class DistributedBackend(TrialExecutor):
             finally:
                 source.driver_exited()
 
-        threads: Dict[str, threading.Thread] = {}
-        all_threads: List[threading.Thread] = []
+        with dispatch_context as dispatch_span:
+            threads: Dict[str, threading.Thread] = {}
+            all_threads: List[threading.Thread] = []
 
-        def spawn_drivers() -> bool:
-            spawned = False
-            for worker in self._dispatchable_workers():
-                existing = threads.get(worker.address)
-                if existing is not None and existing.is_alive():
-                    continue
-                source.add_driver()
-                thread = threading.Thread(
-                    target=drive,
-                    args=(worker,),
-                    name=f"repro-dispatch-{worker.address}",
-                    daemon=True,
-                )
-                threads[worker.address] = thread
-                all_threads.append(thread)
-                thread.start()
-                spawned = True
-            return spawned
+            def spawn_drivers() -> bool:
+                spawned = False
+                for worker in self._dispatchable_workers():
+                    existing = threads.get(worker.address)
+                    if existing is not None and existing.is_alive():
+                        continue
+                    source.add_driver()
+                    thread = threading.Thread(
+                        target=drive,
+                        args=(worker, dispatch_span),
+                        name=f"repro-dispatch-{worker.address}",
+                        daemon=True,
+                    )
+                    threads[worker.address] = thread
+                    all_threads.append(thread)
+                    thread.start()
+                    spawned = True
+                return spawned
 
-        spawn_drivers()
-        if source.drivers == 0:
-            # Nobody to even begin with: give the elastic paths one shot
-            # (cooldown overridden) before refusing the dispatch.
-            self._admit_members(force=True)
-            if not spawn_drivers():
-                raise NoWorkersLeft(
-                    "every worker is dead or circuit-broken; restart "
-                    "workers (or join replacements via --announce) and "
-                    "retry — completed sweep points are in the store "
-                    "(`repro sweep resume` recomputes nothing)"
-                )
-        while not source.settled:
-            self._admit_members()
             spawn_drivers()
-            if source.drivers == 0 and not source.settled:
-                # Every driver is gone with spans still pending.  Last
-                # resort: probe even cooling-down breakers, adopt any
-                # late joiner, then concede.
+            if source.drivers == 0:
+                # Nobody to even begin with: give the elastic paths one shot
+                # (cooldown overridden) before refusing the dispatch.
                 self._admit_members(force=True)
+                if not spawn_drivers():
+                    raise NoWorkersLeft(
+                        "every worker is dead or circuit-broken; restart "
+                        "workers (or join replacements via --announce) and "
+                        "retry — completed sweep points are in the store "
+                        "(`repro sweep resume` recomputes nothing)"
+                    )
+            while not source.settled:
+                self._admit_members()
                 spawn_drivers()
                 if source.drivers == 0 and not source.settled:
-                    source.abort(
-                        NoWorkersLeft(
-                            "span(s) still pending but every worker is "
-                            "dead or circuit-broken (and no replacement "
-                            "joined)"
+                    # Every driver is gone with spans still pending.  Last
+                    # resort: probe even cooling-down breakers, adopt any
+                    # late joiner, then concede.
+                    self._admit_members(force=True)
+                    spawn_drivers()
+                    if source.drivers == 0 and not source.settled:
+                        source.abort(
+                            NoWorkersLeft(
+                                "span(s) still pending but every worker is "
+                                "dead or circuit-broken (and no replacement "
+                                "joined)"
+                            )
                         )
-                    )
-                    break
-            source.wait(self.membership_interval)
-        for thread in all_threads:
-            thread.join()
-        error = source.error
-        if error is not None:
-            raise error
+                        break
+                source.wait(self.membership_interval)
+            for thread in all_threads:
+                thread.join()
+            error = source.error
+            if error is not None:
+                raise error
+            dispatch_span.set_attr("spans", len(results))
         results.sort(key=lambda pair: pair[0])
         return [reply for _, reply in results]
 

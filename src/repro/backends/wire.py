@@ -17,7 +17,15 @@ op          request fields                                  reply
 ``run``     ``mode`` ∈ {counts, batches, collect},          ``counts`` (list of
             ``start``, ``stop`` (half-open span)            int) or ``values``
                                                             (base64 pickle)
+``stats``   —                                               ``stats`` (a metrics
+                                                            registry snapshot —
+                                                            op counts, per-mode
+                                                            service times)
 ========== =============================================== =======================
+
+``stats`` is additive — a version-1 worker that predates it replies
+``ok: false``, which :func:`fetch_worker_stats` folds into ``None`` —
+so the protocol version stays at 1.
 
 Every reply carries ``ok``; failures carry ``ok: false`` plus ``error``.
 Workers compute spans with the exact same range functions the local
@@ -252,3 +260,24 @@ def probe_worker(host: str, port: int, timeout: float = 2.0) -> bool:
             return bool(request(sock, {"op": "ping"}).get("ok"))
     except (OSError, ProtocolError, RuntimeError):
         return False
+
+
+def fetch_worker_stats(
+    host: str, port: int, timeout: float = 2.0
+) -> Optional[Dict[str, Any]]:
+    """Fetch one worker's telemetry snapshot (the ``stats`` op).
+
+    Same fresh-connection discipline as :func:`probe_worker`: telemetry
+    collection happens at sweep close, when the persistent connection may
+    already be torn down or wedged — and it must never be able to wedge
+    the close.  ``None`` on any failure (unreachable, pre-``stats``
+    worker, malformed reply); telemetry is a side channel, so callers
+    treat ``None`` as "nothing to merge", never as an error.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            snapshot = request(sock, {"op": "stats"}).get("stats")
+    except (OSError, ProtocolError, RuntimeError):
+        return None
+    return snapshot if isinstance(snapshot, dict) else None

@@ -61,8 +61,13 @@ from repro.experiments.executors import (
     run_collect_range,
     run_count_range,
 )
+from repro.obs.metrics import MetricsRegistry
 
 _RUN_MODES = ("counts", "batches", "collect")
+
+#: Ops counted under their own name; anything else lands in
+#: ``ops.unknown`` so a misbehaving client cannot mint metric names.
+_COUNTED_OPS = ("hello", "ping", "task", "run", "stats")
 
 #: How long a ``hang`` fault holds its wedged connection open when the
 #: spec does not say (long enough that only liveness probing detects it).
@@ -96,6 +101,10 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
             if message is None:
                 return
             op = message.get("op")
+            metrics = self.server.metrics
+            metrics.counter(
+                f"ops.{op if op in _COUNTED_OPS else 'unknown'}"
+            ).inc()
             try:
                 if op == "hello":
                     reply: Dict[str, Any] = {
@@ -109,6 +118,8 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                 elif op == "task":
                     task = decode_blob(message["task"])
                     reply = {"ok": True}
+                elif op == "stats":
+                    reply = {"ok": True, "stats": metrics.snapshot()}
                 elif op == "run":
                     fault = self.server.take_fault()
                     if fault is not None and fault.kind != "slow":
@@ -130,16 +141,21 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                         raise RuntimeError(
                             "no task loaded on this connection (send op=task first)"
                         )
-                    reply = _execute_span(
-                        task,
-                        message.get("mode", ""),
-                        int(message["start"]),
-                        int(message["stop"]),
+                    mode = message.get("mode", "")
+                    start, stop = int(message["start"]), int(message["stop"])
+                    began = time.perf_counter()
+                    reply = _execute_span(task, mode, start, stop)
+                    # Only successful spans record service time — mode is
+                    # validated by now, so the metric name is well-formed.
+                    metrics.histogram(f"service_seconds.{mode}").observe(
+                        time.perf_counter() - began
                     )
+                    metrics.counter(f"units.{mode}").inc(max(0, stop - start))
                 else:
                     raise ValueError(f"unknown op {op!r}")
             except Exception as error:  # noqa: BLE001 - reply, don't die
                 self.server.record_failure()
+                metrics.counter("errors").inc()
                 reply = {
                     "ok": False,
                     "error": f"{type(error).__name__}: {error}",
@@ -175,6 +191,10 @@ class WorkerServer(socketserver.ThreadingTCPServer):
     ) -> None:
         super().__init__((host, port), _WorkerHandler)
         self._thread: Optional[threading.Thread] = None
+        #: Worker-side telemetry: op counts, per-mode service-time
+        #: histograms, units executed.  Served whole by the ``stats`` op
+        #: and merged into the driver's registry at sweep close.
+        self.metrics = MetricsRegistry()
         self._failures = 0
         self._failures_lock = threading.Lock()
         self._injector = FaultInjector(fault) if fault is not None else None

@@ -8,7 +8,10 @@ Installed as the ``repro`` console script::
     repro scenarios list
     repro scenarios show fig7
     repro sweep run fig7 --jobs 4 --store .repro-store
+    repro sweep run fig7 --trace fig7.jsonl
     repro sweep resume fig7 --jobs 4 --store .repro-store
+    repro trace summary fig7.jsonl
+    repro trace validate fig7.jsonl
     repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
     repro sweep run fig7 --backend distributed --pool 4
     repro sweep run fig7 --backend distributed --pool 2 --announce-bind 127.0.0.1:7171
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 #: The built-in backends, for ``--help`` readability only — the registry
@@ -97,6 +101,15 @@ def _add_backend_arguments(parser, sweep: bool) -> None:
         help="with --backend distributed --workers @FILE: re-read the "
         "host-list file while the sweep runs, joining added workers and "
         "draining removed ones",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.jsonl",
+        help="record a JSONL trace (span tree + typed events) to this "
+        "file; a pure side channel — results and store records are "
+        "byte-identical with or without it (inspect with `repro trace "
+        "summary`)",
     )
 
 
@@ -191,6 +204,49 @@ def _backend_from_args(args, sweep: bool):
         )
     except ValueError as error:  # unknown backend name: a clean CLI error
         raise SystemExit(str(error)) from None
+
+
+def _open_tracer(args):
+    """Build a Tracer from ``--trace`` (or ``None`` without the flag).
+
+    A trace file that cannot even be opened degrades to a warning — the
+    side-channel contract starts here, not just at emit time.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.obs import JsonlSink, Tracer
+
+    try:
+        sink = JsonlSink(path)
+    except OSError as error:
+        print(
+            f"warning: cannot open trace file {path} "
+            f"({type(error).__name__}: {error}); tracing disabled — "
+            f"results are unaffected",
+            file=sys.stderr,
+            flush=True,
+        )
+        return None
+    return Tracer(sink)
+
+
+def _finish_trace(tracer, path) -> None:
+    """Close the tracer (publishing the file) and report where it went."""
+    if tracer is None:
+        return
+    broken_before_close = tracer.sink_broken
+    tracer.close()
+    if not tracer.sink_broken:
+        print(f"trace written: {path}", flush=True)
+    elif not broken_before_close:
+        pass  # close itself warned; nothing more to say
+    else:
+        print(
+            f"trace incomplete (sink failed mid-run): {path}",
+            file=sys.stderr,
+            flush=True,
+        )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -436,6 +492,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "if any, is rewritten so watchers pick up the new members)",
     )
 
+    trace = subparsers.add_parser(
+        "trace", help="inspect recorded JSONL traces (the --trace output)"
+    )
+    trace_actions = trace.add_subparsers(dest="action", required=True)
+    trace_summary = trace_actions.add_parser(
+        "summary",
+        help="render wall-clock per phase, per-worker span counts and "
+        "utilization, the fault/membership timeline, and per-point CI "
+        "half-width progression",
+    )
+    trace_summary.add_argument("file", help="trace file written by --trace")
+    trace_validate = trace_actions.add_parser(
+        "validate",
+        help="check every line against the trace event schema "
+        "(exit 1 with the first field-level violation)",
+    )
+    trace_validate.add_argument("file", help="trace file written by --trace")
+
     backends = subparsers.add_parser(
         "backends", help="inspect the execution-backend registry"
     )
@@ -517,9 +591,17 @@ def _command_figures(args) -> int:
     backend = get_backend(
         _backend_from_args(args, sweep=False), jobs=args.jobs, sweep=False
     )
-    with backend:
-        engine = TrialEngine(executor=backend, tolerance=args.tolerance)
-        return _render_figure(args, engine)
+    tracer = _open_tracer(args)
+    if tracer is not None and hasattr(backend, "tracer"):
+        backend.tracer = tracer
+    try:
+        with backend:
+            engine = TrialEngine(
+                executor=backend, tolerance=args.tolerance, tracer=tracer
+            )
+            return _render_figure(args, engine)
+    finally:
+        _finish_trace(tracer, getattr(args, "trace", None))
 
 
 def _render_figure(args, engine) -> int:
@@ -669,35 +751,56 @@ def _command_sweep(args) -> int:
             f"nothing to resume: no cached points for {spec.name!r} in "
             f"{args.store} (starting fresh)"
         )
+    tracer = _open_tracer(args)
     orchestrator = SweepOrchestrator(
         store=store,
         jobs=args.jobs,
         backend=_backend_from_args(args, sweep=True),
         tolerance=args.tolerance,
         batch_size=args.batch_size,
+        tracer=tracer,
     )
     total = spec.point_count
+    sweep_began = time.perf_counter()
+    # The previous point's finish time, so each line reports *its* cost.
+    last_mark = [sweep_began]
 
     def progress(point, record, from_cache):
+        now = time.perf_counter()
+        elapsed = now - last_mark[0]
+        last_mark[0] = now
         status = "cached" if from_cache else "computed"
         trials_run = record["result"].get("trials_run", 0)
-        detail = "" if from_cache else f" ({trials_run} trials)"
+        if from_cache:
+            detail = ""
+        else:
+            rate = trials_run / elapsed if elapsed > 1e-9 else 0.0
+            detail = f" ({trials_run} trials, {rate:.0f}/s)"
+        # flush: a piped `repro sweep run | tee` must stream per point,
+        # not dump everything when the block buffer finally fills.
         print(
             f"  [{point.index + 1}/{total}] {record['point'] or spec.fixed} "
-            f"{status}{detail}"
+            f"{status}{detail} [{elapsed:.2f}s]",
+            flush=True,
         )
 
-    report = orchestrator.run(
-        spec,
-        trials=args.trials,
-        force=getattr(args, "force", False),
-        progress=progress,
-    )
+    try:
+        report = orchestrator.run(
+            spec,
+            trials=args.trials,
+            force=getattr(args, "force", False),
+            progress=progress,
+        )
+    finally:
+        _finish_trace(tracer, getattr(args, "trace", None))
+    wall = time.perf_counter() - sweep_began
     print(
         f"{spec.name}: {report.points} points — {report.computed} computed, "
         f"{report.cached} cached, {report.trials_run} new trials; "
-        f"store: {args.store}"
+        f"store: {args.store}",
+        flush=True,
     )
+    print(f"total wall-clock: {wall:.2f}s", flush=True)
     if report.backend_stats:
         # One greppable line for operators and the CI chaos job:
         # requeues, breaker trips, re-admissions, mid-sweep joins.
@@ -842,6 +945,40 @@ def _worker_pool(args) -> int:
         signal.signal(signal.SIGTERM, previous_handler)
 
 
+def _command_trace(args) -> int:
+    from repro.obs import (
+        TraceSchemaError,
+        format_trace_summary,
+        iter_trace,
+        summarize_trace,
+    )
+
+    if args.action == "validate":
+        count = 0
+        try:
+            for _line_number, _record in iter_trace(args.file):
+                count += 1
+        except OSError as error:
+            print(f"cannot read trace: {error}")
+            return 1
+        except TraceSchemaError as error:
+            print(f"invalid trace: {error}")
+            return 1
+        print(f"{args.file}: {count} record(s), schema OK")
+        return 0
+
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as error:
+        print(f"cannot read trace: {error}")
+        return 1
+    except TraceSchemaError as error:
+        print(f"invalid trace: {error}")
+        return 1
+    print(format_trace_summary(summary, args.file))
+    return 0
+
+
 def _command_backends(args) -> int:
     from repro.backends import list_backends
 
@@ -912,6 +1049,7 @@ _COMMANDS = {
     "scenarios": _command_scenarios,
     "sweep": _command_sweep,
     "worker": _command_worker,
+    "trace": _command_trace,
     "backends": _command_backends,
     "cost": _command_cost,
     "demo": _command_demo,

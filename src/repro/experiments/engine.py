@@ -51,6 +51,7 @@ from repro.experiments.executors import (
     TrialTask,
     make_executor,
 )
+from repro.obs.trace import coerce_tracer
 from repro.util.stats import sample_proportion_ci, wilson_proportion_ci
 from repro.util.validation import check_positive, check_positive_int
 
@@ -172,6 +173,14 @@ class TrialEngine:
         The interval the *estimates report*: ``"normal"`` (the historical
         interval) or ``"wilson"``.  The stopping rule itself always uses
         Wilson, which keeps honest width at 0 or ``n`` successes.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` recording this engine's runs
+        as ``engine`` spans (one per :meth:`run`/:meth:`run_batched`/
+        :meth:`map`), each wrapping ``backend.call`` spans around every
+        executor dispatch and emitting ``ci_check`` events at stopping
+        checkpoints — the per-point CI-width progression in a sweep
+        trace.  ``None`` (default) traces nothing; tracing is a pure
+        side channel and never changes results.
     """
 
     def __init__(
@@ -184,6 +193,7 @@ class TrialEngine:
         checkpoint_batches: int = DEFAULT_CHECKPOINT_BATCHES,
         ci_method: str = "normal",
         backend: Any = None,
+        tracer: Any = None,
     ) -> None:
         if executor is not None:
             self.executor = executor
@@ -206,6 +216,7 @@ class TrialEngine:
                 f"ci_method must be one of {sorted(_CI_METHODS)}, got {ci_method!r}"
             )
         self.ci_method = ci_method
+        self.tracer = coerce_tracer(tracer)
 
     # -- aggregation (the single CI-construction path) ---------------------
 
@@ -245,6 +256,28 @@ class TrialEngine:
             stopped_early=done < requested,
         )
 
+    def _trace_ci_check(self, span, counts: Sequence[int], done: int) -> None:
+        """Emit one ``ci_check`` event: the Wilson widths at a checkpoint.
+
+        Guarded on ``tracer.enabled`` so untraced runs never compute the
+        extra intervals — tracing must stay a pure side channel in cost
+        as well as in results.
+        """
+        if not self.tracer.enabled or done <= 0:
+            return
+        widths = [
+            (high - low) / 2.0
+            for _, low, high in (
+                wilson_proportion_ci(successes, done) for successes in counts
+            )
+        ]
+        span.event(
+            "ci_check",
+            trials_done=done,
+            max_half_width=max(widths),
+            half_widths=widths,
+        )
+
     # -- scalar trial mode -------------------------------------------------
 
     def run(
@@ -268,22 +301,34 @@ class TrialEngine:
         task = TrialTask(seed=seed, label=label, channels=channels, trial=trial)
         counts = [0] * channels
         done = 0
-        self.executor.start(task)
-        try:
-            while done < trials:
-                if self.tolerance is None:
-                    stop = trials
-                else:
-                    stop = min(done + self.check_interval, trials)
-                for channel, value in enumerate(
-                    self.executor.run_counts(task, done, stop)
-                ):
-                    counts[channel] += value
-                done = stop
-                if self._within_tolerance(counts, done):
-                    break
-        finally:
-            self.executor.finish()
+        with self.tracer.span(
+            "engine", mode="counts", label=label, trials=trials, seed=seed
+        ) as span:
+            self.executor.start(task)
+            try:
+                while done < trials:
+                    if self.tolerance is None:
+                        stop = trials
+                    else:
+                        stop = min(done + self.check_interval, trials)
+                    with self.tracer.span(
+                        "backend.call",
+                        mode="counts",
+                        low=done,
+                        high=stop,
+                        executor=type(self.executor).__name__,
+                    ):
+                        chunk = self.executor.run_counts(task, done, stop)
+                    for channel, value in enumerate(chunk):
+                        counts[channel] += value
+                    done = stop
+                    self._trace_ci_check(span, counts, done)
+                    if self._within_tolerance(counts, done):
+                        break
+            finally:
+                self.executor.finish()
+            span.set_attr("trials_run", done)
+            span.set_attr("stopped_early", done < trials)
         return self._result(counts, done, trials)
 
     def estimate(
@@ -349,29 +394,46 @@ class TrialEngine:
         counts = [0] * channels
         done = 0
         next_batch = 0
-        self.executor.start(task)
-        try:
-            while next_batch < total_batches:
-                if self.tolerance is None:
-                    last = total_batches
-                else:
-                    # Dispatch a fixed-size group of batches per checkpoint:
-                    # enough for a pool to chew on in parallel, while the
-                    # stopping decision stays a function of configuration
-                    # alone (never of the executor).
-                    last = min(
-                        next_batch + self.checkpoint_batches, total_batches
-                    )
-                for channel, value in enumerate(
-                    self.executor.run_batches(task, next_batch, last)
-                ):
-                    counts[channel] += value
-                done = min(last * batch_size, trials)
-                next_batch = last
-                if self._within_tolerance(counts, done):
-                    break
-        finally:
-            self.executor.finish()
+        with self.tracer.span(
+            "engine",
+            mode="batches",
+            label=label,
+            trials=trials,
+            seed=seed,
+            batch_size=batch_size,
+        ) as span:
+            self.executor.start(task)
+            try:
+                while next_batch < total_batches:
+                    if self.tolerance is None:
+                        last = total_batches
+                    else:
+                        # Dispatch a fixed-size group of batches per checkpoint:
+                        # enough for a pool to chew on in parallel, while the
+                        # stopping decision stays a function of configuration
+                        # alone (never of the executor).
+                        last = min(
+                            next_batch + self.checkpoint_batches, total_batches
+                        )
+                    with self.tracer.span(
+                        "backend.call",
+                        mode="batches",
+                        low=next_batch,
+                        high=last,
+                        executor=type(self.executor).__name__,
+                    ):
+                        chunk = self.executor.run_batches(task, next_batch, last)
+                    for channel, value in enumerate(chunk):
+                        counts[channel] += value
+                    done = min(last * batch_size, trials)
+                    next_batch = last
+                    self._trace_ci_check(span, counts, done)
+                    if self._within_tolerance(counts, done):
+                        break
+            finally:
+                self.executor.finish()
+            span.set_attr("trials_run", done)
+            span.set_attr("stopped_early", done < trials)
         return self._result(counts, done, trials)
 
     # -- collect mode ------------------------------------------------------
@@ -394,8 +456,18 @@ class TrialEngine:
         if trials == 0:
             return []
         task = TrialTask(seed=seed, label=label, indexed_trial=trial)
-        self.executor.start(task)
-        try:
-            return self.executor.run_collect(task, 0, trials)
-        finally:
-            self.executor.finish()
+        with self.tracer.span(
+            "engine", mode="collect", label=label, trials=trials, seed=seed
+        ):
+            self.executor.start(task)
+            try:
+                with self.tracer.span(
+                    "backend.call",
+                    mode="collect",
+                    low=0,
+                    high=trials,
+                    executor=type(self.executor).__name__,
+                ):
+                    return self.executor.run_collect(task, 0, trials)
+            finally:
+                self.executor.finish()

@@ -1,0 +1,225 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` is the numeric half of the observability
+spine (:mod:`repro.obs`): subsystems register instruments by dotted name
+and bump them from any thread; :meth:`MetricsRegistry.snapshot` renders
+the whole registry as a JSON-safe dict, and :meth:`MetricsRegistry.merge`
+folds another snapshot back in — which is how the distributed backend
+absorbs worker-side telemetry (the ``stats`` wire op) into the driver's
+registry under a ``worker.<address>.`` prefix.
+
+**Naming convention.**  Dotted lowercase paths, most-general first:
+``backend.spans_completed``, ``worker.127.0.0.1:7070.ops.run``,
+``engine.ci_checks``.  Counters count events (monotonic ints), gauges
+hold a last-written value, histograms summarise observations
+(count/sum/min/max — enough for service-time accounting without bucket
+configuration).
+
+Everything is thread-safe behind one registry lock; instruments are
+cheap handles, so hot paths should hold onto the instrument rather than
+re-looking it up by name per increment.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += int(amount)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins float."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A count/sum/min/max summary of observations.
+
+    Deliberately bucket-free: the consumers here want service-time totals
+    and extremes (mean = sum/count), not quantile estimation, and
+    bucket-free summaries merge exactly.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    def _merge_summary(self, summary: Mapping[str, Any]) -> None:
+        with self._lock:
+            count = int(summary.get("count", 0))
+            if count <= 0:
+                return
+            self.count += count
+            self.sum += float(summary.get("sum", 0.0))
+            for bound, pick in (("min", min), ("max", max)):
+                other = summary.get(bound)
+                if other is None:
+                    continue
+                current = getattr(self, bound)
+                setattr(
+                    self,
+                    bound,
+                    float(other) if current is None else pick(
+                        current, float(other)
+                    ),
+                )
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+            }
+
+    @property
+    def mean(self) -> Optional[float]:
+        with self._lock:
+            return self.sum / self.count if self.count else None
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create (a name is one
+    instrument forever; asking for it under a different type raises),
+    ``snapshot``/``merge`` are the serialisation pair, and
+    ``counter_values(prefix)`` is the dict view ``backend.stats`` is
+    built on.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, table: Dict[str, Any], name: str, factory) -> Any:
+        if not name or not isinstance(name, str):
+            raise ValueError(f"metric name must be a non-empty str, got {name!r}")
+        with self._lock:
+            instrument = table.get(name)
+            if instrument is None:
+                for other in (self._counters, self._gauges, self._histograms):
+                    if other is not table and name in other:
+                        raise ValueError(
+                            f"metric {name!r} already registered as a "
+                            f"different instrument type"
+                        )
+                instrument = factory(name, self._lock)
+                table[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    # -- views ---------------------------------------------------------------
+
+    def counter_values(self, prefix: str = "", strip: bool = False) -> Dict[str, int]:
+        """Counter name → value for counters under ``prefix``.
+
+        ``strip=True`` removes the prefix from the returned keys — how
+        ``DistributedBackend.stats`` stays the short-keyed dict every
+        existing consumer (tests, the CLI stats line) reads.
+        """
+        with self._lock:
+            return {
+                (name[len(prefix):] if strip else name): counter._value
+                for name, counter in sorted(self._counters.items())
+                if name.startswith(prefix)
+            }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole registry as one JSON-safe, mergeable dict."""
+        with self._lock:
+            counters = {
+                name: counter._value
+                for name, counter in sorted(self._counters.items())
+            }
+            gauges = {
+                name: gauge._value
+                for name, gauge in sorted(self._gauges.items())
+            }
+            histogram_items = sorted(self._histograms.items())
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                name: histogram.summary() for name, histogram in histogram_items
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any], prefix: str = "") -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters add, histograms merge their summaries exactly, gauges
+        take the snapshot's value (last write wins).  ``prefix`` is
+        prepended to every incoming name — merging a worker's registry
+        under ``worker.<address>.`` keeps fleets' metrics separable.
+        Unknown shapes are ignored rather than raised on: a newer worker
+        may ship instrument kinds an older driver does not know.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            if isinstance(value, int) and not isinstance(value, bool):
+                self.counter(prefix + name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.gauge(prefix + name).set(value)
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            if isinstance(summary, Mapping):
+                self.histogram(prefix + name)._merge_summary(summary)

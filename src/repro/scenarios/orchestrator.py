@@ -30,6 +30,7 @@ from repro.backends import get as get_backend
 from repro.backends.base import BackendSpec
 from repro.experiments.engine import TrialEngine
 from repro.experiments.executors import TrialExecutor
+from repro.obs.trace import NULL_TRACER, coerce_tracer
 from repro.scenarios.runners import get_runner
 from repro.scenarios.spec import ScenarioSpec, SweepPoint
 from repro.scenarios.store import STORE_GENERATION, ResultStore, point_cache_key
@@ -112,6 +113,15 @@ class SweepOrchestrator:
         sharing a ``batch_size`` share store entries, runs differing in
         it never collide.  What the chaos harness uses to carve the
         smoke sweep into enough spans to kill a worker mid-point.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer`: each :meth:`run` records a
+        ``sweep`` span wrapping one ``point`` span per grid point
+        (cached points carry a ``cache_hit`` event; computed ones nest
+        the engine's spans), hands the tracer to the per-point engines,
+        and — when the resolved backend accepts one — to the backend
+        itself, so distributed dispatch detail lands in the same tree.
+        Tracing is a pure side channel: results, store records, and
+        cache keys are byte-identical with it on, off, or failing.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class SweepOrchestrator:
         tolerance: Optional[float] = None,
         tolerance_fn: Optional[ToleranceFn] = None,
         batch_size: Optional[int] = None,
+        tracer: Any = None,
     ) -> None:
         self.store = store
         self.jobs = None if jobs is None else check_positive_int(jobs, "jobs")
@@ -135,6 +146,11 @@ class SweepOrchestrator:
             if batch_size is None
             else check_positive_int(batch_size, "batch_size")
         )
+        self.tracer = coerce_tracer(tracer)
+        #: The most recent run's backend-stats snapshot — taken in a
+        #: ``finally``, so it survives (and gets traced) even when the
+        #: backend dies mid-run and no :class:`SweepReport` is returned.
+        self.last_backend_stats: Optional[Dict[str, int]] = None
 
     def _backend_for(self, spec: ScenarioSpec) -> TrialExecutor:
         """Resolve one run's backend: executor > backend > spec > jobs."""
@@ -180,62 +196,110 @@ class SweepOrchestrator:
         records: List[Dict[str, Any]] = []
         computed = cached = 0
         executor = self._backend_for(spec)
-        with executor:
-            for point in points:
-                tolerance = self.point_tolerance(spec, point)
-                key = point_cache_key(
-                    spec, point.values, trials=effective_trials, tolerance=tolerance
-                )
-                if self.store is not None and not force and self.store.has(
-                    spec.name, key
-                ):
-                    record = self.store.load(spec.name, key)
-                    record["from_cache"] = True
-                    records.append(record)
-                    cached += 1
-                    if progress is not None:
-                        progress(point, record, True)
-                    continue
-                engine = TrialEngine(
-                    executor=executor,
-                    tolerance=tolerance,
-                    min_trials=spec.engine.min_trials,
-                    check_interval=spec.engine.check_interval,
-                    checkpoint_batches=spec.engine.checkpoint_batches,
-                    ci_method=spec.engine.ci_method,
-                )
-                result = runner(
-                    point.params(spec),
-                    effective_trials,
-                    spec.seed,
-                    engine,
-                    spec.engine.batch_size,
-                )
-                record = {
-                    "key": key,
-                    "scenario": spec.name,
-                    "kind": spec.kind,
-                    "point": dict(point.values),
-                    "params": point.params(spec),
-                    "trials": effective_trials,
-                    "seed": spec.seed,
-                    "tolerance": tolerance,
-                    "result": result,
-                    # Stamped here as well as in save() so a report's
-                    # record shape never depends on cache state (cached
-                    # records come back from disk with their stamp).
-                    "store_generation": STORE_GENERATION,
-                }
-                if self.store is not None:
-                    self.store.save(spec.name, key, record)
-                records.append(record)
-                computed += 1
-                if progress is not None:
-                    progress(point, record, False)
-            # Snapshot inside the with-block: close() may tear down the
-            # very state (workers, pool) the stats describe.
-            stats = getattr(executor, "stats", None)
-            backend_stats = dict(stats) if isinstance(stats, dict) else None
+        if self.tracer is not NULL_TRACER and hasattr(executor, "tracer"):
+            # Backends that trace their own dispatch (distributed spans,
+            # membership events) join the sweep's tree.
+            executor.tracer = self.tracer
+        with self.tracer.span(
+            "sweep",
+            scenario=spec.name,
+            kind=spec.kind,
+            points=len(points),
+            trials=effective_trials,
+            backend=type(executor).__name__,
+        ) as sweep_span:
+            with executor:
+                try:
+                    for point in points:
+                        tolerance = self.point_tolerance(spec, point)
+                        key = point_cache_key(
+                            spec,
+                            point.values,
+                            trials=effective_trials,
+                            tolerance=tolerance,
+                        )
+                        label = (
+                            " ".join(
+                                f"{name}={value}"
+                                for name, value in point.values.items()
+                            )
+                            or spec.name
+                        )
+                        with self.tracer.span(
+                            "point", index=point.index, label=label, key=key
+                        ) as point_span:
+                            if (
+                                self.store is not None
+                                and not force
+                                and self.store.has(spec.name, key)
+                            ):
+                                record = self.store.load(spec.name, key)
+                                record["from_cache"] = True
+                                records.append(record)
+                                cached += 1
+                                point_span.set_attr("cached", True)
+                                point_span.event("cache_hit", key=key)
+                                if progress is not None:
+                                    progress(point, record, True)
+                                continue
+                            engine = TrialEngine(
+                                executor=executor,
+                                tolerance=tolerance,
+                                min_trials=spec.engine.min_trials,
+                                check_interval=spec.engine.check_interval,
+                                checkpoint_batches=spec.engine.checkpoint_batches,
+                                ci_method=spec.engine.ci_method,
+                                tracer=self.tracer,
+                            )
+                            result = runner(
+                                point.params(spec),
+                                effective_trials,
+                                spec.seed,
+                                engine,
+                                spec.engine.batch_size,
+                            )
+                            record = {
+                                "key": key,
+                                "scenario": spec.name,
+                                "kind": spec.kind,
+                                "point": dict(point.values),
+                                "params": point.params(spec),
+                                "trials": effective_trials,
+                                "seed": spec.seed,
+                                "tolerance": tolerance,
+                                "result": result,
+                                # Stamped here as well as in save() so a report's
+                                # record shape never depends on cache state (cached
+                                # records come back from disk with their stamp).
+                                "store_generation": STORE_GENERATION,
+                            }
+                            if self.store is not None:
+                                self.store.save(spec.name, key, record)
+                            records.append(record)
+                            computed += 1
+                            point_span.set_attr(
+                                "trials_run", result.get("trials_run", 0)
+                                if isinstance(result, dict)
+                                else 0,
+                            )
+                            if progress is not None:
+                                progress(point, record, False)
+                finally:
+                    # Snapshot in a finally, *inside* the with-block: a
+                    # backend that dies mid-run (or mid-finish) must not
+                    # take its counters down with it — partial-run stats
+                    # survive for callers and land in the trace — and
+                    # close() may tear down the very state (workers,
+                    # pool) the stats describe.
+                    stats = getattr(executor, "stats", None)
+                    backend_stats = (
+                        dict(stats) if isinstance(stats, dict) else None
+                    )
+                    self.last_backend_stats = backend_stats
+                    if backend_stats:
+                        self.tracer.event(
+                            "backend_stats", span=sweep_span, **backend_stats
+                        )
         return SweepReport(
             spec=spec,
             records=tuple(records),

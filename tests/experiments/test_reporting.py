@@ -1,0 +1,136 @@
+"""Direct unit tests for the sweep-table formatters.
+
+``sweep_series``/``format_sweep_table`` were previously exercised only
+through the CLI; these pin the pivoting rules — x-axis choice, series
+grouping, grid holes — and the empty-sweep and single-point edges.
+"""
+
+import pytest
+
+from repro.experiments.reporting import (
+    format_sweep_table,
+    pick_x_axis,
+    sweep_series,
+)
+
+
+def record(point, value=0.5, value_key="value"):
+    return {"point": dict(point), "result": {value_key: value}}
+
+
+def grid_records():
+    """A 2x3 scheme × p grid, values distinct per cell."""
+    records = []
+    for scheme_index, scheme in enumerate(("central", "joint")):
+        for p_index, p in enumerate((0.1, 0.2, 0.3)):
+            records.append(
+                record({"scheme": scheme, "p": p},
+                       value=scheme_index + p_index / 10)
+            )
+    return records
+
+
+class TestPickXAxis:
+    def test_prefers_the_last_numeric_axis(self):
+        assert pick_x_axis(["scheme", "p"], grid_records()) == "p"
+        assert pick_x_axis(["p", "scheme"], grid_records()) == "p"
+
+    def test_all_categorical_falls_back_to_last(self):
+        records = [record({"scheme": "a", "mode": "x"})]
+        assert pick_x_axis(["scheme", "mode"], records) == "mode"
+
+    def test_no_axes_raises(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            pick_x_axis([], [])
+
+
+class TestSweepSeries:
+    def test_pivots_grid_into_series(self):
+        x_values, series = sweep_series(["scheme", "p"], grid_records())
+        assert x_values == [0.1, 0.2, 0.3]
+        assert set(series) == {"scheme=central", "scheme=joint"}
+        assert series["scheme=central"] == [0.0, 0.1, 0.2]
+        assert series["scheme=joint"] == [1.0, 1.1, 1.2]
+
+    def test_single_axis_uses_value_key_as_series_name(self):
+        records = [record({"p": 0.1}, 0.9), record({"p": 0.2}, 0.8)]
+        x_values, series = sweep_series(["p"], records)
+        assert x_values == [0.1, 0.2]
+        assert series == {"value": [0.9, 0.8]}
+
+    def test_single_point_sweep(self):
+        x_values, series = sweep_series(["p"], [record({"p": 0.25}, 0.75)])
+        assert x_values == [0.25]
+        assert series == {"value": [0.75]}
+
+    def test_empty_records_give_empty_series(self):
+        x_values, series = sweep_series(["scheme", "p"], [])
+        assert x_values == []
+        assert series == {}
+
+    def test_grid_hole_renders_as_none(self):
+        records = grid_records()
+        del records[1]  # central @ p=0.2 missing
+        x_values, series = sweep_series(["scheme", "p"], records)
+        # x order follows record order, so the first appearance of 0.2
+        # (now a joint record) comes after 0.3 — and central has a hole
+        # there.
+        assert x_values == [0.1, 0.3, 0.2]
+        assert series["scheme=central"] == [0.0, 0.2, None]
+
+    def test_missing_value_key_is_none(self):
+        records = [record({"p": 0.1}, value_key="other")]
+        _, series = sweep_series(["p"], records)
+        assert series == {"value": [None]}
+
+    def test_explicit_x_axis_overrides_heuristic(self):
+        x_values, series = sweep_series(
+            ["scheme", "p"], grid_records(), x_axis="scheme"
+        )
+        assert x_values == ["central", "joint"]
+        assert set(series) == {"p=0.1", "p=0.2", "p=0.3"}
+
+    def test_unknown_x_axis_raises(self):
+        with pytest.raises(ValueError, match="x_axis"):
+            sweep_series(["p"], grid_records(), x_axis="q")
+
+    def test_no_axes_raises(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            sweep_series([], [])
+
+
+class TestFormatSweepTable:
+    def test_renders_rows_and_series_columns(self):
+        text = format_sweep_table("title", ["scheme", "p"], grid_records())
+        assert text.startswith("title")
+        assert "scheme=central" in text and "scheme=joint" in text
+        assert "0.10" in text  # an x row
+        assert "1.2000" in text  # a cell
+
+    def test_axis_free_sweep_lists_values(self):
+        text = format_sweep_table("fixed", [], [record({}, 0.5)])
+        assert text == "fixed\n  value = 0.5"
+
+    def test_axis_free_empty_sweep_is_just_the_title(self):
+        assert format_sweep_table("empty", [], []) == "empty"
+
+    def test_single_point_table(self):
+        text = format_sweep_table("one", ["p"], [record({"p": 0.25}, 0.75)])
+        assert "0.25" in text
+        assert "0.7500" in text
+
+    def test_custom_value_key_and_format(self):
+        records = [record({"p": 0.1}, 1234.0, value_key="cost")]
+        text = format_sweep_table(
+            "cost", ["p"], records, value_key="cost", value_format="{:.0f}"
+        )
+        assert "1234" in text
+        assert "1234.0000" not in text
+
+    def test_grid_hole_renders_dash(self):
+        records = grid_records()
+        del records[1]  # central @ p=0.2 missing
+        text = format_sweep_table("holes", ["scheme", "p"], records)
+        (hole_row,) = [line for line in text.splitlines()
+                       if line.startswith("    0.20")]
+        assert hole_row.split() == ["0.20", "-", "1.1000"]

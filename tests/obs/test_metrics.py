@@ -1,0 +1,159 @@
+"""The metrics registry: instruments, snapshots, merges, views."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("backend.spans_completed")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        # Same name → same instrument.
+        assert registry.counter("backend.spans_completed") is counter
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pool.size")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("service_seconds.counts")
+        for value in (0.5, 0.1, 0.4):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(1.0)
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.5)
+        assert histogram.mean == pytest.approx(1.0 / 3)
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.summary() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None,
+        }
+        assert histogram.mean is None
+
+    def test_cross_type_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="different instrument type"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="different instrument type"):
+            registry.histogram("x")
+
+    def test_bad_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("")
+        with pytest.raises(ValueError):
+            registry.counter(None)
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestViews:
+    def test_counter_values_prefix_and_strip(self):
+        registry = MetricsRegistry()
+        registry.counter("backend.a").inc(1)
+        registry.counter("backend.b").inc(2)
+        registry.counter("worker.w.a").inc(9)
+        assert registry.counter_values("backend.") == {
+            "backend.a": 1,
+            "backend.b": 2,
+        }
+        assert registry.counter_values("backend.", strip=True) == {
+            "a": 1,
+            "b": 2,
+        }
+        assert registry.counter_values() == {
+            "backend.a": 1,
+            "backend.b": 2,
+            "worker.w.a": 9,
+        }
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 5}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_merges_histograms(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.histogram("h").observe(5.0)
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 5
+        summary = a.histogram("h").summary()
+        assert summary["count"] == 2
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+
+    def test_merge_with_prefix(self):
+        driver = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("ops.run").inc(7)
+        driver.merge(worker.snapshot(), prefix="worker.127.0.0.1:7070.")
+        assert driver.counter("worker.127.0.0.1:7070.ops.run").value == 7
+
+    def test_merge_is_exact_for_histograms(self):
+        # A merged pair of summaries equals the summary of the union —
+        # the reason the histograms are bucket-free.
+        left, right, union = (MetricsRegistry() for _ in range(3))
+        for value in (0.1, 0.9):
+            left.histogram("h").observe(value)
+            union.histogram("h").observe(value)
+        for value in (0.5, 2.0):
+            right.histogram("h").observe(value)
+            union.histogram("h").observe(value)
+        left.merge(right.snapshot())
+        assert left.histogram("h").summary() == union.histogram("h").summary()
+
+    def test_merge_ignores_junk(self):
+        registry = MetricsRegistry()
+        registry.merge(
+            {
+                "counters": {"ok": 1, "bool": True, "text": "no"},
+                "gauges": {"g": "no"},
+                "histograms": {"h": "no"},
+                "unknown_kind": {"x": 1},
+            }
+        )
+        assert registry.counter_values() == {"ok": 1}
+
+    def test_merge_empty_snapshot(self):
+        registry = MetricsRegistry()
+        registry.merge({})
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

@@ -1,0 +1,144 @@
+"""The JSONL sink and the schema validator it is checked against."""
+
+import json
+
+import pytest
+
+from repro.obs.sink import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    TraceSchemaError,
+    iter_trace,
+    read_trace,
+    validate_record,
+)
+from repro.obs.trace import Tracer
+
+
+class TestJsonlSink:
+    def test_writes_meta_then_records_atomically(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        # Mid-run only the .tmp exists: a torn run can never be mistaken
+        # for a complete trace.
+        assert not path.exists()
+        assert (tmp_path / "t.jsonl.tmp").exists()
+        sink.emit({"type": "event", "name": "x", "t": 0.5, "span": None,
+                   "attrs": {}})
+        sink.close()
+        assert path.exists()
+        assert not (tmp_path / "t.jsonl.tmp").exists()
+        records = read_trace(path)
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == SCHEMA_VERSION
+        assert records[1]["name"] == "x"
+
+    def test_empty_run_is_still_a_valid_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlSink(path).close()
+        assert [r["type"] for r in read_trace(path)] == ["meta"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "t.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"type": "event"})
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_tracer_output_round_trips(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            with tracer.span("sweep", points=2):
+                tracer.event("ci_check", trials_done=10)
+        records = read_trace(path)
+        assert [r["type"] for r in records] == ["meta", "event", "span"]
+
+
+class TestValidateRecord:
+    def good_span(self):
+        return {"type": "span", "name": "s", "id": 1, "parent": None,
+                "start": 0.0, "end": 1.0, "attrs": {}}
+
+    def test_accepts_good_records(self):
+        validate_record({"type": "meta", "schema": 1})
+        validate_record(self.good_span())
+        validate_record({"type": "event", "name": "e", "t": 0.0,
+                         "span": 1, "attrs": {"k": "v"}})
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"type": "bogus"}, "type must be one of"),
+            ({"name": ""}, "name must be a non-empty str"),
+            ({"id": 0}, "span.id must be a positive int"),
+            ({"id": True}, "span.id must be a positive int"),
+            ({"parent": -1}, "span.parent"),
+            ({"start": "now"}, "span.start must be a number"),
+            ({"end": 0.5, "start": 1.0}, "precedes"),
+            ({"attrs": []}, "attrs must be an object"),
+        ],
+    )
+    def test_rejects_bad_spans(self, mutation, message):
+        record = self.good_span()
+        record.update(mutation)
+        with pytest.raises(TraceSchemaError, match=message):
+            validate_record(record)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceSchemaError, match="JSON object"):
+            validate_record([1, 2])
+
+    def test_rejects_bad_event_time(self):
+        with pytest.raises(TraceSchemaError, match="event.t"):
+            validate_record({"type": "event", "name": "e", "t": None})
+
+    def test_rejects_bool_schema(self):
+        with pytest.raises(TraceSchemaError, match="meta.schema"):
+            validate_record({"type": "meta", "schema": True})
+
+
+class TestIterTrace:
+    def write_lines(self, path, lines):
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    def test_line_numbers_in_errors(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        self.write_lines(path, [
+            json.dumps({"type": "meta", "schema": 1}),
+            "not json",
+        ])
+        with pytest.raises(TraceSchemaError, match=r"bad\.jsonl:2"):
+            list(iter_trace(path))
+
+    def test_first_line_must_be_meta(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        self.write_lines(path, [
+            json.dumps({"type": "event", "name": "e", "t": 0.0}),
+        ])
+        with pytest.raises(TraceSchemaError, match="first line must be"):
+            list(iter_trace(path))
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        self.write_lines(path, [
+            json.dumps({"type": "meta", "schema": SCHEMA_VERSION + 1}),
+        ])
+        with pytest.raises(TraceSchemaError, match="newer"):
+            list(iter_trace(path))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": 1}) + "\n\n\n",
+            encoding="utf-8",
+        )
+        assert len(read_trace(path)) == 1

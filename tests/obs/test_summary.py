@@ -1,0 +1,121 @@
+"""Trace summarisation: phases, workers, timeline, CI progression."""
+
+from repro.obs.sink import JsonlSink
+from repro.obs.summary import format_trace_summary, summarize_trace
+from repro.obs.trace import Tracer
+
+
+class SteppingClock:
+    """Advances a fixed amount every reading — deterministic durations."""
+
+    def __init__(self, step=0.5):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.t
+        self.t += self.step
+        return value
+
+
+def write_sample_trace(path):
+    """One sweep, one point, a backend span per worker, some faults."""
+    with Tracer(JsonlSink(path), clock=SteppingClock()) as tracer:
+        with tracer.span("sweep", scenario="smoke") as sweep:
+            with tracer.span("point", index=0, label="p=0.1") as point:
+                with tracer.span("engine", mode="counts"):
+                    point.event("ci_check", trials_done=20,
+                                max_half_width=0.2)
+                    point.event("ci_check", trials_done=40,
+                                max_half_width=0.1)
+                    with tracer.span("backend.dispatch") as dispatch:
+                        with tracer.span("backend.span", parent=dispatch,
+                                         worker="127.0.0.1:7070"):
+                            pass
+                        with tracer.span("backend.span", parent=dispatch,
+                                         worker="127.0.0.1:7071"):
+                            pass
+                        with tracer.span("backend.span", parent=dispatch,
+                                         worker="127.0.0.1:7070"):
+                            pass
+            tracer.event("worker_failure", span=sweep,
+                         worker="127.0.0.1:7071")
+            tracer.event("requeue", span=sweep, low=0, high=10)
+            tracer.event("join", span=sweep, worker="127.0.0.1:7072")
+
+
+class TestSummarizeTrace:
+    def test_phases_and_wall(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        summary = summarize_trace(path)
+        names = {p.name: p for p in summary.phases}
+        assert names["sweep"].count == 1
+        assert names["point"].count == 1
+        assert names["backend.span"].count == 3
+        assert summary.wall_seconds > 0
+        # Spans nest, so the sweep dominates cumulative time.
+        assert summary.phases[0].name == "sweep"
+        assert names["backend.span"].mean_seconds > 0
+
+    def test_worker_accounting(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        summary = summarize_trace(path)
+        by_address = {w.address: w for w in summary.workers}
+        assert by_address["127.0.0.1:7070"].spans == 2
+        assert by_address["127.0.0.1:7071"].spans == 1
+        assert by_address["127.0.0.1:7070"].busy_seconds > 0
+
+    def test_timeline_is_time_ordered(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        summary = summarize_trace(path)
+        names = [name for _, name, _ in summary.timeline]
+        assert names == ["worker_failure", "requeue", "join"]
+        times = [t for t, _, _ in summary.timeline]
+        assert times == sorted(times)
+
+    def test_ci_progression_keyed_by_point_label(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        summary = summarize_trace(path)
+        assert summary.ci_progression == {"p=0.1": [(20, 0.2), (40, 0.1)]}
+
+    def test_event_counts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        summary = summarize_trace(path)
+        assert summary.event_counts["ci_check"] == 2
+        assert summary.event_counts["requeue"] == 1
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlSink(path).close()
+        summary = summarize_trace(path)
+        assert summary.wall_seconds == 0.0
+        assert summary.phases == []
+        assert summary.workers == []
+
+
+class TestFormatTraceSummary:
+    def test_renders_every_section(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_sample_trace(path)
+        text = format_trace_summary(summarize_trace(path), path)
+        assert "wall-clock per phase" in text
+        assert "backend.span" in text
+        assert "worker spans" in text
+        assert "127.0.0.1:7070" in text
+        assert "fault/membership timeline" in text
+        assert "worker_failure" in text
+        assert "CI half-width progression" in text
+        assert "p=0.1" in text
+        assert "event counts" in text
+
+    def test_renders_empty_trace_gracefully(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlSink(path).close()
+        text = format_trace_summary(summarize_trace(path))
+        assert "(no spans recorded)" in text
+        assert "(none — local backend" in text
