@@ -33,7 +33,7 @@ from repro.backends.base import BackendSpec, ExecutionBackend
 from repro.scenarios.orchestrator import SweepOrchestrator, SweepReport
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.spec import ScenarioSpec
-from repro.scenarios.store import ResultStore
+from repro.scenarios.store import ResultStore, VerifyReport
 
 #: What every ``scenario`` parameter accepts.
 ScenarioLike = Union[str, ScenarioSpec]
@@ -48,12 +48,15 @@ __all__ = [
     "ScenarioSpec",
     "BackendSpec",
     "SweepReport",
+    "VerifyReport",
     "get_scenario",
     "scenario_names",
     "list_backends",
     "load_results",
+    "repair_store",
     "run_scenario",
     "run_sweep",
+    "verify_store",
 ]
 
 
@@ -106,6 +109,9 @@ def run_sweep(
     force: bool = False,
     progress: Optional[Any] = None,
     trace: Optional[Any] = None,
+    fallback: Optional[str] = None,
+    point_deadline: Optional[float] = None,
+    journal: bool = True,
 ) -> SweepReport:
     """Run (or resume) a scenario sweep through the orchestrator.
 
@@ -122,6 +128,15 @@ def run_sweep(
     to (the tracer is then owned, and closed, by this call).  Tracing is
     a pure side channel: results and store records are byte-identical
     with it on, off, or failing.
+
+    Crash-safety knobs (see :mod:`repro.scenarios.orchestrator`):
+    ``fallback="local"`` opts into the degradation ladder — when the
+    fleet collapses (``NoWorkersLeft``) or a point blows its
+    ``point_deadline`` (seconds), the sweep finishes on a local backend
+    instead of aborting; records stay byte-identical either way.
+    ``journal=False`` disables the per-sweep write-ahead journal that
+    lets a resume after SIGKILL tell committed points from mid-flight
+    ones.
     """
     spec = _resolve_scenario(scenario)
     tracer, owned = _resolve_trace(trace)
@@ -131,6 +146,9 @@ def run_sweep(
         backend=backend,
         tolerance=tolerance,
         tracer=tracer,
+        fallback=fallback,
+        point_deadline=point_deadline,
+        journal=journal,
     )
     try:
         return orchestrator.run(
@@ -169,6 +187,53 @@ def load_results(store: StoreLike, scenario: ScenarioLike) -> List[Dict[str, Any
         else str(scenario)
     )
     return [resolved.load(name, key) for key in resolved.keys(name)]
+
+
+def verify_store(
+    store: StoreLike, scenario: Optional[ScenarioLike] = None
+) -> VerifyReport:
+    """Checksum-verify a result store (or one scenario within it).
+
+    Every record is re-hashed against its embedded ``checksum``; the
+    report buckets records as ok / legacy (pre-checksum, trusted) /
+    corrupt (torn JSON) / mismatched (bytes changed since write), and
+    lists orphaned temp files.  Read-only — pair with
+    :func:`repair_store` to quarantine what it flags.
+    """
+    resolved = _resolve_store(store)
+    if resolved is None:
+        raise ValueError("verify_store needs a store path or ResultStore")
+    name = None
+    if scenario is not None:
+        name = (
+            scenario.name
+            if isinstance(scenario, ScenarioSpec)
+            else str(scenario)
+        )
+    return resolved.verify(name)
+
+
+def repair_store(
+    store: StoreLike, scenario: Optional[ScenarioLike] = None
+) -> VerifyReport:
+    """Verify a store and quarantine every damaged record it finds.
+
+    Quarantined records move to the store's ``.quarantine/`` directory
+    (out of the content-addressed namespace), so the next sweep or
+    ``resume`` recomputes just those points.  Returns the verify report
+    with ``quarantined`` filled in.
+    """
+    resolved = _resolve_store(store)
+    if resolved is None:
+        raise ValueError("repair_store needs a store path or ResultStore")
+    name = None
+    if scenario is not None:
+        name = (
+            scenario.name
+            if isinstance(scenario, ScenarioSpec)
+            else str(scenario)
+        )
+    return resolved.repair(name)
 
 
 def list_backends() -> List[Dict[str, Any]]:

@@ -106,6 +106,7 @@ from typing import (
 from repro.backends.wire import (
     WORKER_ROLE,
     ProtocolError,
+    cancel_worker,
     decode_blob,
     encode_blob,
     fetch_worker_stats,
@@ -155,6 +156,7 @@ STAT_NAMES = (
     "spans_completed",
     "spans_requeued",
     "spans_split",
+    "spans_cancelled",
     "worker_failures",
     "workers_broken",
     "workers_readmitted",
@@ -171,6 +173,7 @@ STAT_NAMES = (
 _STAT_EVENTS = {
     "spans_requeued": "requeue",
     "spans_split": "steal",
+    "spans_cancelled": "cancel",
     "worker_failures": "worker_failure",
     "workers_broken": "breaker_trip",
     "workers_readmitted": "readmit",
@@ -186,6 +189,16 @@ class WorkerLost(ConnectionError):
 
 class NoWorkersLeft(ConnectionError):
     """Every worker is dead or circuit-broken with spans still pending."""
+
+
+class PointDeadlineExceeded(RuntimeError):
+    """A sweep point blew its wall-clock budget (driver watchdog).
+
+    Raised *into* a dispatch via :meth:`DistributedBackend.cancel_active`
+    — the orchestrator's per-point watchdog fires it, busy workers are
+    told to abandon their spans, and the orchestrator's degradation
+    ladder decides whether the point reruns locally or the sweep aborts.
+    """
 
 
 class _Worker:
@@ -396,8 +409,17 @@ class _SpanSource:
             self._condition.notify_all()
 
     def abort(self, error: BaseException) -> None:
+        """Fail the dispatch — unless it already settled.
+
+        The settled guard matters for *external* aborts (the driver
+        watchdog racing a completing point): once every span is done the
+        dispatch's result is committed, and a late cancel must not turn
+        a finished point into a failure.  Internal callers are unaffected
+        — a driver aborting over its own failed span still holds that
+        span active, so the source cannot have settled under it.
+        """
         with self._condition:
-            if self._error is None:
+            if self._error is None and not self._settled_locked():
                 self._error = error
             self._condition.notify_all()
 
@@ -478,6 +500,10 @@ class DistributedBackend(TrialExecutor):
     supports_remote = True
     supports_fault_tolerance = True
     supports_elastic_membership = True
+    #: An in-flight dispatch can be aborted from another thread
+    #: (:meth:`cancel_active`) and busy workers told to abandon their
+    #: spans mid-flight — what the orchestrator's point watchdog needs.
+    supports_cancellation = True
 
     def __init__(
         self,
@@ -566,6 +592,9 @@ class DistributedBackend(TrialExecutor):
         self._workers: Optional[List[_Worker]] = None
         self._membership_lock = threading.Lock()
         self._payload: Optional[str] = None
+        #: The span source of the dispatch currently in flight, if any —
+        #: what :meth:`cancel_active` aborts from watchdog threads.
+        self._active_source: Optional[_SpanSource] = None
         #: The numeric half of this backend's telemetry.  Fault counters
         #: live under ``backend.*`` (pre-registered at zero so the
         #: :attr:`stats` view always carries the full key set); worker
@@ -835,6 +864,10 @@ class DistributedBackend(TrialExecutor):
                 if worker is not None and not worker.draining:
                     worker.draining = True
                     self._count("workers_left", worker=address)
+                    # Mid-span drain: a retiring worker abandons its
+                    # running span *now* (it requeues elsewhere) instead
+                    # of the drain waiting for the span to finish.
+                    self._cancel_worker_spans(worker)
             now = time.monotonic()
             for worker in self._workers:
                 if not worker.broken or worker.draining:
@@ -863,6 +896,39 @@ class DistributedBackend(TrialExecutor):
                 for worker in self._workers or ()
                 if not worker.broken and not worker.draining
             ]
+
+    # -- cancellation ------------------------------------------------------
+
+    def _cancel_worker_spans(self, worker: _Worker) -> None:
+        """Best-effort: tell one worker to abandon its in-flight spans.
+
+        Fire-and-forget on a fresh short-lived connection (the
+        persistent one is busy carrying the very span being cancelled).
+        Failure is fine — a worker that cannot be reached is dead or
+        deaf, and either way its span requeues through the normal fault
+        path.  Workers predating the ``cancel`` op ignore it the same
+        way: the drain then waits for the span, exactly the old
+        behaviour.
+        """
+        cancel_worker(worker.host, worker.port, timeout=self.ping_timeout)
+
+    def cancel_active(self, error: BaseException) -> bool:
+        """Abort the in-flight dispatch (if any) from another thread.
+
+        The driver watchdog's entry point: aborts the active span source
+        with ``error`` — a no-op if the dispatch already settled, so a
+        cancel racing a completing point cannot fail it — then tells
+        every dispatchable worker to abandon its running span, so the
+        abort takes effect mid-span rather than after the slowest worker
+        finishes.  Returns whether there was a live dispatch to cancel.
+        """
+        source = self._active_source
+        if source is None or source.settled:
+            return False
+        source.abort(error)
+        for worker in self._dispatchable_workers():
+            self._cancel_worker_spans(worker)
+        return True
 
     # -- span dispatch -----------------------------------------------------
 
@@ -912,6 +978,10 @@ class DistributedBackend(TrialExecutor):
             nonlocal waited
             waited += self.heartbeat_interval
             if self.span_timeout is not None and waited >= self.span_timeout:
+                # The worker is (probably) alive but over budget: tell it
+                # to abandon the span before we write it off, so it stops
+                # burning CPU on work that is about to be requeued.
+                self._cancel_worker_spans(worker)
                 raise WorkerLost(
                     f"worker {worker.address} exceeded the {self.span_timeout}s "
                     f"span timeout"
@@ -959,6 +1029,7 @@ class DistributedBackend(TrialExecutor):
         source = _SpanSource(
             start, stop, sizer, on_split=lambda: self._count("spans_split")
         )
+        self._active_source = source
         results: List[Tuple[int, Any]] = []
         results_lock = threading.Lock()
         # Opened (and closed) by the controller thread; driver threads
@@ -1061,6 +1132,19 @@ class DistributedBackend(TrialExecutor):
                     except BaseException as error:  # pragma: no cover
                         source.abort(error)  # surface bugs, don't hang
                         return
+                    if reply.get("cancelled"):
+                        # The worker cooperatively abandoned the span
+                        # (drain or deadline cancel).  Not a failure: no
+                        # strike, and the attempt count stays — the span
+                        # simply goes back for whoever still pulls.
+                        source.requeue(low, high, attempts)
+                        self._count(
+                            "spans_cancelled",
+                            worker=worker.address,
+                            low=low,
+                            high=high,
+                        )
+                        continue
                     with results_lock:
                         results.append((low, reply))
                     worker.strikes = 0
@@ -1074,6 +1158,22 @@ class DistributedBackend(TrialExecutor):
             finally:
                 source.driver_exited()
 
+        try:
+            return self._run_dispatch(
+                source, results, results_lock, dispatch_context, drive
+            )
+        finally:
+            self._active_source = None
+
+    def _run_dispatch(
+        self,
+        source: _SpanSource,
+        results: List[Tuple[int, Any]],
+        results_lock: threading.Lock,
+        dispatch_context: Any,
+        drive: Callable[[_Worker, Any], None],
+    ) -> List[Any]:
+        """The controller half of :meth:`_dispatch` (split for cleanup)."""
         with dispatch_context as dispatch_span:
             threads: Dict[str, threading.Thread] = {}
             all_threads: List[threading.Thread] = []

@@ -29,6 +29,9 @@ the client *must* recover it elsewhere for counts to survive):
     Every span from the trigger on is delayed by ``delay`` seconds
     before executing *correctly*.  Models an overloaded worker: the
     heartbeat answers, so a patient client should wait, not requeue.
+    The injected sleep is drain-cancellable (a ``cancel`` wire op
+    abandons it mid-sleep), so a slow worker can still be drained
+    mid-span like any other.
 ``hang``
     The worker wedges: the in-flight span never answers and the
     listening socket closes, so heartbeat probes fail.  Models a stuck

@@ -21,11 +21,22 @@ op          request fields                                  reply
                                                             registry snapshot —
                                                             op counts, per-mode
                                                             service times)
+``cancel``  —                                               ``ok``, ``cancelled``
+                                                            (in-flight spans
+                                                            told to abandon)
 ========== =============================================== =======================
 
-``stats`` is additive — a version-1 worker that predates it replies
-``ok: false``, which :func:`fetch_worker_stats` folds into ``None`` —
-so the protocol version stays at 1.
+``stats`` and ``cancel`` are additive — a version-1 worker that predates
+them replies ``ok: false``, which :func:`fetch_worker_stats` and
+:func:`cancel_worker` fold into ``None`` — so the protocol version stays
+at 1.
+
+``cancel`` is the cooperative mid-span drain primitive: it bumps the
+worker's cancel generation, and every running span (they check between
+sub-slices) replies ``ok: true, cancelled: true`` instead of its counts.
+The driver requeues a cancelled span verbatim — abandoning is not a
+failure — so a draining or deadline-struck worker hands its work back in
+milliseconds instead of holding the drain hostage to the span's runtime.
 
 Every reply carries ``ok``; failures carry ``ok: false`` plus ``error``.
 Workers compute spans with the exact same range functions the local
@@ -260,6 +271,31 @@ def probe_worker(host: str, port: int, timeout: float = 2.0) -> bool:
             return bool(request(sock, {"op": "ping"}).get("ok"))
     except (OSError, ProtocolError, RuntimeError):
         return False
+
+
+def cancel_worker(
+    host: str, port: int, timeout: float = 2.0
+) -> Optional[int]:
+    """Tell a worker to abandon its in-flight spans (the ``cancel`` op).
+
+    Fresh short-lived connection, like :func:`probe_worker` — the
+    persistent connection is busy carrying the very span being
+    cancelled.  Returns how many spans were in flight when the cancel
+    landed, or ``None`` on any failure (unreachable worker, or one
+    predating the op) — cancellation is best-effort by design: a worker
+    that misses it just finishes the span, which the driver then ignores
+    or requeues exactly as before cancellation existed.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            reply = request(sock, {"op": "cancel"})
+    except (OSError, ProtocolError, RuntimeError):
+        return None
+    value = reply.get("cancelled")
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
 
 
 def fetch_worker_stats(

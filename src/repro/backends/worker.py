@@ -19,6 +19,14 @@ The server is deliberately trusting: the protocol ships pickles, so bind
 it only on interfaces you control (the default is loopback), exactly like
 every other pickle-based worker pool.
 
+**Cancellation.**  Spans execute as ~8 sub-slices with a cooperative
+cancel check between each (additive merging keeps results byte-identical
+— see :func:`_execute_span`).  The ``cancel`` op bumps a server-wide
+generation counter; every in-flight span notices within a sub-slice and
+replies ``cancelled: true`` instead of computing the rest, and the
+driver requeues it.  This is what lets a draining or deadline-struck
+worker hand back a running span in milliseconds.
+
 **Shutdown.**  Open connections are tracked, and every stop path —
 :meth:`WorkerServer.stop`, ``SIGTERM``/``Ctrl-C`` on the foreground
 :func:`serve` loop — force-closes them after the accept loop exits, so a
@@ -67,23 +75,91 @@ _RUN_MODES = ("counts", "batches", "collect")
 
 #: Ops counted under their own name; anything else lands in
 #: ``ops.unknown`` so a misbehaving client cannot mint metric names.
-_COUNTED_OPS = ("hello", "ping", "task", "run", "stats")
+_COUNTED_OPS = ("hello", "ping", "task", "run", "stats", "cancel")
 
 #: How long a ``hang`` fault holds its wedged connection open when the
 #: spec does not say (long enough that only liveness probing detects it).
 _DEFAULT_HANG_SECONDS = 60.0
 
+#: Cancellation checks per span: each span is executed in roughly this
+#: many sub-slices, checking the cancel generation between them.  The
+#: range functions are additive over *any* disjoint partition (per-trial
+#: streams are pure functions of ``(seed, label, index)``), so
+#: sub-slicing is invisible in results; it just bounds how long a cancel
+#: can go unnoticed to ~1/8 of the span.
+_CANCEL_CHECKS = 8
 
-def _execute_span(task: Any, mode: str, start: int, stop: int) -> Dict[str, Any]:
-    """Run one span through the shared range functions; JSON-safe reply."""
-    if mode == "counts":
-        return {"ok": True, "counts": run_count_range(task, start, stop)}
-    if mode == "batches":
-        return {"ok": True, "counts": run_batch_range(task, start, stop)}
-    if mode == "collect":
-        values = run_collect_range(task, start, stop)
-        return {"ok": True, "values": encode_blob(values)}
-    raise ValueError(f"run mode must be one of {_RUN_MODES}, got {mode!r}")
+_RANGE_FNS = {
+    "counts": run_count_range,
+    "batches": run_batch_range,
+    "collect": run_collect_range,
+}
+
+
+def _execute_span(
+    task: Any,
+    mode: str,
+    start: int,
+    stop: int,
+    should_abandon: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run one span through the shared range functions; JSON-safe reply.
+
+    With ``should_abandon``, the span runs as ~:data:`_CANCEL_CHECKS`
+    sub-slices with a cancellation check between each; a fired check
+    abandons the rest and replies ``cancelled: true`` — the client
+    requeues the span, so abandoning is always safe.  Partial sub-slice
+    results are merged exactly as the distributed driver merges spans
+    (integer count addition, in-order value concatenation), so a span
+    that is *not* cancelled returns bytes identical to a single-shot run.
+    """
+    range_fn = _RANGE_FNS.get(mode)
+    if range_fn is None:
+        raise ValueError(f"run mode must be one of {_RUN_MODES}, got {mode!r}")
+
+    def reply_for(payload: Any) -> Dict[str, Any]:
+        if mode == "collect":
+            return {"ok": True, "values": encode_blob(payload)}
+        return {"ok": True, "counts": payload}
+
+    if should_abandon is None:
+        return reply_for(range_fn(task, start, stop))
+    step = max(1, -(-(stop - start) // _CANCEL_CHECKS))
+    merged: Optional[Any] = None
+    low = start
+    while low < stop:
+        if should_abandon():
+            return {"ok": True, "cancelled": True}
+        high = min(low + step, stop)
+        partial = range_fn(task, low, high)
+        if merged is None:
+            merged = list(partial)
+        elif mode == "collect":
+            merged.extend(partial)
+        else:
+            for channel, value in enumerate(partial):
+                merged[channel] += value
+        low = high
+    return reply_for(merged if merged is not None else range_fn(task, start, stop))
+
+
+def _cancellable_sleep(
+    delay: float, should_abandon: Any, step: float = 0.02
+) -> bool:
+    """Sleep ``delay`` seconds unless cancelled; False means abandoned.
+
+    The ``slow`` fault's sleep must be drain-cancellable too, or a chaos
+    worker scripted slow would hold a drain hostage for the very latency
+    the test injected.
+    """
+    deadline = time.monotonic() + max(0.0, delay)
+    while True:
+        if should_abandon():
+            return False
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return True
+        time.sleep(min(step, remaining))
 
 
 class _WorkerHandler(socketserver.BaseRequestHandler):
@@ -120,6 +196,11 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                     reply = {"ok": True}
                 elif op == "stats":
                     reply = {"ok": True, "stats": metrics.snapshot()}
+                elif op == "cancel":
+                    # Cooperative mid-span drain: bump the generation so
+                    # every in-flight span (they check between
+                    # sub-slices) abandons and replies cancelled.
+                    reply = {"ok": True, "cancelled": self.server.cancel_spans()}
                 elif op == "run":
                     fault = self.server.take_fault()
                     if fault is not None and fault.kind != "slow":
@@ -135,22 +216,47 @@ class _WorkerHandler(socketserver.BaseRequestHandler):
                         self.server.wedge()
                         time.sleep(fault.delay or _DEFAULT_HANG_SECONDS)
                         return
-                    if fault is not None:
-                        time.sleep(fault.delay)  # slow: late but correct
-                    if task is None:
-                        raise RuntimeError(
-                            "no task loaded on this connection (send op=task first)"
-                        )
-                    mode = message.get("mode", "")
-                    start, stop = int(message["start"]), int(message["stop"])
-                    began = time.perf_counter()
-                    reply = _execute_span(task, mode, start, stop)
-                    # Only successful spans record service time — mode is
-                    # validated by now, so the metric name is well-formed.
-                    metrics.histogram(f"service_seconds.{mode}").observe(
-                        time.perf_counter() - began
-                    )
-                    metrics.counter(f"units.{mode}").inc(max(0, stop - start))
+                    # Any cancel arriving after this point abandons the
+                    # span; one arriving before only affects older spans.
+                    generation = self.server.cancel_generation
+
+                    def abandoned() -> bool:
+                        return self.server.cancel_generation != generation
+
+                    self.server.span_begun()
+                    try:
+                        if fault is not None and not _cancellable_sleep(
+                            fault.delay, abandoned
+                        ):
+                            # slow: late but correct — unless drained away.
+                            reply = {"ok": True, "cancelled": True}
+                        else:
+                            if task is None:
+                                raise RuntimeError(
+                                    "no task loaded on this connection "
+                                    "(send op=task first)"
+                                )
+                            mode = message.get("mode", "")
+                            start = int(message["start"])
+                            stop = int(message["stop"])
+                            began = time.perf_counter()
+                            reply = _execute_span(
+                                task, mode, start, stop, should_abandon=abandoned
+                            )
+                            if not reply.get("cancelled"):
+                                # Only completed spans record service time —
+                                # mode is validated by now, so the metric
+                                # name is well-formed.
+                                metrics.histogram(
+                                    f"service_seconds.{mode}"
+                                ).observe(time.perf_counter() - began)
+                                metrics.counter(f"units.{mode}").inc(
+                                    max(0, stop - start)
+                                )
+                    finally:
+                        self.server.span_ended()
+                    if reply.get("cancelled"):
+                        metrics.counter("spans_cancelled").inc()
                 else:
                     raise ValueError(f"unknown op {op!r}")
             except Exception as error:  # noqa: BLE001 - reply, don't die
@@ -204,6 +310,9 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         self._loop_started = False
         self._dying = False
         self._wedged = False
+        self._cancel_lock = threading.Lock()
+        self._cancel_generation = 0
+        self._active_spans = 0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -247,6 +356,35 @@ class WorkerServer(socketserver.ThreadingTCPServer):
                 connection.close()
             except OSError:
                 pass
+
+    # -- cooperative cancellation -------------------------------------------
+
+    @property
+    def cancel_generation(self) -> int:
+        """The current cancel epoch; spans capture it at start and abandon
+        when it moves."""
+        with self._cancel_lock:
+            return self._cancel_generation
+
+    def cancel_spans(self) -> int:
+        """Abandon every in-flight span (the ``cancel`` op).
+
+        Server-wide by design: a drain or deadline cancel means "stop
+        working for anyone, now" — a span belonging to another driver
+        sharing this worker simply requeues on *its* driver, which is
+        always safe.  Returns how many spans were in flight.
+        """
+        with self._cancel_lock:
+            self._cancel_generation += 1
+            return self._active_spans
+
+    def span_begun(self) -> None:
+        with self._cancel_lock:
+            self._active_spans += 1
+
+    def span_ended(self) -> None:
+        with self._cancel_lock:
+            self._active_spans -= 1
 
     # -- fault application --------------------------------------------------
 

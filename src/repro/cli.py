@@ -15,7 +15,11 @@ Installed as the ``repro`` console script::
     repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
     repro sweep run fig7 --backend distributed --pool 4
     repro sweep run fig7 --backend distributed --pool 2 --announce-bind 127.0.0.1:7171
+    repro sweep run fig7 --backend distributed --pool 2 --fallback local --point-deadline 120
+    repro sweep verify --store .repro-store
+    repro sweep repair fig7 --store .repro-store
     repro sweep gc --store .repro-store --keep-latest
+    repro sweep gc --store .repro-store --tmp-grace 0 --purge-quarantine
     repro worker serve --bind 127.0.0.1:7070
     repro worker serve --bind 127.0.0.1:0 --announce 127.0.0.1:7171
     repro worker pool --workers 3 --addresses-file pool.addr --respawn 1
@@ -381,6 +385,31 @@ def _build_parser() -> argparse.ArgumentParser:
             "compare backends with the same value; the chaos harness "
             "uses it to carve the smoke sweep into many spans)",
         )
+        action_parser.add_argument(
+            "--fallback",
+            choices=["local"],
+            default=None,
+            help="degradation ladder: when the distributed fleet "
+            "collapses (or a point blows --point-deadline), finish the "
+            "sweep on a local backend instead of aborting — results are "
+            "byte-identical on either rung (default: abort)",
+        )
+        action_parser.add_argument(
+            "--point-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="watchdog: abandon any point still running after this "
+            "many seconds (cancelling its in-flight spans) and, with "
+            "--fallback local, retry it locally",
+        )
+        action_parser.add_argument(
+            "--no-journal",
+            action="store_true",
+            help="skip the per-sweep write-ahead journal (the journal is "
+            "what lets a resume after a driver crash tell committed "
+            "points from mid-flight ones)",
+        )
         if action == "run":
             action_parser.add_argument(
                 "--force",
@@ -410,6 +439,46 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report what would be removed without deleting anything",
     )
+    sweep_gc.add_argument(
+        "--tmp-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only collect orphaned temp files older than this (default: "
+        "3600 — a live driver's in-flight temp file is never collected)",
+    )
+    sweep_gc.add_argument(
+        "--purge-quarantine",
+        action="store_true",
+        help="also delete quarantined records (normally kept as evidence "
+        "after `sweep repair`)",
+    )
+    for integrity_action, integrity_help in (
+        (
+            "verify",
+            "checksum-verify store records; exit 1 if any are torn or "
+            "tampered (legacy pre-checksum records are trusted)",
+        ),
+        (
+            "repair",
+            "verify, then move damaged records to .quarantine/ so the "
+            "next sweep recomputes exactly those points",
+        ),
+    ):
+        integrity_parser = sweep_actions.add_parser(
+            integrity_action, help=integrity_help
+        )
+        integrity_parser.add_argument(
+            "name",
+            nargs="?",
+            default=None,
+            help="scenario to check (default: the whole store)",
+        )
+        integrity_parser.add_argument(
+            "--store",
+            default=".repro-store",
+            help="result-store directory (default: %(default)s)",
+        )
 
     worker = subparsers.add_parser(
         "worker", help="run a distributed-sweep trial worker"
@@ -739,6 +808,8 @@ def _command_sweep(args) -> int:
 
     if args.action == "gc":
         return _sweep_gc(args)
+    if args.action in ("verify", "repair"):
+        return _sweep_integrity(args)
     try:
         spec = get_scenario(args.name)
     except ValueError as error:
@@ -746,11 +817,13 @@ def _command_sweep(args) -> int:
         return 1
     store = ResultStore(args.store)
     already = store.count(spec.name)
-    if args.action == "resume" and already == 0:
-        print(
-            f"nothing to resume: no cached points for {spec.name!r} in "
-            f"{args.store} (starting fresh)"
-        )
+    if args.action == "resume":
+        if already == 0:
+            print(
+                f"nothing to resume: no cached points for {spec.name!r} in "
+                f"{args.store} (starting fresh)"
+            )
+        _report_journal(args.store, spec.name)
     tracer = _open_tracer(args)
     orchestrator = SweepOrchestrator(
         store=store,
@@ -759,6 +832,9 @@ def _command_sweep(args) -> int:
         tolerance=args.tolerance,
         batch_size=args.batch_size,
         tracer=tracer,
+        fallback=args.fallback,
+        point_deadline=args.point_deadline,
+        journal=not args.no_journal,
     )
     total = spec.point_count
     sweep_began = time.perf_counter()
@@ -823,23 +899,99 @@ def _command_sweep(args) -> int:
     return 0
 
 
-def _sweep_gc(args) -> int:
+def _report_journal(store_root, scenario: str) -> None:
+    """Print a resume's journal summary: committed vs. mid-flight points."""
+    from repro.scenarios import SweepJournal
+
+    status = SweepJournal.status(store_root, scenario)
+    if status is None:
+        return
+    midflight = status["midflight"]
+    print(
+        f"journal: sweep {status['status']} — {status['committed']} "
+        f"point(s) committed, {len(midflight)} mid-flight"
+        + (" (will be recomputed)" if midflight else ""),
+        flush=True,
+    )
+
+
+def _sweep_integrity(args) -> int:
+    """`repro sweep verify` / `repro sweep repair`."""
     from repro.scenarios import ResultStore
 
+    store = ResultStore(args.store)
+    if args.action == "repair":
+        report = store.repair(args.name)
+    else:
+        report = store.verify(args.name)
+    scope = f" [{args.name}]" if args.name else ""
+    print(
+        f"{args.store}{scope}: scanned {report.scanned} record(s) — "
+        f"{report.ok} ok, {report.legacy} legacy, "
+        f"{len(report.corrupt)} corrupt, {len(report.mismatched)} "
+        f"mismatched, {len(report.orphans)} orphaned tmp"
+    )
+    for label, paths in (
+        ("corrupt", report.corrupt),
+        ("mismatched", report.mismatched),
+        ("orphaned tmp", report.orphans),
+    ):
+        for path in paths:
+            print(f"  {label}: {path}")
+    if args.action == "repair":
+        for path in report.quarantined:
+            print(f"  quarantined -> {path}")
+        if report.quarantined:
+            print(
+                f"{len(report.quarantined)} record(s) quarantined; the next "
+                "sweep run/resume recomputes exactly those points"
+            )
+        return 0
+    if not report.clean:
+        print("store is NOT clean — run `repro sweep repair` to quarantine")
+        return 1
+    print("store is clean")
+    return 0
+
+
+def _sweep_gc(args) -> int:
+    from repro.scenarios import ResultStore
+    from repro.scenarios.store import DEFAULT_TMP_GRACE_SECONDS
+
+    grace = (
+        args.tmp_grace if args.tmp_grace is not None
+        else DEFAULT_TMP_GRACE_SECONDS
+    )
+    if grace < 0:
+        raise SystemExit("--tmp-grace must be >= 0 seconds")
     report = ResultStore(args.store).gc(
-        keep_latest=args.keep_latest, dry_run=args.dry_run
+        keep_latest=args.keep_latest,
+        dry_run=args.dry_run,
+        tmp_grace_seconds=grace,
+        purge_quarantine=args.purge_quarantine,
     )
     verb = "would remove" if args.dry_run else "removed"
+    quarantine_note = (
+        f", {len(report.quarantined)} quarantined"
+        if args.purge_quarantine
+        else ""
+    )
     print(
         f"{args.store}: scanned {report.scanned} record(s), kept "
         f"{report.kept}; {verb} {len(report.orphans)} orphan(s), "
         f"{len(report.corrupt)} corrupt, {len(report.stale)} stale"
+        f"{quarantine_note}"
         + (
             f" (latest generation {report.latest_generation})"
             if report.latest_generation is not None
             else ""
         )
     )
+    if report.fresh_tmp:
+        print(
+            f"  kept {len(report.fresh_tmp)} fresh tmp file(s) younger than "
+            f"{grace:g}s (possibly a live driver's in-flight write)"
+        )
     for path in report.removed_paths():
         print(f"  {verb} {path}")
     return 0
@@ -955,8 +1107,15 @@ def _command_trace(args) -> int:
 
     if args.action == "validate":
         count = 0
+        truncated_at = []
+
+        def note_truncation(line_number, _line):
+            truncated_at.append(line_number)
+
         try:
-            for _line_number, _record in iter_trace(args.file):
+            for _line_number, _record in iter_trace(
+                args.file, on_truncated=note_truncation
+            ):
                 count += 1
         except OSError as error:
             print(f"cannot read trace: {error}")
@@ -964,6 +1123,15 @@ def _command_trace(args) -> int:
         except TraceSchemaError as error:
             print(f"invalid trace: {error}")
             return 1
+        if truncated_at:
+            # A torn tail is a crash artifact, not schema rot: report it
+            # plainly and keep exit 0 so post-mortem pipelines proceed.
+            print(
+                f"{args.file}: {count} record(s), schema OK; final line "
+                f"{truncated_at[0]} truncated (writer died mid-write) — "
+                f"preceding records are intact"
+            )
+            return 0
         print(f"{args.file}: {count} record(s), schema OK")
         return 0
 

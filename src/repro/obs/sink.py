@@ -27,8 +27,9 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 #: Bumped on incompatible record-shape changes; the ``meta`` line carries it.
 SCHEMA_VERSION = 1
@@ -38,6 +39,16 @@ _RECORD_TYPES = ("meta", "span", "event")
 
 class TraceSchemaError(ValueError):
     """A trace line that does not conform to the event schema."""
+
+
+class TraceTruncationWarning(UserWarning):
+    """The final trace line is torn — a writer died mid-write.
+
+    Distinct from :class:`TraceSchemaError` on purpose: a torn tail is
+    the *expected* artifact of a crashed driver (the sink is
+    line-buffered, so only the very last line can be partial), while an
+    undecodable line anywhere else means the file is not a trace at all.
+    """
 
 
 def _require(condition: bool, message: str) -> None:
@@ -100,46 +111,81 @@ def validate_record(record: Any) -> Dict[str, Any]:
     return record
 
 
-def iter_trace(path) -> Iterator[Tuple[int, Dict[str, Any]]]:
+def iter_trace(
+    path,
+    on_truncated: Optional[Callable[[int, str], None]] = None,
+) -> Iterator[Tuple[int, Dict[str, Any]]]:
     """Yield ``(line_number, validated_record)`` for every trace line.
 
     Raises :class:`TraceSchemaError` (with the line number in the
     message) on the first invalid line, including a first line that is
     not a ``meta`` record or a meta schema newer than this reader.
+
+    An undecodable, newline-less *final* line is different: that is the
+    signature of a writer killed mid-write (the sink is line-buffered,
+    so every completed line carries its newline and earlier lines are
+    always whole).  Every complete record is still yielded; the torn
+    tail is reported through ``on_truncated(line_number, line)`` when
+    given, or a :class:`TraceTruncationWarning` otherwise — never an
+    exception, so a crashed run's trace stays readable for post-mortems.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                parsed = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise TraceSchemaError(
-                    f"{path}:{line_number}: undecodable JSON: {error}"
-                ) from error
-            try:
-                record = validate_record(parsed)
-            except TraceSchemaError as error:
-                raise TraceSchemaError(
-                    f"{path}:{line_number}: {error}"
-                ) from None
-            if line_number == 1:
-                if record.get("type") != "meta":
-                    raise TraceSchemaError(
-                        f"{path}:1: first line must be the meta record"
+        lines = handle.readlines()
+    last_line_number = len(lines)
+    torn_tail = bool(lines) and not lines[-1].endswith("\n")
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            parsed = json.loads(line)
+        except json.JSONDecodeError as error:
+            if torn_tail and line_number == last_line_number:
+                if on_truncated is not None:
+                    on_truncated(line_number, line)
+                else:
+                    warnings.warn(
+                        TraceTruncationWarning(
+                            f"{path}:{line_number}: truncated final line "
+                            f"(writer died mid-write); preceding records "
+                            f"are intact"
+                        ),
+                        stacklevel=2,
                     )
-                if record["schema"] > SCHEMA_VERSION:
-                    raise TraceSchemaError(
-                        f"{path}:1: trace schema {record['schema']} is newer "
-                        f"than this reader ({SCHEMA_VERSION})"
-                    )
-            yield line_number, record
+                return
+            raise TraceSchemaError(
+                f"{path}:{line_number}: undecodable JSON: {error}"
+            ) from error
+        try:
+            record = validate_record(parsed)
+        except TraceSchemaError as error:
+            raise TraceSchemaError(
+                f"{path}:{line_number}: {error}"
+            ) from None
+        if line_number == 1:
+            if record.get("type") != "meta":
+                raise TraceSchemaError(
+                    f"{path}:1: first line must be the meta record"
+                )
+            if record["schema"] > SCHEMA_VERSION:
+                raise TraceSchemaError(
+                    f"{path}:1: trace schema {record['schema']} is newer "
+                    f"than this reader ({SCHEMA_VERSION})"
+                )
+        yield line_number, record
 
 
-def read_trace(path) -> List[Dict[str, Any]]:
-    """Load and validate a whole trace file (meta line included)."""
-    return [record for _, record in iter_trace(path)]
+def read_trace(
+    path,
+    on_truncated: Optional[Callable[[int, str], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Load and validate a whole trace file (meta line included).
+
+    A torn final line is tolerated exactly as in :func:`iter_trace` —
+    complete records are returned, the tail is warned about (or handed
+    to ``on_truncated``).
+    """
+    return [record for _, record in iter_trace(path, on_truncated)]
 
 
 class JsonlSink:

@@ -16,6 +16,7 @@ The subsystem that turns the repository's figure drivers into data:
 CLI: ``repro scenarios list/show`` and ``repro sweep run/resume``.
 """
 
+from repro.scenarios.journal import SweepJournal, sweep_spec_hash
 from repro.scenarios.orchestrator import (
     SweepOrchestrator,
     SweepReport,
@@ -31,18 +32,26 @@ from repro.scenarios.spec import (
     ToleranceRule,
     ToleranceSchedule,
 )
-from repro.scenarios.store import ResultStore, point_cache_key
+from repro.scenarios.store import (
+    ResultStore,
+    StoreIntegrityError,
+    VerifyReport,
+    point_cache_key,
+)
 
 __all__ = [
     "Axis",
     "EngineSettings",
     "ResultStore",
     "ScenarioSpec",
+    "StoreIntegrityError",
+    "SweepJournal",
     "SweepOrchestrator",
     "SweepPoint",
     "SweepReport",
     "ToleranceRule",
     "ToleranceSchedule",
+    "VerifyReport",
     "builtin_scenarios",
     "get_runner",
     "get_scenario",
@@ -51,4 +60,5 @@ __all__ = [
     "register_kind",
     "run_scenario",
     "scenario_names",
+    "sweep_spec_hash",
 ]

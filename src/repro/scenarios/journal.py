@@ -1,0 +1,195 @@
+"""Per-sweep write-ahead journal: which points are committed vs. mid-flight.
+
+The result store alone cannot distinguish "this point was never started"
+from "the driver was SIGKILLed while this point was half-done": a record
+present on disk *looks* committed either way, and a record written by a
+driver that died between ``save()`` and whatever bookkeeping would have
+followed is indistinguishable from a clean one.  The journal closes that
+gap the WAL way — intent is persisted *before* the action:
+
+- ``begin(spec_hash, total_points)`` opens (or resumes) a sweep,
+- ``point_started(key)`` is written before a point computes,
+- ``point_finished(key)`` is written after its record is safely renamed
+  into the store,
+- ``complete()`` seals the sweep.
+
+Every transition rewrites the journal file atomically (temp + rename),
+so the journal itself survives any kill.  On resume, ``begin`` with the
+same ``spec_hash`` returns the *mid-flight* keys — points whose start
+was journaled but whose finish never was.  The orchestrator recomputes
+exactly those points (the determinism contract makes the recomputation
+byte-identical, so a resumed store matches an uninterrupted run), and
+trusts the store for everything else.  A different ``spec_hash`` means a
+different sweep (other trials, tolerance, grid): the journal resets
+rather than poison the new run with stale flight state.
+
+The journal lives in the store's ``.journal/`` dot-directory — next to
+the records it guards, invisible to content-key lookups and gc scans.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Set
+
+from repro.scenarios.store import canonical_json
+
+#: Journal file schema version.
+JOURNAL_SCHEMA = 1
+
+#: Store dot-directory holding one journal file per scenario.
+JOURNAL_DIR = ".journal"
+
+_STARTED = "started"
+_FINISHED = "finished"
+
+
+def sweep_spec_hash(keys: Sequence[str]) -> str:
+    """The identity of one resolved sweep: a hash over its point keys.
+
+    The point cache keys already capture everything result-shaping
+    (kind, params, trials, seed, tolerance, engine settings), so hashing
+    the ordered key list pins the *whole* sweep: any change that would
+    alter any point's identity changes the spec hash, and the journal of
+    the old sweep is not mistaken for the new one's.
+    """
+    digest = hashlib.sha256(
+        canonical_json(list(keys)).encode("utf-8")
+    ).hexdigest()
+    return digest[:32]
+
+
+class SweepJournal:
+    """One scenario's write-ahead journal inside a result store.
+
+    Not thread-safe — the orchestrator's point loop is the single
+    writer, which is the point: one sweep, one journal, one story.
+    """
+
+    def __init__(self, root, scenario: str) -> None:
+        self.scenario = scenario
+        self.path = Path(root) / JOURNAL_DIR / f"{scenario}.json"
+        self._state: Optional[Dict[str, Any]] = None
+
+    def __repr__(self) -> str:
+        return f"SweepJournal({str(self.path)!r})"
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Optional[Dict[str, Any]]:
+        """The journal state on disk, or ``None`` (absent / unreadable).
+
+        Unreadable journals are treated as absent, not fatal: losing the
+        journal only loses the committed-vs-mid-flight distinction, and
+        the orchestrator's fallback (trust store records) is exactly the
+        pre-journal behaviour.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(state, dict) or not isinstance(
+            state.get("points"), dict
+        ):
+            return None
+        return state
+
+    @staticmethod
+    def _keys_in(state: Dict[str, Any], status: str) -> Set[str]:
+        return {
+            key
+            for key, entry in state.get("points", {}).items()
+            if isinstance(entry, dict) and entry.get("status") == status
+        }
+
+    def midflight_keys(self) -> Set[str]:
+        """Keys journaled as started but never finished (current state)."""
+        state = self._state or self.load()
+        return self._keys_in(state, _STARTED) if state else set()
+
+    def committed_keys(self) -> Set[str]:
+        """Keys journaled as finished (current state)."""
+        state = self._state or self.load()
+        return self._keys_in(state, _FINISHED) if state else set()
+
+    @classmethod
+    def status(cls, root, scenario: str) -> Optional[Dict[str, Any]]:
+        """A read-only summary for CLI reporting, or ``None`` if absent."""
+        journal = cls(root, scenario)
+        state = journal.load()
+        if state is None:
+            return None
+        return {
+            "scenario": scenario,
+            "status": state.get("status"),
+            "spec_hash": state.get("spec_hash"),
+            "total_points": state.get("total_points"),
+            "committed": len(cls._keys_in(state, _FINISHED)),
+            "midflight": sorted(cls._keys_in(state, _STARTED)),
+        }
+
+    # -- writing -----------------------------------------------------------
+
+    def begin(self, spec_hash: str, total_points: int) -> Set[str]:
+        """Open (or resume) a sweep; returns a crashed run's mid-flight keys.
+
+        A running journal with the same ``spec_hash`` is a crashed (or
+        interrupted) instance of *this* sweep: its started-but-unfinished
+        keys come back so the caller can force-recompute them.  Any other
+        state — completed sweep, different spec, no journal — starts
+        fresh with no mid-flight set.
+        """
+        existing = self.load()
+        midflight: Set[str] = set()
+        if existing is not None and existing.get("spec_hash") == spec_hash:
+            if existing.get("status") == "running":
+                midflight = self._keys_in(existing, _STARTED)
+            state = existing
+            state["status"] = "running"
+            state["total_points"] = total_points
+        else:
+            state = {
+                "schema": JOURNAL_SCHEMA,
+                "scenario": self.scenario,
+                "spec_hash": spec_hash,
+                "status": "running",
+                "total_points": total_points,
+                "points": {},
+            }
+        self._state = state
+        self._write()
+        return midflight
+
+    def point_started(self, key: str, index: int) -> None:
+        """Journal intent to compute a point — written *before* computing."""
+        self._mark(key, index, _STARTED)
+
+    def point_finished(self, key: str, index: int) -> None:
+        """Journal a point's record as safely in the store."""
+        self._mark(key, index, _FINISHED)
+
+    def complete(self) -> None:
+        """Seal the sweep: every point accounted for, no flight state left."""
+        if self._state is None:
+            raise RuntimeError("journal.complete() before begin()")
+        self._state["status"] = "complete"
+        self._write()
+
+    def _mark(self, key: str, index: int, status: str) -> None:
+        if self._state is None:
+            raise RuntimeError(f"journal.{status} before begin()")
+        self._state["points"][key] = {"status": status, "index": index}
+        self._write()
+
+    def _write(self) -> None:
+        """Atomic full-state rewrite — the same temp+rename as the store."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_suffix(".json.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(self._state, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp, self.path)

@@ -23,17 +23,27 @@ One :meth:`SweepOrchestrator.run` call owns the whole sweep:
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.backends import get as get_backend
 from repro.backends.base import BackendSpec
+from repro.backends.distributed import NoWorkersLeft, PointDeadlineExceeded
 from repro.experiments.engine import TrialEngine
 from repro.experiments.executors import TrialExecutor
 from repro.obs.trace import NULL_TRACER, coerce_tracer
+from repro.scenarios.journal import SweepJournal, sweep_spec_hash
 from repro.scenarios.runners import get_runner
 from repro.scenarios.spec import ScenarioSpec, SweepPoint
-from repro.scenarios.store import STORE_GENERATION, ResultStore, point_cache_key
+from repro.scenarios.store import (
+    STORE_GENERATION,
+    ResultStore,
+    StoreIntegrityError,
+    finalize_record,
+    point_cache_key,
+)
 from repro.util.validation import check_positive_int
 
 #: Per-point tolerance hook: full parameter dict -> tolerance (or None).
@@ -41,6 +51,60 @@ ToleranceFn = Callable[[Mapping[str, Any]], Optional[float]]
 
 #: Per-point progress hook: (point, record, served_from_cache).
 ProgressFn = Callable[[SweepPoint, Dict[str, Any], bool], None]
+
+
+@contextmanager
+def _null_guard():
+    yield
+
+
+class _PointWatchdog:
+    """Arms a per-point deadline against a cancellable executor.
+
+    When the deadline fires, the executor's in-flight dispatch is
+    aborted with :class:`PointDeadlineExceeded` and busy workers are
+    told to abandon their spans — the orchestrator then either degrades
+    to the fallback backend or propagates the error.  Executors without
+    ``cancel_active`` (all the local ones) cannot be interrupted from
+    outside, so the guard no-ops for them.
+    """
+
+    def __init__(self, deadline: float, tracer: Any) -> None:
+        self.deadline = deadline
+        self.tracer = tracer
+        #: Times the deadline fired.  A firing that loses the race with
+        #: a completing point is a harmless no-op abort but still counts
+        #: — this is "fired", not "point failed".
+        self.fired = 0
+
+    @contextmanager
+    def guard(self, executor: TrialExecutor, index: int, sweep_span: Any):
+        cancel = getattr(executor, "cancel_active", None)
+        if cancel is None:
+            yield
+            return
+
+        def expire() -> None:
+            self.fired += 1
+            self.tracer.event(
+                "watchdog",
+                span=sweep_span,
+                point=index,
+                deadline_seconds=self.deadline,
+            )
+            cancel(
+                PointDeadlineExceeded(
+                    f"point {index} exceeded its {self.deadline}s deadline"
+                )
+            )
+
+        timer = threading.Timer(self.deadline, expire)
+        timer.daemon = True
+        timer.start()
+        try:
+            yield
+        finally:
+            timer.cancel()
 
 
 @dataclass(frozen=True)
@@ -122,6 +186,31 @@ class SweepOrchestrator:
         itself, so distributed dispatch detail lands in the same tree.
         Tracing is a pure side channel: results, store records, and
         cache keys are byte-identical with it on, off, or failing.
+    fallback:
+        The degradation policy when the sweep's backend collapses.
+        ``None`` (default) keeps the historical behaviour: the error
+        propagates and the sweep aborts (with partial ``backend_stats``
+        preserved).  ``"local"`` degrades the sweep one-way: on
+        :class:`NoWorkersLeft` or a watchdog
+        :class:`PointDeadlineExceeded`, the failed point — and every
+        later point — reruns on the default local backend (the ``jobs``
+        sugar), emitting a typed ``degraded`` event and a ``degraded``
+        stats counter.  The determinism contract makes the switch
+        invisible in the results: store bytes match a never-degraded
+        run.
+    point_deadline:
+        Optional per-point wall-clock budget in seconds.  A driver-side
+        watchdog arms per computed point; expiry cancels the backend's
+        in-flight dispatch (requeueing worker spans mid-flight) and
+        raises :class:`PointDeadlineExceeded` into the degradation
+        ladder.  Only enforceable against executors exposing
+        ``cancel_active`` (the distributed backend); local executors
+        ignore it.
+    journal:
+        Whether store-backed runs keep a per-sweep write-ahead journal
+        (:class:`~repro.scenarios.journal.SweepJournal`) distinguishing
+        committed from mid-flight points across driver crashes.  On by
+        default; no effect without a store.
     """
 
     def __init__(
@@ -134,6 +223,9 @@ class SweepOrchestrator:
         tolerance_fn: Optional[ToleranceFn] = None,
         batch_size: Optional[int] = None,
         tracer: Any = None,
+        fallback: Optional[str] = None,
+        point_deadline: Optional[float] = None,
+        journal: bool = True,
     ) -> None:
         self.store = store
         self.jobs = None if jobs is None else check_positive_int(jobs, "jobs")
@@ -147,6 +239,15 @@ class SweepOrchestrator:
             else check_positive_int(batch_size, "batch_size")
         )
         self.tracer = coerce_tracer(tracer)
+        if fallback not in (None, "local"):
+            raise ValueError(
+                f"unknown fallback policy {fallback!r} (expected None or 'local')"
+            )
+        self.fallback = fallback
+        if point_deadline is not None and not point_deadline > 0:
+            raise ValueError("point_deadline must be a positive number of seconds")
+        self.point_deadline = point_deadline
+        self.journal = bool(journal)
         #: The most recent run's backend-stats snapshot — taken in a
         #: ``finally``, so it survives (and gets traced) even when the
         #: backend dies mid-run and no :class:`SweepReport` is returned.
@@ -180,8 +281,11 @@ class SweepOrchestrator:
 
         ``trials`` overrides the spec's per-point budget; ``force``
         recomputes even cached points (and overwrites their records).
-        Interrupting a run is safe at any moment: completed points are
-        already persisted, so the next ``run`` continues where it stopped.
+        Interrupting a run is safe at any moment — even ``kill -9``:
+        completed points are already persisted, the journal names the
+        point that was mid-flight, and the next ``run`` recomputes
+        exactly that point (byte-identically, by the determinism
+        contract) while serving the rest from the store.
         """
         runner = get_runner(spec.kind)
         if self.batch_size is not None:
@@ -192,7 +296,26 @@ class SweepOrchestrator:
             )
         effective_trials = spec.trials if trials is None else trials
         check_positive_int(effective_trials, "trials", minimum=0)
-        points = spec.points()
+        # Resolve the whole grid up front: the journal's spec hash covers
+        # every point's identity, so it must exist before the first point
+        # runs.
+        entries: List[Tuple[SweepPoint, Optional[float], str, str]] = []
+        for point in spec.points():
+            tolerance = self.point_tolerance(spec, point)
+            key = point_cache_key(
+                spec,
+                point.values,
+                trials=effective_trials,
+                tolerance=tolerance,
+            )
+            label = (
+                " ".join(
+                    f"{name}={value}"
+                    for name, value in point.values.items()
+                )
+                or spec.name
+            )
+            entries.append((point, tolerance, key, label))
         records: List[Dict[str, Any]] = []
         computed = cached = 0
         executor = self._backend_for(spec)
@@ -200,81 +323,152 @@ class SweepOrchestrator:
             # Backends that trace their own dispatch (distributed spans,
             # membership events) join the sweep's tree.
             executor.tracer = self.tracer
+        journal: Optional[SweepJournal] = None
+        midflight: frozenset = frozenset()
+        if self.store is not None and self.journal:
+            journal = SweepJournal(self.store.root, spec.name)
+            midflight = frozenset(
+                journal.begin(
+                    sweep_spec_hash([key for _, _, key, _ in entries]),
+                    len(entries),
+                )
+            )
+        watchdog = (
+            _PointWatchdog(self.point_deadline, self.tracer)
+            if self.point_deadline is not None
+            else None
+        )
+        degraded = 0
+        fallback_executor: Optional[TrialExecutor] = None
         with self.tracer.span(
             "sweep",
             scenario=spec.name,
             kind=spec.kind,
-            points=len(points),
+            points=len(entries),
             trials=effective_trials,
             backend=type(executor).__name__,
         ) as sweep_span:
+            if midflight:
+                # A predecessor died with these points half-done: their
+                # records (if any) are untrusted and will recompute.
+                self.tracer.event(
+                    "journal_recovery",
+                    span=sweep_span,
+                    midflight=len(midflight),
+                )
+            active = executor
             with executor:
                 try:
-                    for point in points:
-                        tolerance = self.point_tolerance(spec, point)
-                        key = point_cache_key(
-                            spec,
-                            point.values,
-                            trials=effective_trials,
-                            tolerance=tolerance,
-                        )
-                        label = (
-                            " ".join(
-                                f"{name}={value}"
-                                for name, value in point.values.items()
-                            )
-                            or spec.name
-                        )
+                    for point, tolerance, key, label in entries:
                         with self.tracer.span(
                             "point", index=point.index, label=label, key=key
                         ) as point_span:
                             if (
                                 self.store is not None
                                 and not force
+                                and key not in midflight
                                 and self.store.has(spec.name, key)
                             ):
-                                record = self.store.load(spec.name, key)
-                                record["from_cache"] = True
-                                records.append(record)
-                                cached += 1
-                                point_span.set_attr("cached", True)
-                                point_span.event("cache_hit", key=key)
-                                if progress is not None:
-                                    progress(point, record, True)
-                                continue
-                            engine = TrialEngine(
-                                executor=executor,
-                                tolerance=tolerance,
-                                min_trials=spec.engine.min_trials,
-                                check_interval=spec.engine.check_interval,
-                                checkpoint_batches=spec.engine.checkpoint_batches,
-                                ci_method=spec.engine.ci_method,
-                                tracer=self.tracer,
+                                record = self._load_cached(
+                                    spec.name, key, point_span
+                                )
+                                if record is not None:
+                                    records.append(record)
+                                    cached += 1
+                                    point_span.set_attr("cached", True)
+                                    point_span.event("cache_hit", key=key)
+                                    if journal is not None:
+                                        journal.point_finished(
+                                            key, point.index
+                                        )
+                                    if progress is not None:
+                                        progress(point, record, True)
+                                    continue
+                            if journal is not None:
+                                # WAL: intent on disk before the point
+                                # computes — a SIGKILL between here and
+                                # point_finished marks the point
+                                # mid-flight, never silently committed.
+                                journal.point_started(key, point.index)
+                            while True:
+                                try:
+                                    guard = (
+                                        watchdog.guard(
+                                            active, point.index, sweep_span
+                                        )
+                                        if watchdog is not None
+                                        else _null_guard()
+                                    )
+                                    with guard:
+                                        result = self._compute_point(
+                                            runner,
+                                            active,
+                                            spec,
+                                            point,
+                                            tolerance,
+                                            effective_trials,
+                                        )
+                                    break
+                                except (
+                                    NoWorkersLeft,
+                                    PointDeadlineExceeded,
+                                ) as failure:
+                                    if (
+                                        self.fallback != "local"
+                                        or active is not executor
+                                    ):
+                                        raise
+                                    # Degrade one-way: the failed point —
+                                    # and every later one — reruns on the
+                                    # local default backend.  Same task,
+                                    # same spans, same bytes.
+                                    degraded += 1
+                                    reason = (
+                                        "point_deadline"
+                                        if isinstance(
+                                            failure, PointDeadlineExceeded
+                                        )
+                                        else "no_workers_left"
+                                    )
+                                    self.tracer.event(
+                                        "degraded",
+                                        span=sweep_span,
+                                        reason=reason,
+                                        point=point.index,
+                                        from_backend=type(active).__name__,
+                                        to_backend="local",
+                                    )
+                                    fallback_executor = get_backend(
+                                        None, jobs=self.jobs, sweep=True
+                                    )
+                                    if self.tracer is not NULL_TRACER and hasattr(
+                                        fallback_executor, "tracer"
+                                    ):
+                                        fallback_executor.tracer = self.tracer
+                                    fallback_executor.open()
+                                    active = fallback_executor
+                            record = finalize_record(
+                                {
+                                    "key": key,
+                                    "scenario": spec.name,
+                                    "kind": spec.kind,
+                                    "point": dict(point.values),
+                                    "params": point.params(spec),
+                                    "trials": effective_trials,
+                                    "seed": spec.seed,
+                                    "tolerance": tolerance,
+                                    "result": result,
+                                    # Finalized (generation + checksum)
+                                    # here as well as in save() so a
+                                    # report's record shape never depends
+                                    # on cache state.
+                                    "store_generation": STORE_GENERATION,
+                                }
                             )
-                            result = runner(
-                                point.params(spec),
-                                effective_trials,
-                                spec.seed,
-                                engine,
-                                spec.engine.batch_size,
-                            )
-                            record = {
-                                "key": key,
-                                "scenario": spec.name,
-                                "kind": spec.kind,
-                                "point": dict(point.values),
-                                "params": point.params(spec),
-                                "trials": effective_trials,
-                                "seed": spec.seed,
-                                "tolerance": tolerance,
-                                "result": result,
-                                # Stamped here as well as in save() so a report's
-                                # record shape never depends on cache state (cached
-                                # records come back from disk with their stamp).
-                                "store_generation": STORE_GENERATION,
-                            }
                             if self.store is not None:
                                 self.store.save(spec.name, key, record)
+                            if journal is not None:
+                                journal.point_finished(key, point.index)
                             records.append(record)
                             computed += 1
                             point_span.set_attr(
@@ -284,28 +478,90 @@ class SweepOrchestrator:
                             )
                             if progress is not None:
                                 progress(point, record, False)
+                    if journal is not None:
+                        journal.complete()
                 finally:
                     # Snapshot in a finally, *inside* the with-block: a
                     # backend that dies mid-run (or mid-finish) must not
                     # take its counters down with it — partial-run stats
                     # survive for callers and land in the trace — and
                     # close() may tear down the very state (workers,
-                    # pool) the stats describe.
+                    # pool) the stats describe.  The orchestrator's own
+                    # degradation counters ride in the same dict.
                     stats = getattr(executor, "stats", None)
                     backend_stats = (
                         dict(stats) if isinstance(stats, dict) else None
                     )
+                    ladder: Dict[str, int] = {}
+                    if degraded:
+                        ladder["degraded"] = degraded
+                    if watchdog is not None and watchdog.fired:
+                        ladder["watchdog_fired"] = watchdog.fired
+                    if ladder:
+                        backend_stats = {**(backend_stats or {}), **ladder}
                     self.last_backend_stats = backend_stats
                     if backend_stats:
                         self.tracer.event(
                             "backend_stats", span=sweep_span, **backend_stats
                         )
+                    if fallback_executor is not None:
+                        fallback_executor.close()
         return SweepReport(
             spec=spec,
             records=tuple(records),
             computed=computed,
             cached=cached,
             backend_stats=backend_stats,
+        )
+
+    def _load_cached(
+        self, scenario: str, key: str, point_span: Any
+    ) -> Optional[Dict[str, Any]]:
+        """Load a cached record, quarantining damage instead of crashing.
+
+        ``None`` means the record failed verification: it has been moved
+        to the store's quarantine and the caller should recompute the
+        point — resumes heal a damaged store rather than abort on it.
+        """
+        try:
+            record = self.store.load_verified(scenario, key)
+        except StoreIntegrityError as damage:
+            quarantined = self.store.quarantine(damage.path)
+            point_span.event(
+                "quarantine",
+                key=key,
+                status=damage.status,
+                path=str(quarantined),
+            )
+            return None
+        record["from_cache"] = True
+        return record
+
+    def _compute_point(
+        self,
+        runner: Callable[..., Any],
+        executor: TrialExecutor,
+        spec: ScenarioSpec,
+        point: SweepPoint,
+        tolerance: Optional[float],
+        effective_trials: int,
+    ) -> Any:
+        """Run one point's trials on ``executor`` through a fresh engine."""
+        engine = TrialEngine(
+            executor=executor,
+            tolerance=tolerance,
+            min_trials=spec.engine.min_trials,
+            check_interval=spec.engine.check_interval,
+            checkpoint_batches=spec.engine.checkpoint_batches,
+            ci_method=spec.engine.ci_method,
+            tracer=self.tracer,
+        )
+        return runner(
+            point.params(spec),
+            effective_trials,
+            spec.seed,
+            engine,
+            spec.engine.batch_size,
         )
 
 

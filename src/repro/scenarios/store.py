@@ -27,6 +27,15 @@ Records are written atomically (temp file + rename), so a sweep killed
 mid-write never leaves a truncated record behind — which is what makes
 ``repro sweep resume`` safe: finished points load from the store, the
 interrupted point recomputes.
+
+Generation-3 records additionally carry a ``checksum`` field — a SHA-256
+over the record's canonical JSON (checksum excluded) — so torn copies,
+bit rot, and manual edits are *detected*, not silently resumed from:
+:meth:`ResultStore.verify` reports them, :meth:`ResultStore.repair`
+moves them into a ``.quarantine/`` directory (never deletes), and the
+next sweep recomputes exactly the quarantined points.  Dot-directories
+under the root (``.quarantine/``, ``.journal/``) are store-internal and
+invisible to content-key lookups.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -45,12 +55,35 @@ _KEY_HEX_CHARS = 32  # 128 bits of SHA-256: collision-free at any sweep scale
 #: The store-format generation stamped into every record written by this
 #: code.  Generation 1 is the PR 2/3 format (no stamp — reads as 1);
 #: generation 2 added the stamp itself plus the backend-aware cache-key
-#: derivation.  Bump it whenever the record schema changes in a way
+#: derivation; generation 3 added the record ``checksum``.  Bump it
+#: whenever the record schema changes in a way
 #: ``repro sweep gc --keep-latest`` should be able to prune.
-STORE_GENERATION = 2
+STORE_GENERATION = 3
 
 #: What untagged (pre-generation) records read as.
 LEGACY_GENERATION = 1
+
+#: The integrity field stamped into every generation-3 record.
+CHECKSUM_FIELD = "checksum"
+
+#: How long an orphaned ``.json.tmp`` must sit untouched before gc may
+#: collect it.  A live driver's in-flight tmp file is seconds old; an
+#: orphan from a killed driver only gets older.
+DEFAULT_TMP_GRACE_SECONDS = 3600.0
+
+#: Fields excluded from the checksum: the checksum itself, plus the
+#: in-memory ``from_cache`` marker (never persisted, but excluded
+#: defensively so re-verifying a loaded record stays stable).
+_UNCHECKSUMMED_FIELDS = (CHECKSUM_FIELD, "from_cache")
+
+
+class StoreIntegrityError(ValueError):
+    """A stored record failed verification (torn, corrupt, or tampered)."""
+
+    def __init__(self, path: Path, status: str) -> None:
+        super().__init__(f"store record {path} failed verification: {status}")
+        self.path = path
+        self.status = status
 
 
 def record_generation(record: Mapping[str, Any]) -> int:
@@ -64,6 +97,54 @@ def record_generation(record: Mapping[str, Any]) -> int:
 def canonical_json(payload: Any) -> str:
     """Deterministic JSON: sorted keys, no whitespace — the hashing form."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def record_checksum(record: Mapping[str, Any]) -> str:
+    """The integrity hash of one record (checksum field excluded).
+
+    Records are deterministic content — the same point computed on any
+    backend produces the same bytes — so the checksum is deterministic
+    too, and byte-diff proofs (chaos CI) keep working across the
+    generation bump.
+    """
+    payload = {
+        name: value
+        for name, value in record.items()
+        if name not in _UNCHECKSUMMED_FIELDS
+    }
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+    return f"sha256:{digest}"
+
+
+def verify_record(record: Any) -> str:
+    """One record's integrity status: ``ok`` | ``legacy`` | ``mismatch``.
+
+    ``legacy`` means the record predates checksums (generation < 3) —
+    trusted as-is, exactly as before the integrity layer existed.
+    ``mismatch`` means the record *claims* a checksum that its content
+    does not hash to.
+    """
+    if not isinstance(record, Mapping):
+        return "mismatch"
+    claimed = record.get(CHECKSUM_FIELD)
+    if claimed is None:
+        return "legacy"
+    if not isinstance(claimed, str):
+        return "mismatch"
+    return "ok" if record_checksum(record) == claimed else "mismatch"
+
+
+def finalize_record(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """Stamp a record with the current generation and its checksum.
+
+    Idempotent: any stale checksum is recomputed, so finalizing a
+    finalized record is a no-op.  :meth:`ResultStore.save` finalizes
+    internally; the orchestrator also finalizes the in-memory copy so a
+    report's record shape never depends on cache state.
+    """
+    stamped = {**record, "store_generation": STORE_GENERATION}
+    stamped[CHECKSUM_FIELD] = record_checksum(stamped)
+    return stamped
 
 
 def point_cache_key(
@@ -116,6 +197,20 @@ class ResultStore:
     def path_for(self, scenario: str, key: str) -> Path:
         return self.root / scenario / f"{key}.json"
 
+    def quarantine_dir(self, scenario: str) -> Path:
+        """Where :meth:`repair` parks a scenario's failed records."""
+        return self.root / ".quarantine" / scenario
+
+    def _scenario_dirs(self) -> List[Path]:
+        """The record directories, dot-dirs (quarantine, journal) excluded."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry
+            for entry in self.root.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        )
+
     def find(self, scenario: str, key: str) -> Optional[Path]:
         """Locate a content key: the scenario's directory, then any sibling.
 
@@ -126,13 +221,10 @@ class ResultStore:
         preferred = self.path_for(scenario, key)
         if preferred.is_file():
             return preferred
-        if not self.root.is_dir():
-            return None
-        for entry in sorted(self.root.iterdir()):
-            if entry.is_dir():
-                candidate = entry / f"{key}.json"
-                if candidate.is_file():
-                    return candidate
+        for entry in self._scenario_dirs():
+            candidate = entry / f"{key}.json"
+            if candidate.is_file():
+                return candidate
         return None
 
     def has(self, scenario: str, key: str) -> bool:
@@ -148,14 +240,52 @@ class ResultStore:
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
+    def load_verified(self, scenario: str, key: str) -> Dict[str, Any]:
+        """Load one record, raising :class:`StoreIntegrityError` if bad.
+
+        The cache-trusting load for resumes: torn/corrupt JSON and
+        checksum mismatches raise instead of poisoning the sweep;
+        ``legacy`` (pre-checksum) records pass, exactly as they always
+        have.
+        """
+        path = self.find(scenario, key)
+        if path is None:
+            raise FileNotFoundError(
+                f"no cached record for key {key!r} (scenario {scenario!r}) "
+                f"under {self.root}"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except json.JSONDecodeError:
+            raise StoreIntegrityError(path, "corrupt") from None
+        status = verify_record(record)
+        if status == "mismatch":
+            raise StoreIntegrityError(path, status)
+        return record
+
+    def quarantine(self, path: Path) -> Path:
+        """Move one failed record into ``.quarantine/`` (never delete).
+
+        Quarantined records keep their scenario directory and file name,
+        so a repair's damage report stays greppable; the content key
+        disappears from :meth:`find`, so the next sweep recomputes the
+        point.
+        """
+        destination = self.quarantine_dir(path.parent.name) / path.name
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, destination)
+        return destination
+
     def save(self, scenario: str, key: str, record: Mapping[str, Any]) -> Path:
         """Atomically persist one point record (temp file + rename).
 
         Every record is stamped with the current store-format
         :data:`STORE_GENERATION` so ``gc(keep_latest=True)`` can prune
-        records written by older formats.
+        records written by older formats, plus its :func:`record_checksum`
+        so :meth:`verify` can detect torn or tampered copies.
         """
-        stamped = {**record, "store_generation": STORE_GENERATION}
+        stamped = finalize_record(record)
         path = self.path_for(scenario, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         temp = path.with_suffix(".json.tmp")
@@ -177,42 +307,114 @@ class ResultStore:
 
     def scenarios(self) -> List[str]:
         """Scenario names that have at least one cached point."""
-        if not self.root.is_dir():
-            return []
         return sorted(
             entry.name
-            for entry in self.root.iterdir()
-            if entry.is_dir() and any(entry.glob("*.json"))
+            for entry in self._scenario_dirs()
+            if any(entry.glob("*.json"))
         )
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify(self, scenario: Optional[str] = None) -> "VerifyReport":
+        """Check every record's integrity without touching anything.
+
+        Scans one scenario (or the whole store) and buckets each record:
+        ``ok`` (checksum matches), ``legacy`` (pre-checksum, trusted),
+        ``corrupt`` (unreadable JSON / not a record object), or
+        ``mismatched`` (checksum does not match the content).  Leftover
+        ``.json.tmp`` orphans are reported too — they are gc's business,
+        but a verify after a driver SIGKILL should name them.
+        """
+        report = VerifyReport(scenario=scenario)
+        directories = (
+            [self.root / scenario]
+            if scenario is not None
+            else self._scenario_dirs()
+        )
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for orphan in sorted(directory.glob("*.json.tmp")):
+                report.orphans.append(orphan)
+            for path in sorted(directory.glob("*.json")):
+                report.scanned += 1
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        record = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    report.corrupt.append(path)
+                    continue
+                status = verify_record(record)
+                if status == "ok":
+                    report.ok += 1
+                elif status == "legacy":
+                    report.legacy += 1
+                else:
+                    report.mismatched.append(path)
+        return report
+
+    def repair(self, scenario: Optional[str] = None) -> "VerifyReport":
+        """Verify, then quarantine every failed record.
+
+        Bad records move to ``.quarantine/<scenario>/<key>.json`` — the
+        store never destroys evidence — and their content keys drop out
+        of lookups, so the next ``sweep run``/``resume`` recomputes
+        exactly those points.  Returns the verify report with the
+        quarantined destinations filled in.
+        """
+        report = self.verify(scenario)
+        for path in report.bad_paths():
+            report.quarantined.append(self.quarantine(path))
+        return report
 
     # -- garbage collection ------------------------------------------------
 
-    def gc(self, keep_latest: bool = False, dry_run: bool = False) -> "GcReport":
+    def gc(
+        self,
+        keep_latest: bool = False,
+        dry_run: bool = False,
+        tmp_grace_seconds: float = DEFAULT_TMP_GRACE_SECONDS,
+        purge_quarantine: bool = False,
+    ) -> "GcReport":
         """Prune what a healthy store should not contain.
 
-        Always removes *orphans* — ``.json.tmp`` leftovers of writes
-        interrupted before their atomic rename — and *corrupt* records
-        (unreadable JSON; cannot happen through :meth:`save`, but gc is
-        the safety net for torn copies and manual edits).  With
-        ``keep_latest``, additionally removes *stale* records: every
-        record whose :func:`record_generation` is below the newest
-        generation present in the store.  Empty scenario directories
+        Removes *orphans* — ``.json.tmp`` leftovers of writes interrupted
+        before their atomic rename — once they are older than
+        ``tmp_grace_seconds`` (a live driver's in-flight tmp file is
+        seconds old, so age-gating makes gc safe to run next to a running
+        sweep); younger tmp files are reported as *fresh* and kept.
+        Always removes *corrupt* records (unreadable JSON; cannot happen
+        through :meth:`save`, but gc is the safety net for torn copies
+        and manual edits).  With ``keep_latest``, additionally removes
+        *stale* records: every record whose :func:`record_generation` is
+        below the newest generation present in the store.  Records parked
+        by :meth:`repair` are reported in their own *quarantined* bucket
+        and only removed under ``purge_quarantine`` — quarantine is
+        evidence, purging it is an explicit decision.  Empty directories
         are dropped at the end.
 
         ``dry_run`` reports what would be removed without touching
         anything.  Pruned points simply recompute on the next sweep —
         the store is a cache, never the source of truth.
         """
-        report = GcReport(dry_run=dry_run)
+        report = GcReport(
+            dry_run=dry_run, purge_quarantine=purge_quarantine
+        )
         if not self.root.is_dir():
             return report
-        directories = sorted(
-            entry for entry in self.root.iterdir() if entry.is_dir()
-        )
+        directories = self._scenario_dirs()
+        now = time.time()
         records: List[Tuple[Path, int]] = []
         for directory in directories:
             for orphan in sorted(directory.glob("*.json.tmp")):
-                report.orphans.append(orphan)
+                try:
+                    age = now - orphan.stat().st_mtime
+                except OSError:
+                    continue  # renamed/removed underneath us: not ours
+                if age >= tmp_grace_seconds:
+                    report.orphans.append(orphan)
+                else:
+                    report.fresh_tmp.append(orphan)
             for path in sorted(directory.glob("*.json")):
                 try:
                     with open(path, "r", encoding="utf-8") as handle:
@@ -237,11 +439,24 @@ class ResultStore:
         report.kept = sum(
             1 for path, _ in records if path not in stale_set
         )
+        quarantine_root = self.root / ".quarantine"
+        if quarantine_root.is_dir():
+            report.quarantined.extend(sorted(quarantine_root.rglob("*.json")))
         if not dry_run:
             for path in report.removed_paths():
                 path.unlink(missing_ok=True)
-            for directory in directories:
-                if not any(directory.iterdir()):
+            sweep_dirs = list(directories)
+            if purge_quarantine and quarantine_root.is_dir():
+                sweep_dirs.extend(
+                    sorted(
+                        entry
+                        for entry in quarantine_root.iterdir()
+                        if entry.is_dir()
+                    )
+                )
+                sweep_dirs.append(quarantine_root)
+            for directory in sweep_dirs:
+                if directory.is_dir() and not any(directory.iterdir()):
                     directory.rmdir()
         return report
 
@@ -251,17 +466,55 @@ class GcReport:
     """What one :meth:`ResultStore.gc` pass found (and removed)."""
 
     dry_run: bool = False
+    purge_quarantine: bool = False
     scanned: int = 0
     kept: int = 0
     latest_generation: Optional[int] = None
     orphans: List[Path] = field(default_factory=list)
+    #: Tmp files younger than the grace period: kept, a live driver may
+    #: be about to rename them.
+    fresh_tmp: List[Path] = field(default_factory=list)
     corrupt: List[Path] = field(default_factory=list)
     stale: List[Path] = field(default_factory=list)
+    #: Records parked under ``.quarantine/`` by :meth:`ResultStore.repair`;
+    #: removed only under ``purge_quarantine``.
+    quarantined: List[Path] = field(default_factory=list)
 
     def removed_paths(self) -> List[Path]:
         """Everything this pass removes (or would, under ``dry_run``)."""
-        return [*self.orphans, *self.corrupt, *self.stale]
+        removed = [*self.orphans, *self.corrupt, *self.stale]
+        if self.purge_quarantine:
+            removed.extend(self.quarantined)
+        return removed
 
     @property
     def removed(self) -> int:
         return len(self.removed_paths())
+
+
+@dataclass
+class VerifyReport:
+    """What one :meth:`ResultStore.verify`/:meth:`repair` pass found.
+
+    ``ok``/``legacy`` count healthy records (legacy = pre-checksum,
+    trusted as-is); ``corrupt``/``mismatched`` name the damaged files;
+    ``quarantined`` names where :meth:`ResultStore.repair` moved them.
+    """
+
+    scenario: Optional[str] = None
+    scanned: int = 0
+    ok: int = 0
+    legacy: int = 0
+    corrupt: List[Path] = field(default_factory=list)
+    mismatched: List[Path] = field(default_factory=list)
+    orphans: List[Path] = field(default_factory=list)
+    quarantined: List[Path] = field(default_factory=list)
+
+    def bad_paths(self) -> List[Path]:
+        """Every record that failed verification."""
+        return [*self.corrupt, *self.mismatched]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing failed (orphan tmp files are gc's business)."""
+        return not self.corrupt and not self.mismatched

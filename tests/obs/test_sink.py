@@ -1,6 +1,7 @@
 """The JSONL sink and the schema validator it is checked against."""
 
 import json
+import warnings
 
 import pytest
 
@@ -8,6 +9,7 @@ from repro.obs.sink import (
     SCHEMA_VERSION,
     JsonlSink,
     TraceSchemaError,
+    TraceTruncationWarning,
     iter_trace,
     read_trace,
     validate_record,
@@ -142,3 +144,79 @@ class TestIterTrace:
             encoding="utf-8",
         )
         assert len(read_trace(path)) == 1
+
+
+class TestTruncatedTail:
+    """A writer killed mid-write leaves a final line without its newline;
+    readers must salvage every complete record instead of raising."""
+
+    def torn_trace(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": 1}) + "\n"
+            + json.dumps({"type": "event", "name": "ok", "t": 1.0}) + "\n"
+            + '{"type": "event", "name": "torn", "t"',  # no newline: torn
+            encoding="utf-8",
+        )
+        return path
+
+    def test_complete_records_are_yielded_with_a_warning(self, tmp_path):
+        path = self.torn_trace(tmp_path)
+        with pytest.warns(TraceTruncationWarning, match="truncated final"):
+            records = read_trace(path)
+        assert [r.get("name") for r in records] == [None, "ok"]
+
+    def test_on_truncated_hook_suppresses_the_warning(self, tmp_path):
+        path = self.torn_trace(tmp_path)
+        seen = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            records = read_trace(
+                path, on_truncated=lambda n, line: seen.append((n, line))
+            )
+        assert len(records) == 2
+        assert seen == [(3, '{"type": "event", "name": "torn", "t"')]
+
+    def test_newline_terminated_garbage_still_raises(self, tmp_path):
+        # A complete (newline-terminated) undecodable line is schema rot,
+        # not a crash artifact — the reader must not paper over it.
+        path = tmp_path / "rot.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": 1}) + "\nnot json\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceSchemaError, match="undecodable"):
+            read_trace(path)
+
+    def test_torn_non_final_line_still_raises(self, tmp_path):
+        path = tmp_path / "midrot.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "schema": 1}) + "\n"
+            + '{"torn\n'
+            + json.dumps({"type": "event", "name": "e", "t": 0.0}),
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceSchemaError, match="midrot\\.jsonl:2"):
+            read_trace(path)
+
+    def test_trace_validate_cli_reports_truncation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self.torn_trace(tmp_path)
+        assert main(["trace", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s), schema OK" in out
+        assert "truncated" in out
+
+    def test_crashed_sink_tmp_is_salvageable(self, tmp_path):
+        """End to end: kill a sink mid-write and read back its .tmp."""
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "name": "before", "t": 1.0})
+        # Simulate the kill: append a torn line directly, never close().
+        sink._handle.write('{"type": "event", "na')
+        sink._handle.flush()
+        temp = tmp_path / "crash.jsonl.tmp"
+        with pytest.warns(TraceTruncationWarning):
+            records = read_trace(temp)
+        assert [r.get("name") for r in records] == [None, "before"]

@@ -1,0 +1,217 @@
+"""The sweep write-ahead journal: state machine, crash recovery, resume
+semantics — including the case the store alone cannot decide, a record
+present on disk for a point the journal says was still mid-flight."""
+
+import json
+
+import pytest
+
+from repro.scenarios.journal import JOURNAL_DIR, SweepJournal, sweep_spec_hash
+from repro.scenarios.orchestrator import SweepOrchestrator, run_scenario
+from repro.scenarios.runners import _RUNNERS, register_kind
+from repro.scenarios.spec import Axis, ScenarioSpec
+from repro.scenarios.store import ResultStore
+
+
+@pytest.fixture
+def counting_kind():
+    calls = []
+
+    @register_kind("journal-test-kind")
+    def run_point(params, trials, seed, engine, batch_size=None):
+        calls.append(dict(params))
+        estimate = engine.estimate(
+            lambda rng: rng.bernoulli(params["p"]),
+            trials=trials,
+            seed=seed,
+            label=f"journal-{params['p']}",
+        )
+        return {
+            "p": params["p"],
+            "value": estimate.estimate,
+            "trials_run": estimate.trials,
+        }
+
+    try:
+        yield calls
+    finally:
+        _RUNNERS.pop("journal-test-kind", None)
+
+
+def journal_spec(points=3, trials=40, **overrides) -> ScenarioSpec:
+    values = tuple(round(0.1 + 0.2 * i, 2) for i in range(points))
+    base = dict(
+        name="journal-sweep",
+        kind="journal-test-kind",
+        axes=(Axis("p", values),),
+        trials=trials,
+        seed=7,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecHash:
+    def test_deterministic_and_order_sensitive(self):
+        assert sweep_spec_hash(["a", "b"]) == sweep_spec_hash(["a", "b"])
+        assert sweep_spec_hash(["a", "b"]) != sweep_spec_hash(["b", "a"])
+        assert sweep_spec_hash(["a", "b"]) != sweep_spec_hash(["a"])
+        assert len(sweep_spec_hash(["a"])) == 32
+
+
+class TestStateMachine:
+    def test_begin_start_finish_complete(self, tmp_path):
+        journal = SweepJournal(tmp_path, "scn")
+        assert journal.begin("hash1", 2) == set()
+        journal.point_started("k1", 0)
+        assert journal.midflight_keys() == {"k1"}
+        journal.point_finished("k1", 0)
+        assert journal.midflight_keys() == set()
+        assert journal.committed_keys() == {"k1"}
+        journal.point_started("k2", 1)
+        journal.point_finished("k2", 1)
+        journal.complete()
+        status = SweepJournal.status(tmp_path, "scn")
+        assert status["status"] == "complete"
+        assert status["committed"] == 2
+        assert status["midflight"] == []
+
+    def test_marks_before_begin_are_errors(self, tmp_path):
+        journal = SweepJournal(tmp_path, "scn")
+        with pytest.raises(RuntimeError):
+            journal.point_started("k", 0)
+        with pytest.raises(RuntimeError):
+            journal.complete()
+
+    def test_resume_same_hash_reports_midflight(self, tmp_path):
+        first = SweepJournal(tmp_path, "scn")
+        first.begin("hash1", 3)
+        first.point_started("k1", 0)
+        first.point_finished("k1", 0)
+        first.point_started("k2", 1)
+        # Driver dies here; a new journal object is the resumed driver.
+        second = SweepJournal(tmp_path, "scn")
+        assert second.begin("hash1", 3) == {"k2"}
+
+    def test_different_hash_resets_flight_state(self, tmp_path):
+        first = SweepJournal(tmp_path, "scn")
+        first.begin("hash1", 3)
+        first.point_started("k2", 1)
+        second = SweepJournal(tmp_path, "scn")
+        assert second.begin("hash2", 3) == set()
+        assert second.midflight_keys() == set()
+
+    def test_completed_sweep_resumes_clean(self, tmp_path):
+        first = SweepJournal(tmp_path, "scn")
+        first.begin("hash1", 1)
+        first.point_started("k1", 0)
+        first.point_finished("k1", 0)
+        first.complete()
+        second = SweepJournal(tmp_path, "scn")
+        assert second.begin("hash1", 1) == set()
+
+    def test_unreadable_journal_is_treated_as_absent(self, tmp_path):
+        path = tmp_path / JOURNAL_DIR / "scn.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn", encoding="utf-8")
+        journal = SweepJournal(tmp_path, "scn")
+        assert journal.load() is None
+        assert journal.begin("hash1", 1) == set()
+        assert SweepJournal.status(tmp_path, "scn")["status"] == "running"
+
+    def test_journal_file_is_valid_json_at_every_transition(self, tmp_path):
+        journal = SweepJournal(tmp_path, "scn")
+        journal.begin("hash1", 1)
+        journal.point_started("k1", 0)
+        state = json.loads(journal.path.read_text(encoding="utf-8"))
+        assert state["points"]["k1"] == {"status": "started", "index": 0}
+        assert not list(journal.path.parent.glob("*.tmp"))
+
+
+class TestOrchestratorIntegration:
+    def test_clean_sweep_seals_the_journal(self, counting_kind, tmp_path):
+        spec = journal_spec()
+        run_scenario(spec, store=ResultStore(tmp_path))
+        status = SweepJournal.status(tmp_path, spec.name)
+        assert status["status"] == "complete"
+        assert status["committed"] == 3
+        assert status["midflight"] == []
+
+    def test_journal_dir_is_invisible_to_store_scans(
+        self, counting_kind, tmp_path
+    ):
+        spec = journal_spec()
+        store = ResultStore(tmp_path)
+        run_scenario(spec, store=store)
+        assert store.scenarios() == [spec.name]
+        assert store.gc(dry_run=True).removed == 0
+
+    def test_record_present_but_midflight_is_recomputed(
+        self, counting_kind, tmp_path
+    ):
+        """The crash the journal exists for: the record landed on disk
+        but the driver died before journaling the finish — the record is
+        untrusted and the point recomputes (byte-identically)."""
+        spec = journal_spec()
+        store = ResultStore(tmp_path)
+        run_scenario(spec, store=store)
+        keys = store.keys(spec.name)
+        victim = keys[1]
+        before = (store.path_for(spec.name, victim)).read_bytes()
+        # Forge the crash: mark the point started-but-unfinished while
+        # its record stays in the store.
+        journal = SweepJournal(tmp_path, spec.name)
+        state = journal.load()
+        state["status"] = "running"
+        state["points"][victim]["status"] = "started"
+        journal._state = state
+        journal._write()
+
+        resumed = run_scenario(spec, store=store)
+        assert (resumed.computed, resumed.cached) == (1, 2)
+        assert len(counting_kind) == 4  # 3 cold + exactly the victim
+        # Determinism contract: the recomputed record is byte-identical.
+        assert store.path_for(spec.name, victim).read_bytes() == before
+        assert SweepJournal.status(tmp_path, spec.name)["status"] == "complete"
+
+    def test_missing_record_midflight_is_recomputed(
+        self, counting_kind, tmp_path
+    ):
+        spec = journal_spec()
+        store = ResultStore(tmp_path)
+        run_scenario(spec, store=store)
+        victim = store.keys(spec.name)[0]
+        store.path_for(spec.name, victim).unlink()
+        journal = SweepJournal(tmp_path, spec.name)
+        state = journal.load()
+        state["status"] = "running"
+        state["points"][victim]["status"] = "started"
+        journal._state = state
+        journal._write()
+        resumed = run_scenario(spec, store=store)
+        assert (resumed.computed, resumed.cached) == (1, 2)
+
+    def test_journal_disabled_skips_the_wal(self, counting_kind, tmp_path):
+        spec = journal_spec()
+        orchestrator = SweepOrchestrator(
+            store=ResultStore(tmp_path), journal=False
+        )
+        orchestrator.run(spec)
+        assert SweepJournal.status(tmp_path, spec.name) is None
+        assert not (tmp_path / JOURNAL_DIR).exists()
+
+    def test_spec_change_does_not_inherit_stale_flight_state(
+        self, counting_kind, tmp_path
+    ):
+        spec = journal_spec()
+        store = ResultStore(tmp_path)
+        run_scenario(spec, store=store)
+        journal = SweepJournal(tmp_path, spec.name)
+        state = journal.load()
+        state["status"] = "running"
+        journal._state = state
+        journal._write()
+        # A different trial budget is a different sweep: every point has
+        # a new key, nothing is "mid-flight", all points compute fresh.
+        other = run_scenario(spec, store=store, trials=20)
+        assert (other.computed, other.cached) == (3, 0)

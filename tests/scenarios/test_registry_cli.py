@@ -563,16 +563,70 @@ class TestCli:
         orphan = tmp_path / "store" / "smoke" / "dead.json.tmp"
         orphan.write_text("{")
         capsys.readouterr()
+        # A fresh tmp file is protected by the grace period — it may be a
+        # live driver's in-flight write.
         assert main(["sweep", "gc", "--store", store, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 0 orphan(s)" in out
+        assert "kept 1 fresh tmp file(s)" in out
+        assert orphan.exists()
+        assert main(
+            ["sweep", "gc", "--store", store, "--dry-run", "--tmp-grace", "0"]
+        ) == 0
         out = capsys.readouterr().out
         assert "would remove 1 orphan(s)" in out
         assert orphan.exists()
-        assert main(["sweep", "gc", "--store", store, "--keep-latest"]) == 0
+        assert main(
+            ["sweep", "gc", "--store", store, "--keep-latest",
+             "--tmp-grace", "0"]
+        ) == 0
         out = capsys.readouterr().out
         assert "removed 1 orphan(s)" in out
         assert not orphan.exists()
         # The healthy records survived.
         assert len(list((tmp_path / "store" / "smoke").glob("*.json"))) == 2
+
+    def test_sweep_verify_repair_cli(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "smoke", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "verify", "--store", store]) == 0
+        assert "store is clean" in capsys.readouterr().out
+        # Tear one record: verify flags it (exit 1), repair quarantines
+        # it, and a resume recomputes exactly that point.
+        victim = sorted((tmp_path / "store" / "smoke").glob("*.json"))[0]
+        victim.write_text(victim.read_text()[:40], encoding="utf-8")
+        assert main(["sweep", "verify", "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "NOT clean" in out
+        assert main(["sweep", "repair", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined ->" in out
+        assert not victim.exists()
+        assert main(["sweep", "resume", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 computed, 1 cached" in out
+        assert main(["sweep", "verify", "--store", store]) == 0
+
+    def test_sweep_resume_reports_journal_recovery(self, tmp_path, capsys):
+        from repro.scenarios import SweepJournal
+
+        store = str(tmp_path / "store")
+        assert main(["sweep", "run", "smoke", "--store", store]) == 0
+        # Forge a crash: one point journaled as still mid-flight.
+        journal = SweepJournal(store, "smoke")
+        state = journal.load()
+        state["status"] = "running"
+        victim = next(iter(state["points"]))
+        state["points"][victim]["status"] = "started"
+        journal._state = state
+        journal._write()
+        capsys.readouterr()
+        assert main(["sweep", "resume", "smoke", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 mid-flight (will be recomputed)" in out
+        assert "1 computed, 1 cached" in out
 
     def test_backends_list_cli(self, capsys):
         assert main(["backends", "list"]) == 0

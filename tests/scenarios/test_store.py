@@ -1,7 +1,10 @@
-"""Result store: content-addressed keys, persistence, atomicity."""
+"""Result store: content-addressed keys, persistence, atomicity, integrity."""
 
 import dataclasses
 import json
+import os
+
+import pytest
 
 from repro.backends import BackendSpec
 from repro.scenarios.spec import Axis, EngineSettings, ScenarioSpec
@@ -9,10 +12,20 @@ from repro.scenarios.store import (
     LEGACY_GENERATION,
     STORE_GENERATION,
     ResultStore,
+    StoreIntegrityError,
     canonical_json,
+    finalize_record,
     point_cache_key,
+    record_checksum,
     record_generation,
+    verify_record,
 )
+
+
+def backdate(path, seconds: float = 7200.0) -> None:
+    """Age a file so gc's tmp grace period sees it as an old orphan."""
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
 
 
 def spec_for_keys(**overrides) -> ScenarioSpec:
@@ -110,12 +123,15 @@ class TestResultStore:
         assert not store.has("scn", "abc")
         path = store.save("scn", "abc", record)
         assert store.has("scn", "abc")
-        # Saving stamps the store-format generation; everything else
-        # round-trips untouched.
-        stamped = {**record, "store_generation": STORE_GENERATION}
+        # Saving stamps the store-format generation and the checksum;
+        # everything else round-trips untouched.
+        stamped = finalize_record(record)
         assert store.load("scn", "abc") == stamped
         assert json.loads(path.read_text()) == stamped
         assert record_generation(store.load("scn", "abc")) == STORE_GENERATION
+        assert verify_record(store.load("scn", "abc")) == "ok"
+        # finalize is idempotent: re-saving a loaded record is a no-op.
+        assert finalize_record(stamped) == stamped
 
     def test_untagged_records_read_as_legacy_generation(self):
         assert record_generation({"result": {}}) == LEGACY_GENERATION
@@ -186,14 +202,30 @@ class TestGarbageCollection:
         assert report.removed == 0
         assert store.count("scn") == 2
 
-    def test_orphaned_temp_files_are_pruned(self, tmp_path):
+    def test_orphaned_temp_files_are_pruned_after_grace(self, tmp_path):
         store = self.populated(tmp_path)
         orphan = tmp_path / "scn" / "deadbeef.json.tmp"
         orphan.write_text("{\"half\": ")
+        backdate(orphan)
         report = store.gc()
         assert [p.name for p in report.orphans] == ["deadbeef.json.tmp"]
         assert not orphan.exists()
         assert store.count("scn") == 2  # real records untouched
+
+    def test_fresh_temp_files_survive_the_grace_period(self, tmp_path):
+        # A live driver's in-flight tmp record (seconds old) must never
+        # be collected from under it by a concurrent gc.
+        store = self.populated(tmp_path)
+        in_flight = tmp_path / "scn" / "deadbeef.json.tmp"
+        in_flight.write_text("{\"half\": ")
+        report = store.gc()
+        assert report.orphans == []
+        assert [p.name for p in report.fresh_tmp] == ["deadbeef.json.tmp"]
+        assert in_flight.exists()
+        # An explicit zero grace collects it (the CLI's --tmp-grace 0).
+        report = store.gc(tmp_grace_seconds=0.0)
+        assert [p.name for p in report.orphans] == ["deadbeef.json.tmp"]
+        assert not in_flight.exists()
 
     def test_corrupt_records_are_pruned(self, tmp_path):
         store = self.populated(tmp_path)
@@ -238,6 +270,7 @@ class TestGarbageCollection:
         store = self.populated(tmp_path)
         orphan = tmp_path / "scn" / "feed.json.tmp"
         orphan.write_text("x")
+        backdate(orphan)
         legacy = tmp_path / "scn" / "00aa.json"
         legacy.write_text(json.dumps({"result": {}}))
         report = store.gc(keep_latest=True, dry_run=True)
@@ -251,3 +284,100 @@ class TestGarbageCollection:
     def test_missing_store_directory_is_empty_report(self, tmp_path):
         report = ResultStore(tmp_path / "nope").gc(keep_latest=True)
         assert report.scanned == 0 and report.removed == 0
+
+    def test_quarantine_gets_its_own_bucket(self, tmp_path):
+        store = self.populated(tmp_path)
+        bad = tmp_path / "scn" / "aaa.json"
+        bad.write_text("{\"torn\":")
+        store.repair()
+        # Quarantined records are reported, never removed by default.
+        report = store.gc()
+        assert [p.name for p in report.quarantined] == ["aaa.json"]
+        assert report.removed == 0
+        assert store.quarantine_dir("scn").is_dir()
+        # Purging is an explicit decision — and empties the directories.
+        report = store.gc(purge_quarantine=True)
+        assert [p.name for p in report.quarantined] == ["aaa.json"]
+        assert report.removed == 1
+        assert not (tmp_path / ".quarantine").exists()
+
+
+class TestIntegrity:
+    """Checksums + verify/repair: detect, quarantine, recompute — not crash."""
+
+    @staticmethod
+    def populated(tmp_path) -> ResultStore:
+        store = ResultStore(tmp_path)
+        store.save("scn", "aaa", {"key": "aaa", "result": {"value": 0.1}})
+        store.save("scn", "bbb", {"key": "bbb", "result": {"value": 0.2}})
+        store.save("other", "ccc", {"key": "ccc", "result": {"value": 0.3}})
+        return store
+
+    def test_checksum_is_deterministic_and_excludes_cache_marker(self):
+        record = finalize_record({"key": "k", "result": {"value": 0.5}})
+        assert verify_record(record) == "ok"
+        # from_cache is an in-memory marker, never part of the identity.
+        assert record_checksum({**record, "from_cache": True}) == (
+            record_checksum(record)
+        )
+
+    def test_verify_clean_store(self, tmp_path):
+        report = self.populated(tmp_path).verify()
+        assert report.scanned == 3 and report.ok == 3
+        assert report.clean and report.bad_paths() == []
+
+    def test_legacy_records_are_trusted_not_flagged(self, tmp_path):
+        store = self.populated(tmp_path)
+        legacy = tmp_path / "scn" / "00ff.json"
+        legacy.write_text(json.dumps({"result": {"value": 0.9}}))
+        report = store.verify()
+        assert report.legacy == 1 and report.clean
+        # And load_verified serves them exactly as before checksums.
+        assert store.load_verified("scn", "00ff")["result"] == {"value": 0.9}
+
+    def test_verify_flags_torn_and_tampered_records(self, tmp_path):
+        store = self.populated(tmp_path)
+        torn = tmp_path / "scn" / "aaa.json"
+        torn.write_text("{\"result\": {\"value\":")
+        tampered_path = tmp_path / "scn" / "bbb.json"
+        tampered = json.loads(tampered_path.read_text())
+        tampered["result"]["value"] = 0.999  # bit-rot / manual edit
+        tampered_path.write_text(json.dumps(tampered))
+        report = store.verify()
+        assert not report.clean
+        assert [p.name for p in report.corrupt] == ["aaa.json"]
+        assert [p.name for p in report.mismatched] == ["bbb.json"]
+        # Scoped verify only sees its scenario.
+        assert store.verify("other").clean
+
+    def test_verify_reports_orphan_tmp_files(self, tmp_path):
+        store = self.populated(tmp_path)
+        (tmp_path / "scn" / "dead.json.tmp").write_text("{")
+        report = store.verify()
+        assert [p.name for p in report.orphans] == ["dead.json.tmp"]
+        assert report.clean  # orphans are gc's business, not damage
+
+    def test_load_verified_raises_on_damage(self, tmp_path):
+        store = self.populated(tmp_path)
+        (tmp_path / "scn" / "aaa.json").write_text("{\"torn\":")
+        with pytest.raises(StoreIntegrityError, match="corrupt"):
+            store.load_verified("scn", "aaa")
+        assert store.load_verified("scn", "bbb")["result"] == {"value": 0.2}
+
+    def test_repair_quarantines_and_next_lookup_recomputes(self, tmp_path):
+        store = self.populated(tmp_path)
+        (tmp_path / "scn" / "aaa.json").write_text("{\"torn\":")
+        report = store.repair()
+        assert [p.name for p in report.quarantined] == ["aaa.json"]
+        quarantined = store.quarantine_dir("scn") / "aaa.json"
+        assert quarantined.is_file()  # evidence kept, never deleted
+        # The damaged key is gone from lookups (and the quarantine
+        # dot-directory is invisible to content addressing), so a sweep
+        # recomputes exactly this point.
+        assert not store.has("scn", "aaa")
+        assert store.has("scn", "bbb")
+        assert store.scenarios() == ["other", "scn"]
+        # Re-saving heals the store; repair is then a no-op.
+        store.save("scn", "aaa", {"key": "aaa", "result": {"value": 0.1}})
+        assert store.verify().clean
+        assert store.repair().quarantined == []
