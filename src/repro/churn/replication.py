@@ -136,6 +136,50 @@ def simulate_column_epoch_deaths(
     return outcomes
 
 
+def repair_simultaneous_deaths(
+    column: ColumnReplicaSet,
+    doomed,
+    malicious_rate: float,
+    rng: RandomSource,
+    id_allocator,
+) -> List[tuple]:
+    """Land one epoch's deaths *together*, then repair the survivors.
+
+    :func:`simulate_column_epoch_deaths` interleaves repairs with deaths,
+    so a ``k >= 2`` column can never be lost there — each death always
+    finds the previous death's replacement alive.  Epoch-granular
+    maintenance is different: all of an epoch's deaths happen before any
+    republish round runs, so a column whose *entire* membership dies in
+    one epoch has no survivor to repair from and is lost.  This helper
+    implements that step for callers (the epoch oracle) that know the
+    doomed set up front.
+
+    Returns ``[(dead_member, replacement_or_None, outcome), ...]`` so the
+    caller can track which replacement landed in which replica slot.
+    """
+    check_probability(malicious_rate, "malicious_rate")
+    outcomes: List[tuple] = []
+    doomed = [member for member in doomed if member in column.members]
+    if column.lost or not doomed:
+        return outcomes
+    if set(doomed) >= column.members:
+        column.members.clear()
+        column.malicious_members.clear()
+        column.lost = True
+        return [
+            (member, None, RepairOutcome.COLUMN_LOST) for member in doomed
+        ]
+    for member in doomed:
+        replacement = next(id_allocator)
+        outcome = column.handle_death(
+            member,
+            replacement,
+            replacement_is_malicious=rng.bernoulli(malicious_rate),
+        )
+        outcomes.append((member, replacement, outcome))
+    return outcomes
+
+
 def fresh_id_allocator(start: int = 1_000_000):
     """An infinite stream of opaque integer ids for replacement nodes."""
     current = start

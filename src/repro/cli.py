@@ -35,6 +35,7 @@ drive through :func:`main` with an argv list.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
@@ -384,6 +385,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "partition shapes results, so this lands in cache keys — "
             "compare backends with the same value; the chaos harness "
             "uses it to carve the smoke sweep into many spans)",
+        )
+        action_parser.add_argument(
+            "--kernel",
+            default=None,
+            help="pin the point runner's kernel lane for this sweep "
+            "(e.g. 'epoch' / 'epoch-scalar' for availability and "
+            "timeliness kinds, 'vectorized' / 'scalar' for the attack "
+            "kinds); the value lands in the spec's fixed params — and "
+            "therefore in cache keys — so a pinned run never collides "
+            "with the scenario's default lane",
         )
         action_parser.add_argument(
             "--fallback",
@@ -815,6 +826,13 @@ def _command_sweep(args) -> int:
     except ValueError as error:
         print(error)
         return 1
+    if getattr(args, "kernel", None):
+        # Pin the runner's kernel lane by landing it in the spec's fixed
+        # params — it enters every point's cache key, so a pinned run
+        # caches separately from the scenario's default lane.
+        spec = dataclasses.replace(
+            spec, fixed={**spec.fixed, "kernel": args.kernel}
+        )
     store = ResultStore(args.store)
     already = store.count(spec.name)
     if args.action == "resume":
@@ -979,7 +997,8 @@ def _sweep_gc(args) -> int:
     print(
         f"{args.store}: scanned {report.scanned} record(s), kept "
         f"{report.kept}; {verb} {len(report.orphans)} orphan(s), "
-        f"{len(report.corrupt)} corrupt, {len(report.stale)} stale"
+        f"{len(report.corrupt)} corrupt, {len(report.stale)} stale, "
+        f"{len(report.journal_orphans)} orphaned journal(s)"
         f"{quarantine_note}"
         + (
             f" (latest generation {report.latest_generation})"
@@ -991,6 +1010,12 @@ def _sweep_gc(args) -> int:
         print(
             f"  kept {len(report.fresh_tmp)} fresh tmp file(s) younger than "
             f"{grace:g}s (possibly a live driver's in-flight write)"
+        )
+    if report.fresh_journals:
+        print(
+            f"  kept {len(report.fresh_journals)} recordless journal(s) "
+            f"younger than {grace:g}s (possibly a sweep that has not "
+            f"committed its first point yet)"
         )
     for path in report.removed_paths():
         print(f"  {verb} {path}")

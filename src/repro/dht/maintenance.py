@@ -72,6 +72,10 @@ class MaintenanceScheduler:
 
         First runs are staggered uniformly over one interval so 10,000
         nodes do not all republish in the same event-loop instant.
+        A stopped scheduler restarts cleanly: ``stop()`` resets the
+        running flag along with cancelling the pending events, so
+        start → stop → start is a supported lifecycle (only a *double*
+        start without an intervening stop is rejected).
         """
         if self._running:
             raise RuntimeError("maintenance already started")
@@ -80,7 +84,7 @@ class MaintenanceScheduler:
             self._schedule_for(node)
 
     def stop(self) -> None:
-        """Cancel all pending maintenance events."""
+        """Cancel all pending maintenance events; ``start()`` may follow."""
         for handle in self._handles:
             handle.cancel()
         self._handles.clear()
@@ -88,16 +92,36 @@ class MaintenanceScheduler:
 
     # -- internals -----------------------------------------------------------
 
+    def _track(self, handle: ScheduledHandle) -> None:
+        """Remember a pending handle, dropping spent ones.
+
+        Every periodic firing appends its successor's handle; without
+        pruning, a long-running overlay accumulates one dead handle per
+        past firing per node.  Fired or cancelled events are exactly
+        those at or behind the loop clock (or flagged cancelled), so
+        compacting here keeps the list proportional to *pending* work.
+        """
+        now = self.loop.clock.now
+        # >= keeps not-yet-fired events scheduled at the current instant
+        # (a zero stagger draw) cancellable; an already-fired same-instant
+        # event lingers only until the next compaction.
+        self._handles = [
+            pending
+            for pending in self._handles
+            if not pending.cancelled and pending.time >= now
+        ]
+        self._handles.append(handle)
+
     def _schedule_for(self, node: KademliaNode) -> None:
         stagger = self._rng.fork(f"stagger-{node.node_id.hex()}")
-        self._handles.append(
+        self._track(
             self.loop.call_later(
                 stagger.uniform(0.0, self.refresh_interval),
                 lambda: self._refresh(node),
                 label=f"refresh-{node.node_id}",
             )
         )
-        self._handles.append(
+        self._track(
             self.loop.call_later(
                 stagger.uniform(0.0, self.republish_interval),
                 lambda: self._republish(node),
@@ -114,7 +138,7 @@ class MaintenanceScheduler:
             node.iterative_find_node(target)
             self.stats.refreshes += 1
         if self._running and not self._dead_forever(node):
-            self._handles.append(
+            self._track(
                 self.loop.call_later(
                     self.refresh_interval,
                     lambda: self._refresh(node),
@@ -133,7 +157,7 @@ class MaintenanceScheduler:
             if keys:
                 self.stats.republish_rounds += 1
         if self._running and not self._dead_forever(node):
-            self._handles.append(
+            self._track(
                 self.loop.call_later(
                     self.republish_interval,
                     lambda: self._republish(node),

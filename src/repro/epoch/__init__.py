@@ -1,0 +1,53 @@
+"""Vectorized epoch-stepped churn simulator for million-node populations.
+
+The scalar ``repro.churn`` / ``repro.dht`` layers walk one node at a
+time; this package re-expresses the same epoch semantics — lifetime
+sampling, session up/down state, share placement, simultaneous-death
+loss, repair/republish — as numpy arrays over ``(trials, path, replica)``
+slabs backed by a shared node population, so availability and
+timeliness can be *measured* on 10^6-node populations instead of
+approximated analytically.
+
+Layout mirrors the PR 3 attack-kernel split:
+
+- :mod:`repro.epoch.population` — lifetime sampling + per-epoch masks,
+- :mod:`repro.epoch.placement` — share→node assignment bookkeeping,
+- :mod:`repro.epoch.repair` — the vectorized per-epoch repair round,
+- :mod:`repro.epoch.measure` — ``TrialEngine``-compatible batch units,
+- :mod:`repro.epoch.oracle` — the slim scalar reference walker (drives
+  ``churn.replication`` objects; the property-tested ground truth).
+"""
+
+from repro.epoch.measure import (
+    EPOCH_KERNELS,
+    EPOCH_METRICS,
+    EpochAvailabilityBatch,
+    EpochTimelinessBatch,
+    epoch_availability_outcome,
+    epoch_timeliness_result,
+)
+from repro.epoch.oracle import EpochAvailabilityTrial, EpochTimelinessTrial
+from repro.epoch.placement import PlacementState, sample_distinct_slots
+from repro.epoch.population import (
+    EpochPopulation,
+    make_lifetime_model,
+    mean_lifetime_for_alpha,
+    sample_lifetimes,
+)
+
+__all__ = [
+    "EPOCH_KERNELS",
+    "EPOCH_METRICS",
+    "EpochAvailabilityBatch",
+    "EpochAvailabilityTrial",
+    "EpochPopulation",
+    "EpochTimelinessBatch",
+    "EpochTimelinessTrial",
+    "PlacementState",
+    "epoch_availability_outcome",
+    "epoch_timeliness_result",
+    "make_lifetime_model",
+    "mean_lifetime_for_alpha",
+    "sample_distinct_slots",
+    "sample_lifetimes",
+]

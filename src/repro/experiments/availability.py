@@ -191,6 +191,12 @@ class KeyShareAvailabilityBatch:
         )
 
 
+#: Kernel lanes ``availability_point`` dispatches between.  "static" is
+#: the historical per-boundary offline model; the epoch lanes simulate
+#: death churn + repair on an explicit node population (repro.epoch).
+AVAILABILITY_KERNELS = ("static", "epoch", "epoch-scalar")
+
+
 def availability_point(
     scheme: str,
     uptime: float,
@@ -200,16 +206,53 @@ def availability_point(
     seed: int = 2017,
     engine: Optional[TrialEngine] = None,
     batch_size: Optional[int] = None,
+    kernel: str = "static",
+    alpha: float = 2.0,
+    lifetime: str = "exponential",
+    lifetime_shape: Optional[float] = None,
 ) -> AvailabilityPoint:
     """One (scheme, uptime, p) point of the sweep — the sweepable unit.
 
     ``run_availability_sweep`` and the registered scenario both call this,
     so the two paths produce identical numbers for a seed.
+
+    ``kernel="static"`` (the default — and the only lane historical cache
+    keys ever pinned) keeps the original no-deaths offline model; the
+    ``"epoch"`` / ``"epoch-scalar"`` lanes run the ``repro.epoch`` churn
+    simulator, where ``alpha`` / ``lifetime`` / ``lifetime_shape``
+    parameterize node lifetimes (ignored by the static lane).
     """
     if engine is None:
         engine = TrialEngine()
     p = malicious_rate
     planning_rate = max(p, 0.05)
+    if kernel not in AVAILABILITY_KERNELS:
+        raise ValueError(
+            f"unknown availability kernel {kernel!r}; "
+            f"expected one of {AVAILABILITY_KERNELS}"
+        )
+    if kernel != "static":
+        from repro.epoch.measure import epoch_availability_outcome
+
+        return AvailabilityPoint(
+            scheme=scheme,
+            uptime=uptime,
+            malicious_rate=p,
+            outcome=epoch_availability_outcome(
+                scheme,
+                uptime,
+                p,
+                population_size=population_size,
+                alpha=alpha,
+                lifetime=lifetime,
+                lifetime_shape=lifetime_shape,
+                trials=trials,
+                seed=seed,
+                engine=engine,
+                batch_size=batch_size,
+                scalar=(kernel == "epoch-scalar"),
+            ),
+        )
     if scheme in ("disjoint", "joint"):
         configuration = plan_configuration(scheme, planning_rate, population_size)
         batch = MultipathAvailabilityBatch(

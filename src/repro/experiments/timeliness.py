@@ -101,6 +101,12 @@ class TimelinessTrial:
         )
 
 
+#: Kernel lanes ``timeliness_point`` dispatches between.  "event" is the
+#: historical end-to-end event-loop protocol run; the epoch lanes measure
+#: delivery lateness in holding epochs under churn (repro.epoch).
+TIMELINESS_KERNELS = ("event", "epoch", "epoch-scalar")
+
+
 def timeliness_point(
     scheme: str,
     max_latency: float,
@@ -108,6 +114,16 @@ def timeliness_point(
     path_length: int = 3,
     seed: int = 31337,
     engine: Optional[TrialEngine] = None,
+    kernel: str = "event",
+    uptime: float = 0.9,
+    alpha: float = 2.0,
+    malicious_rate: float = 0.0,
+    population_size: int = 10000,
+    replication: int = 3,
+    retry_epochs: int = 8,
+    lifetime: str = "exponential",
+    lifetime_shape: Optional[float] = None,
+    batch_size: Optional[int] = None,
 ) -> TimelinessResult:
     """One (scheme, latency) point of the sweep — the sweepable unit.
 
@@ -115,9 +131,52 @@ def timeliness_point(
     seeds are a function of the run index alone, keeping results identical
     for any executor.  ``measure_timeliness`` and the registered scenario
     both call this, so the two paths produce identical numbers for a seed.
+
+    ``kernel="event"`` (the default — the only lane historical cache keys
+    ever pinned) runs the live protocol on the simulated overlay; the
+    ``"epoch"`` / ``"epoch-scalar"`` lanes measure lateness in *holding
+    epochs* on the ``repro.epoch`` churn simulator, where the churn knobs
+    (``uptime``, ``alpha``, ``malicious_rate``, ``population_size``,
+    ``replication``, ``retry_epochs``, ``lifetime``) apply and
+    ``max_latency`` is carried through for labeling only.  Epoch lateness
+    is right-censored at ``retry_epochs``.
     """
     if engine is None:
         engine = TrialEngine()
+    if kernel not in TIMELINESS_KERNELS:
+        raise ValueError(
+            f"unknown timeliness kernel {kernel!r}; "
+            f"expected one of {TIMELINESS_KERNELS}"
+        )
+    if kernel != "event":
+        from repro.epoch.measure import epoch_timeliness_result
+
+        delivered, trials_run, mean_lateness, worst = epoch_timeliness_result(
+            scheme,
+            uptime,
+            malicious_rate,
+            population_size=population_size,
+            alpha=alpha,
+            lifetime=lifetime,
+            lifetime_shape=lifetime_shape,
+            path_length=path_length,
+            replication=replication,
+            retry_epochs=retry_epochs,
+            trials=runs,
+            seed=seed,
+            engine=engine,
+            batch_size=batch_size,
+            scalar=(kernel == "epoch-scalar"),
+        )
+        return TimelinessResult(
+            scheme=scheme,
+            max_latency=max_latency,
+            delivered=delivered,
+            runs=trials_run,
+            mean_lateness=mean_lateness,
+            worst_lateness=worst,
+            early_releases=0,
+        )
     raw = engine.map(
         TimelinessTrial(scheme, max_latency, seed, path_length),
         trials=runs,

@@ -217,7 +217,94 @@ def _builtin_list() -> List[ScenarioSpec]:
             seed=2017,
             schedule=KNEE_SCHEDULE,
         ),
+        # -- epoch churn simulator (repro.epoch) --------------------------
+        ScenarioSpec(
+            name="availability-1e6",
+            kind="availability",
+            description=(
+                "Million-node epoch-churn availability: resilience vs p "
+                "per scheme, measured (not approximated) on a 10^6-node "
+                "population with lifetime churn and repair"
+            ),
+            fixed={
+                "population_size": 1_000_000,
+                "kernel": "epoch",
+                "alpha": 2.0,
+                "uptime": 0.9,
+            },
+            axes=(
+                Axis("scheme", ("disjoint", "joint")),
+                Axis("p", (0.1, 0.2, 0.3)),
+            ),
+            trials=200,
+            seed=2017,
+        ),
+        ScenarioSpec(
+            name="timeliness-1e6",
+            kind="timeliness",
+            description=(
+                "Million-node epoch-churn timeliness: delivery rate and "
+                "lateness (in holding epochs past the nominal schedule) "
+                "vs p, with per-epoch retry up to 8 epochs"
+            ),
+            fixed={
+                "population_size": 1_000_000,
+                "kernel": "epoch",
+                "alpha": 2.0,
+                "uptime": 0.9,
+                "path_length": 4,
+                "retry_epochs": 8,
+                "max_latency": 0.0,
+            },
+            axes=(
+                Axis("scheme", ("disjoint", "joint")),
+                Axis("p", (0.0, 0.1, 0.2)),
+            ),
+            trials=400,
+            seed=31337,
+        ),
+        ScenarioSpec(
+            name="epoch-churn-grid",
+            kind="availability",
+            description=(
+                "Churn-rate sensitivity grid: availability vs alpha per "
+                "lifetime distribution (exponential/Weibull/Pareto) at "
+                "p = 0.2 on a 10^5-node epoch simulation"
+            ),
+            fixed={
+                "population_size": 100_000,
+                "kernel": "epoch",
+                "uptime": 0.9,
+                "p": 0.2,
+            },
+            axes=(
+                Axis("alpha", (0.5, 1.0, 2.0, 4.0)),
+                Axis("lifetime", ("exponential", "weibull", "pareto")),
+                Axis("scheme", ("disjoint", "joint")),
+            ),
+            trials=300,
+            seed=2017,
+        ),
         # -- CI / quickstart ----------------------------------------------
+        ScenarioSpec(
+            name="epoch-smoke",
+            kind="availability",
+            description=(
+                "Capped-size epoch-kernel smoke: one 10^5-node availability "
+                "point through the orchestrator — what the epoch-smoke CI "
+                "job runs"
+            ),
+            fixed={
+                "population_size": 100_000,
+                "kernel": "epoch",
+                "alpha": 2.0,
+                "uptime": 0.9,
+                "scheme": "joint",
+            },
+            axes=(Axis("p", (0.1,)),),
+            trials=100,
+            seed=7,
+        ),
         ScenarioSpec(
             name="smoke",
             kind="attack_resilience",

@@ -261,11 +261,20 @@ def run_availability_point(
     """Extension: transient unavailability on top of death churn."""
     from repro.experiments.availability import availability_point
 
+    # The unpinned kernel default stays "static" and the churn knobs are
+    # optional, so cache keys of stores populated before the epoch lane
+    # existed remain valid; only specs that *pin* kernel="epoch" differ.
     args = _take(
         "availability",
         params,
         required={"scheme": str, "uptime": float, "p": float},
-        optional={"population_size": 10000},
+        optional={
+            "population_size": 10000,
+            "kernel": "static",
+            "alpha": 2.0,
+            "lifetime": "exponential",
+            "lifetime_shape": None,
+        },
     )
     point = availability_point(
         args["scheme"],
@@ -276,8 +285,12 @@ def run_availability_point(
         seed=seed,
         engine=engine,
         batch_size=batch_size,
+        kernel=args["kernel"],
+        alpha=args["alpha"],
+        lifetime=args["lifetime"],
+        lifetime_shape=args["lifetime_shape"],
     )
-    return {
+    payload = {
         "scheme": point.scheme,
         "uptime": point.uptime,
         "p": point.malicious_rate,
@@ -286,6 +299,14 @@ def run_availability_point(
         "value": point.resilience,
         "trials_run": point.outcome.trials,
     }
+    if args["kernel"] != "static":
+        payload.update(
+            kernel=args["kernel"],
+            alpha=args["alpha"],
+            lifetime=args["lifetime"],
+            population_size=args["population_size"],
+        )
+    return payload
 
 
 @register_kind("timeliness")
@@ -299,11 +320,27 @@ def run_timeliness_point(
     """Extension: end-to-end release lateness; ``trials`` is the run count."""
     from repro.experiments.timeliness import timeliness_point
 
+    # As with availability: the kernel default stays "event" and every
+    # churn knob is optional, so pre-epoch cache keys remain valid.
+    # ``max_latency`` moved from required to optional (the historical
+    # spec pins it on an axis, so its keys are unchanged).
     args = _take(
         "timeliness",
         params,
-        required={"scheme": str, "max_latency": float},
-        optional={"path_length": 3},
+        required={"scheme": str},
+        optional={
+            "max_latency": 0.5,
+            "path_length": 3,
+            "kernel": "event",
+            "uptime": 0.9,
+            "alpha": 2.0,
+            "p": 0.0,
+            "population_size": 10000,
+            "replication": 3,
+            "retry_epochs": 8,
+            "lifetime": "exponential",
+            "lifetime_shape": None,
+        },
     )
     result = timeliness_point(
         args["scheme"],
@@ -312,8 +349,18 @@ def run_timeliness_point(
         path_length=args["path_length"],
         seed=seed,
         engine=engine,
+        kernel=args["kernel"],
+        uptime=args["uptime"],
+        alpha=args["alpha"],
+        malicious_rate=args["p"],
+        population_size=args["population_size"],
+        replication=args["replication"],
+        retry_epochs=args["retry_epochs"],
+        lifetime=args["lifetime"],
+        lifetime_shape=args["lifetime_shape"],
+        batch_size=batch_size,
     )
-    return {
+    payload = {
         "scheme": result.scheme,
         "max_latency": result.max_latency,
         "delivered": result.delivered,
@@ -325,6 +372,16 @@ def run_timeliness_point(
         "value": result.mean_lateness,
         "trials_run": result.runs,
     }
+    if args["kernel"] != "event":
+        payload.update(
+            kernel=args["kernel"],
+            uptime=args["uptime"],
+            alpha=args["alpha"],
+            p=args["p"],
+            population_size=args["population_size"],
+            retry_epochs=args["retry_epochs"],
+        )
+    return payload
 
 
 # -- new workloads beyond the paper ------------------------------------------

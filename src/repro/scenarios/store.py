@@ -439,6 +439,39 @@ class ResultStore:
         report.kept = sum(
             1 for path, _ in records if path not in stale_set
         )
+        # Journals whose scenario has no live records are leftovers of a
+        # sweep whose store records were pruned (or written elsewhere);
+        # age-gate them behind the same grace period as tmp orphans so a
+        # sweep that journaled `begin` but has not saved its first point
+        # yet is never collected out from under a live driver.  Journal
+        # tmp files get the ordinary orphan treatment.
+        journal_root = self.root / ".journal"
+        if journal_root.is_dir():
+            live = {
+                directory.name
+                for directory in directories
+                if any(directory.glob("*.json"))
+            }
+            for orphan in sorted(journal_root.glob("*.json.tmp")):
+                try:
+                    age = now - orphan.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= tmp_grace_seconds:
+                    report.orphans.append(orphan)
+                else:
+                    report.fresh_tmp.append(orphan)
+            for journal in sorted(journal_root.glob("*.json")):
+                if journal.stem in live:
+                    continue
+                try:
+                    age = now - journal.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= tmp_grace_seconds:
+                    report.journal_orphans.append(journal)
+                else:
+                    report.fresh_journals.append(journal)
         quarantine_root = self.root / ".quarantine"
         if quarantine_root.is_dir():
             report.quarantined.extend(sorted(quarantine_root.rglob("*.json")))
@@ -446,6 +479,8 @@ class ResultStore:
             for path in report.removed_paths():
                 path.unlink(missing_ok=True)
             sweep_dirs = list(directories)
+            if journal_root.is_dir():
+                sweep_dirs.append(journal_root)
             if purge_quarantine and quarantine_root.is_dir():
                 sweep_dirs.extend(
                     sorted(
@@ -476,13 +511,19 @@ class GcReport:
     fresh_tmp: List[Path] = field(default_factory=list)
     corrupt: List[Path] = field(default_factory=list)
     stale: List[Path] = field(default_factory=list)
+    #: ``.journal/`` entries whose scenario has no live store records,
+    #: past the tmp grace period.
+    journal_orphans: List[Path] = field(default_factory=list)
+    #: Same, but within the grace period: kept, the sweep may just not
+    #: have committed its first point yet.
+    fresh_journals: List[Path] = field(default_factory=list)
     #: Records parked under ``.quarantine/`` by :meth:`ResultStore.repair`;
     #: removed only under ``purge_quarantine``.
     quarantined: List[Path] = field(default_factory=list)
 
     def removed_paths(self) -> List[Path]:
         """Everything this pass removes (or would, under ``dry_run``)."""
-        removed = [*self.orphans, *self.corrupt, *self.stale]
+        removed = [*self.orphans, *self.corrupt, *self.stale, *self.journal_orphans]
         if self.purge_quarantine:
             removed.extend(self.quarantined)
         return removed

@@ -119,3 +119,57 @@ class TestWithChurnProcess:
             overlay.loop.run(until=100.0)
             assert process.deaths > 0
             assert process.summary()["online"] == 30
+
+
+class TestScaleValidation:
+    """Zero/negative scale rejection across every lifetime model.
+
+    These distributions feed the epoch simulator's population sampling,
+    so a bad scale must fail loudly at construction, never mid-sweep.
+    """
+
+    @pytest.mark.parametrize("bad_mean", [0.0, -1.0, -100.0])
+    def test_all_models_reject_nonpositive_mean(self, bad_mean):
+        for factory in (
+            ExponentialLifetime,
+            WeibullLifetime,
+            ParetoLifetime,
+            FixedLifetime,
+        ):
+            with pytest.raises(ValueError):
+                factory(bad_mean)
+
+    def test_weibull_rejects_nonpositive_shape(self):
+        for bad_shape in (0.0, -0.6):
+            with pytest.raises(ValueError):
+                WeibullLifetime(100.0, shape=bad_shape)
+
+
+class TestMeanSanity:
+    """Seeded sampling recovers each model's configured mean."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ExponentialLifetime(40.0),
+            ExponentialLifetime(400.0),
+            WeibullLifetime(40.0, shape=0.6),
+            WeibullLifetime(40.0, shape=1.5),
+            ParetoLifetime(40.0, tail_index=2.5),
+        ],
+        ids=repr,
+    )
+    def test_empirical_mean_matches_configuration(self, model):
+        assert empirical_mean(model, draws=40000, seed=5) == pytest.approx(
+            model.mean_lifetime, rel=0.12
+        )
+
+    def test_all_draws_positive(self):
+        rng = RandomSource(17)
+        for model in (
+            ExponentialLifetime(10.0),
+            WeibullLifetime(10.0, shape=0.6),
+            ParetoLifetime(10.0, tail_index=1.5),
+            FixedLifetime(10.0),
+        ):
+            assert all(model.draw_lifetime(rng) > 0 for _ in range(500))

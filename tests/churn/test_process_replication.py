@@ -8,6 +8,7 @@ from repro.churn.replication import (
     ColumnReplicaSet,
     RepairOutcome,
     fresh_id_allocator,
+    repair_simultaneous_deaths,
     simulate_column_epoch_deaths,
 )
 from repro.dht.bootstrap import build_network
@@ -166,3 +167,72 @@ class TestEpochDeaths:
             if column.lost:
                 break
         assert len(column.ever_knew) > 20  # 5 + ~40 epochs * 1 death/epoch
+
+
+class TestSimultaneousDeaths:
+    """Epoch-granular repair: all deaths land before any republish."""
+
+    def make_column(self, members=(1, 2, 3), malicious=()):
+        return ColumnReplicaSet(
+            column_index=1,
+            members=set(members),
+            malicious_members=set(malicious),
+        )
+
+    def test_whole_membership_dying_together_loses_column(self):
+        # The sequential simulator can never lose a k >= 2 column (each
+        # death repairs before the next lands); the simultaneous step can.
+        column = self.make_column()
+        results = repair_simultaneous_deaths(
+            column, [1, 2, 3], 0.0, RandomSource(1), fresh_id_allocator()
+        )
+        assert column.lost
+        assert column.alive_count == 0
+        assert [outcome for _, _, outcome in results] == (
+            [RepairOutcome.COLUMN_LOST] * 3
+        )
+        assert all(replacement is None for _, replacement, _ in results)
+
+    def test_partial_deaths_all_repair(self):
+        column = self.make_column()
+        results = repair_simultaneous_deaths(
+            column, [1, 2], 0.0, RandomSource(1), fresh_id_allocator()
+        )
+        assert not column.lost
+        assert column.alive_count == 3
+        assert [outcome for _, _, outcome in results] == (
+            [RepairOutcome.REPAIRED] * 2
+        )
+        # Exposure grew by both replacements.
+        assert len(column.ever_knew) == 5
+
+    def test_non_members_are_ignored(self):
+        column = self.make_column()
+        results = repair_simultaneous_deaths(
+            column, [99], 0.0, RandomSource(1), fresh_id_allocator()
+        )
+        assert results == []
+        assert column.alive_count == 3
+
+    def test_lost_column_stays_lost(self):
+        column = self.make_column(members=(1,))
+        repair_simultaneous_deaths(
+            column, [1], 0.0, RandomSource(1), fresh_id_allocator()
+        )
+        assert column.lost
+        assert (
+            repair_simultaneous_deaths(
+                column, [1], 0.0, RandomSource(1), fresh_id_allocator()
+            )
+            == []
+        )
+
+    def test_malicious_replacement_rate_applies(self):
+        rng = RandomSource(7, "simultaneous")
+        allocator = fresh_id_allocator()
+        captures = 0
+        for _ in range(400):
+            column = self.make_column()
+            repair_simultaneous_deaths(column, [1], 0.5, rng, allocator)
+            captures += column.captured
+        assert 140 < captures < 260  # ~Binomial(400, 0.5)

@@ -50,6 +50,32 @@ class TestScheduling:
         overlay.loop.run(until=500.0)
         assert scheduler.stats.refreshes == 0
 
+    def test_restart_after_stop(self):
+        # Regression: start → stop → start must restart cleanly (the
+        # stop path resets the started flag along with cancelling), not
+        # raise "maintenance already started".
+        overlay, scheduler = make_maintained_overlay()
+        scheduler.start()
+        overlay.loop.run(until=120.0)
+        first_round = scheduler.stats.refreshes
+        assert first_round > 0
+        scheduler.stop()
+        overlay.loop.run(until=240.0)
+        assert scheduler.stats.refreshes == first_round  # truly stopped
+        scheduler.start()  # must not raise
+        overlay.loop.run(until=400.0)
+        assert scheduler.stats.refreshes > first_round
+
+    def test_handle_list_stays_bounded(self):
+        # Every firing schedules its successor; spent handles must be
+        # compacted away or a long-lived overlay leaks one handle per
+        # past firing per node.
+        overlay, scheduler = make_maintained_overlay(size=20)
+        scheduler.start()
+        overlay.loop.run(until=5000.0)  # ~100 rounds per node
+        assert scheduler.stats.refreshes > 1000
+        assert len(scheduler._handles) <= 2 * 20 + 1
+
 
 class TestRepublish:
     def test_values_survive_replica_death(self):

@@ -1,0 +1,86 @@
+"""Placement layer: distinct slot sampling and per-cell state."""
+
+import numpy as np
+import pytest
+
+from repro.epoch.placement import (
+    PRIVATE_NODE,
+    PlacementState,
+    sample_distinct_slots,
+)
+from repro.epoch.population import EpochPopulation
+
+
+def population(size=500, p=0.2, uptime=0.9, seed=1):
+    return EpochPopulation.sample(
+        None, size, p, uptime, np.random.default_rng(seed)
+    )
+
+
+class TestDistinctSlots:
+    def test_rows_are_distinct(self):
+        slots = sample_distinct_slots(np.random.default_rng(2), 300, 24, 10000)
+        assert slots.shape == (300, 24)
+        for row in slots:
+            assert len(set(row.tolist())) == 24
+        assert (slots >= 0).all() and (slots < 10000).all()
+
+    def test_dense_regime_falls_back_to_argsort(self):
+        # cells close to the population: the redraw loop would crawl,
+        # the argsort path is exact.
+        slots = sample_distinct_slots(np.random.default_rng(3), 200, 9, 12)
+        for row in slots:
+            assert len(set(row.tolist())) == 9
+
+    def test_full_population_draw(self):
+        slots = sample_distinct_slots(np.random.default_rng(4), 50, 8, 8)
+        for row in slots:
+            assert sorted(row.tolist()) == list(range(8))
+
+    def test_uniform_marginal(self):
+        # Every node id is equally likely to be picked (both paths).
+        slots = sample_distinct_slots(np.random.default_rng(5), 4000, 3, 10)
+        counts = np.bincount(slots.ravel(), minlength=10)
+        assert counts.min() > 0.8 * counts.mean()
+        assert counts.max() < 1.2 * counts.mean()
+
+    def test_more_cells_than_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            sample_distinct_slots(np.random.default_rng(6), 10, 11, 10)
+
+
+class TestPlacementState:
+    def test_place_reads_population_state(self):
+        pop = population(size=200, p=0.5)
+        state = PlacementState.place(
+            pop, 50, 4, 3, np.random.default_rng(7)
+        )
+        assert state.trials == 50
+        assert state.path_length == 4
+        assert state.replication == 3
+        assert (state.malicious == (state.slots < pop.malicious_count)).all()
+        assert (
+            state.death_epoch == pop.death_epoch[state.slots]
+        ).all()
+        # Initial exposure: a column is captured iff a malicious node
+        # holds one of its replicas.
+        assert (state.captured == state.malicious.any(axis=2)).all()
+        assert not state.lost.any()
+
+    def test_online_cells_shares_population_mask(self):
+        pop = population(size=100, uptime=0.5, seed=8)
+        state = PlacementState.place(pop, 20, 3, 3, np.random.default_rng(9))
+        node_online = pop.online_mask(np.random.default_rng(10))
+        cells = state.online_cells(node_online, 0.5, np.random.default_rng(11))
+        assert (cells == node_online[state.slots]).all()
+
+    def test_private_cells_draw_their_own_state(self):
+        pop = population(size=100, uptime=0.5, seed=12)
+        state = PlacementState.place(pop, 400, 3, 3, np.random.default_rng(13))
+        state.slots[:, 0, 0] = PRIVATE_NODE
+        node_online = pop.online_mask(np.random.default_rng(14))
+        cells = state.online_cells(node_online, 0.5, np.random.default_rng(15))
+        # Population-backed cells still mirror the shared mask...
+        assert (cells[:, 1:, :] == node_online[state.slots[:, 1:, :]]).all()
+        # ...private cells get an independent Bernoulli(uptime) draw.
+        assert cells[:, 0, 0].mean() == pytest.approx(0.5, abs=0.1)

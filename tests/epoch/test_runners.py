@@ -1,0 +1,219 @@
+"""Kernel dispatch through the point APIs, runners, registry and CLI.
+
+The epoch lane must be reachable from every layer above it — and must be
+*invisible* to every pre-existing cache key: default-kernel payloads keep
+their exact historical shape, and only specs that pin ``kernel="epoch"``
+produce the extended payload.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.availability import (
+    AVAILABILITY_KERNELS,
+    AvailabilityPoint,
+    availability_point,
+)
+from repro.experiments.engine import TrialEngine
+from repro.experiments.timeliness import (
+    TIMELINESS_KERNELS,
+    TimelinessResult,
+    timeliness_point,
+)
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runners import get_runner
+
+ENGINE = TrialEngine()
+
+
+class TestAvailabilityDispatch:
+    def test_kernel_constants(self):
+        assert AVAILABILITY_KERNELS == ("static", "epoch", "epoch-scalar")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown availability kernel"):
+            availability_point(
+                "joint", 0.9, 0.1, trials=10, engine=ENGINE, kernel="warp"
+            )
+
+    @pytest.mark.parametrize("kernel", ["epoch", "epoch-scalar"])
+    def test_epoch_lanes_produce_points(self, kernel):
+        point = availability_point(
+            "joint",
+            0.9,
+            0.2,
+            population_size=500,
+            trials=40,
+            seed=11,
+            engine=ENGINE,
+            kernel=kernel,
+        )
+        assert isinstance(point, AvailabilityPoint)
+        assert point.scheme == "joint"
+        assert 0.0 <= point.outcome.release_resilience <= 1.0
+        assert 0.0 <= point.outcome.drop_resilience <= 1.0
+        assert point.outcome.trials == 40
+
+    def test_share_scheme_has_no_epoch_lane(self):
+        with pytest.raises(ValueError, match="multipath"):
+            availability_point(
+                "share", 0.9, 0.1, trials=10, engine=ENGINE, kernel="epoch"
+            )
+
+
+class TestTimelinessDispatch:
+    def test_kernel_constants(self):
+        assert TIMELINESS_KERNELS == ("event", "epoch", "epoch-scalar")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown timeliness kernel"):
+            timeliness_point(
+                "joint", 0.5, runs=5, engine=ENGINE, kernel="warp"
+            )
+
+    @pytest.mark.parametrize("kernel", ["epoch", "epoch-scalar"])
+    def test_epoch_lanes_produce_results(self, kernel):
+        result = timeliness_point(
+            "disjoint",
+            0.0,
+            runs=40,
+            path_length=3,
+            seed=5,
+            engine=ENGINE,
+            kernel=kernel,
+            uptime=0.95,
+            alpha=1.0,
+            population_size=500,
+            retry_epochs=4,
+        )
+        assert isinstance(result, TimelinessResult)
+        assert result.runs == 40
+        assert 0 <= result.delivered <= 40
+        assert result.early_releases == 0
+        assert result.mean_lateness >= 0.0
+        assert result.worst_lateness <= 4
+
+
+class TestRunnerPayloads:
+    def run_availability(self, **extra):
+        return get_runner("availability")(
+            {"scheme": "joint", "uptime": 0.9, "p": 0.2, **extra},
+            trials=30,
+            seed=3,
+            engine=ENGINE,
+        )
+
+    def test_default_payload_shape_is_unchanged(self):
+        # Cache-key discipline: a spec that never mentions a kernel must
+        # produce the exact pre-epoch payload fields.
+        payload = self.run_availability()
+        assert sorted(payload) == [
+            "drop_resilience",
+            "p",
+            "release_resilience",
+            "scheme",
+            "trials_run",
+            "uptime",
+            "value",
+        ]
+
+    def test_epoch_payload_records_the_lane(self):
+        payload = self.run_availability(kernel="epoch", population_size=500)
+        assert payload["kernel"] == "epoch"
+        assert payload["alpha"] == 2.0
+        assert payload["lifetime"] == "exponential"
+        assert payload["population_size"] == 500
+        assert payload["trials_run"] == 30
+
+    def test_timeliness_default_payload_shape_is_unchanged(self):
+        payload = get_runner("timeliness")(
+            {"scheme": "central", "max_latency": 0.05},
+            trials=2,
+            seed=9,
+            engine=ENGINE,
+        )
+        assert sorted(payload) == [
+            "delivered",
+            "delivery_rate",
+            "early_releases",
+            "max_latency",
+            "mean_lateness",
+            "runs",
+            "scheme",
+            "trials_run",
+            "value",
+            "worst_lateness",
+        ]
+
+    def test_timeliness_epoch_payload_records_the_lane(self):
+        payload = get_runner("timeliness")(
+            {
+                "scheme": "joint",
+                "kernel": "epoch",
+                "population_size": 500,
+                "retry_epochs": 4,
+                "max_latency": 0.0,
+            },
+            trials=30,
+            seed=9,
+            engine=ENGINE,
+        )
+        assert payload["kernel"] == "epoch"
+        assert payload["population_size"] == 500
+        assert payload["retry_epochs"] == 4
+        assert payload["runs"] == 30
+
+
+class TestRegistrySpecs:
+    @pytest.mark.parametrize(
+        "name",
+        ["availability-1e6", "timeliness-1e6", "epoch-churn-grid", "epoch-smoke"],
+    )
+    def test_epoch_scenarios_registered(self, name):
+        assert name in scenario_names()
+        spec = get_scenario(name)
+        assert spec.fixed["kernel"] == "epoch"
+        assert spec.points()  # axes expand to a non-empty grid
+
+    def test_million_node_specs_pin_the_population(self):
+        for name in ("availability-1e6", "timeliness-1e6"):
+            assert get_scenario(name).fixed["population_size"] == 1_000_000
+
+    def test_epoch_smoke_is_small_enough_for_ci(self):
+        spec = get_scenario("epoch-smoke")
+        assert spec.trials <= 200
+        assert spec.fixed["population_size"] <= 100_000
+        assert len(spec.points()) == 1
+
+    def test_legacy_specs_stay_kernel_free(self):
+        # The historical availability sweep must not grow a kernel pin —
+        # that would rewrite its cache keys.
+        spec = get_scenario("availability")
+        assert "kernel" not in spec.fixed
+        for point in spec.points():
+            assert "kernel" not in point.params(spec)
+
+
+class TestCliKernelOverride:
+    def test_kernel_flag_pins_the_lane(self, capsys):
+        # --kernel lands in spec.fixed exactly like a spec-pinned kernel
+        # (and therefore in cache keys).
+        spec = get_scenario("epoch-smoke")
+        pinned = dataclasses.replace(
+            spec, fixed={**spec.fixed, "kernel": "epoch-scalar"}
+        )
+        assert pinned.fixed["kernel"] == "epoch-scalar"
+        for point in pinned.points():
+            assert point.params(pinned)["kernel"] == "epoch-scalar"
+
+    def test_cli_exposes_the_flag(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["sweep", "run", "epoch-smoke", "--kernel", "epoch-scalar"]
+        )
+        assert args.kernel == "epoch-scalar"
+        args = parser.parse_args(["sweep", "run", "epoch-smoke"])
+        assert args.kernel is None

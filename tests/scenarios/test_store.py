@@ -301,6 +301,54 @@ class TestGarbageCollection:
         assert report.removed == 1
         assert not (tmp_path / ".quarantine").exists()
 
+    def test_orphaned_journal_without_records_is_age_gated(self, tmp_path):
+        # A journal whose scenario has no live store records is a
+        # leftover (its records were pruned or never committed) — but
+        # only once it clears the same grace period as tmp orphans.
+        store = self.populated(tmp_path)
+        journal_dir = tmp_path / ".journal"
+        journal_dir.mkdir()
+        orphan = journal_dir / "gone-scenario.json"
+        orphan.write_text(json.dumps({"status": "running", "points": {}}))
+        report = store.gc()
+        assert report.journal_orphans == []
+        assert [p.name for p in report.fresh_journals] == [
+            "gone-scenario.json"
+        ]
+        assert orphan.exists()
+        backdate(orphan)
+        report = store.gc()
+        assert [p.name for p in report.journal_orphans] == [
+            "gone-scenario.json"
+        ]
+        assert report.removed == 1
+        assert not orphan.exists()
+        # The emptied .journal directory disappears with it.
+        assert not journal_dir.exists()
+
+    def test_journal_with_live_records_is_never_collected(self, tmp_path):
+        store = self.populated(tmp_path)
+        journal_dir = tmp_path / ".journal"
+        journal_dir.mkdir()
+        live = journal_dir / "scn.json"  # "scn" has records in the store
+        live.write_text(json.dumps({"status": "complete", "points": {}}))
+        backdate(live)
+        report = store.gc()
+        assert report.journal_orphans == []
+        assert report.fresh_journals == []
+        assert live.exists()
+
+    def test_journal_tmp_leftovers_get_the_orphan_treatment(self, tmp_path):
+        store = self.populated(tmp_path)
+        journal_dir = tmp_path / ".journal"
+        journal_dir.mkdir()
+        torn = journal_dir / "scn.json.tmp"
+        torn.write_text("{\"half\": ")
+        backdate(torn)
+        report = store.gc()
+        assert torn.name in [p.name for p in report.orphans]
+        assert not torn.exists()
+
 
 class TestIntegrity:
     """Checksums + verify/repair: detect, quarantine, recompute — not crash."""

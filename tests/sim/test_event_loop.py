@@ -1,6 +1,8 @@
 """Event loop: ordering, determinism, cancellation, horizons."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.sim.clock import Clock
 from repro.sim.event_loop import EventLoop
@@ -160,3 +162,41 @@ class TestRunControl:
 
     def test_step_returns_false_when_empty(self):
         assert EventLoop().step() is False
+
+
+class TestTieBreaking:
+    """Same-timestamp events pop in insertion order (heap sequence number)."""
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(20):
+            loop.call_at(1.0, lambda i=i: fired.append(i))
+        loop.run()
+        assert fired == list(range(20))
+
+    @given(
+        timestamps=st.lists(
+            st.sampled_from([0.0, 1.0, 1.5, 2.0, 7.25]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_insertion_order_property(self, timestamps):
+        # Property: the firing order is the stable sort of the schedule
+        # by timestamp — ties broken by insertion index, never by
+        # callback identity or float heap accidents.
+        loop = EventLoop()
+        fired = []
+        for index, timestamp in enumerate(timestamps):
+            loop.call_at(
+                timestamp, lambda index=index: fired.append(index)
+            )
+        loop.run()
+        expected = [
+            index
+            for index, _ in sorted(
+                enumerate(timestamps), key=lambda pair: (pair[1], pair[0])
+            )
+        ]
+        assert fired == expected
