@@ -11,6 +11,7 @@ front door::
     report = api.run_sweep("fig7", store=".repro-store", backend="shm-pool",
                            jobs=8, tolerance=0.02)
     records = api.load_results(".repro-store", "fig7")
+    job = api.submit_sweep("127.0.0.1:7272", "fig7", watch=True)
     for backend in api.list_backends():
         print(backend["name"], backend["description"])
 
@@ -50,12 +51,14 @@ __all__ = [
     "SweepReport",
     "VerifyReport",
     "get_scenario",
+    "job_status",
     "scenario_names",
     "list_backends",
     "load_results",
     "repair_store",
     "run_scenario",
     "run_sweep",
+    "submit_sweep",
     "verify_store",
 ]
 
@@ -234,6 +237,63 @@ def repair_store(
             else str(scenario)
         )
     return resolved.repair(name)
+
+
+def submit_sweep(
+    address: str,
+    scenario: ScenarioLike,
+    *,
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+    batch_size: Optional[int] = None,
+    force: bool = False,
+    watch: bool = False,
+    on_progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Submit a sweep to a running ``repro serve`` daemon.
+
+    The daemon runs the scenario as a *job* over its own store and
+    backend, fair-sharing points with any other jobs in flight and
+    deduplicating overlapping work — a point being computed for one job
+    is adopted by every other, never recomputed.  Returns the accept
+    reply (``job`` id, ``points``); with ``watch=True``, follows the
+    progress stream (``on_progress`` receives each per-point frame) and
+    returns the job's *final* status dict instead — ``status``,
+    ``computed``, ``cached``, ``dedup_hits``, ``trials_run``.
+    """
+    from repro.service import submit_job, watch_job
+
+    name = (
+        scenario.name
+        if isinstance(scenario, ScenarioSpec)
+        else str(scenario)
+    )
+    accepted = submit_job(
+        address,
+        name,
+        trials=trials,
+        tolerance=tolerance,
+        batch_size=batch_size,
+        force=force,
+    )
+    if not watch:
+        return accepted
+    return watch_job(address, accepted["job"], on_frame=on_progress)
+
+
+def job_status(
+    address: str, job: Optional[str] = None
+) -> Dict[str, Any]:
+    """One service job's status dict — or, without ``job``, all of them.
+
+    Thin wrapper over the daemon's ``status`` op: a single job comes
+    back as its describe dict, no job argument returns
+    ``{"jobs": [...]}`` covering every job the daemon has accepted.
+    """
+    from repro.service import job_status as _job_status
+
+    reply = _job_status(address, job)
+    return reply["job"] if job is not None else reply
 
 
 def list_backends() -> List[Dict[str, Any]]:

@@ -48,6 +48,7 @@ from repro.backends.faults import FaultPlan, FaultSpec
 from repro.backends.membership import (
     HostsFileWatcher,
     MembershipRegistry,
+    RegistryBusyError,
     announce_worker,
     retire_worker,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "HostsFileWatcher",
     "MembershipRegistry",
     "NoWorkersLeft",
+    "RegistryBusyError",
     "WorkerLost",
     "WorkerPool",
     "WorkerServer",

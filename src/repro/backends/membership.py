@@ -45,6 +45,8 @@ mid-sweep only ever changes wall time.
 
 from __future__ import annotations
 
+import errno
+import os
 import socket
 import socketserver
 import threading
@@ -67,6 +69,18 @@ from repro.backends.wire import (
 REGISTRY_ROLE = "repro-registry"
 
 
+class RegistryBusyError(ConnectionError):
+    """Another live driver's registry already owns this announce address.
+
+    Raised instead of the raw ``EADDRINUSE`` when the occupant answers a
+    ``hello`` with :data:`REGISTRY_ROLE` — two drivers binding the same
+    ``--announce-bind`` would split the announcing workers between them
+    undefined-ly, so the second one refuses cleanly, naming the live
+    driver (its pid when it reports one) so the operator knows *which*
+    sweep holds the fleet.
+    """
+
+
 class _RegistryHandler(socketserver.BaseRequestHandler):
     """One announce/retire conversation until EOF; mirrors the worker loop."""
 
@@ -84,6 +98,9 @@ class _RegistryHandler(socketserver.BaseRequestHandler):
                     "ok": True,
                     "role": REGISTRY_ROLE,
                     "protocol": PROTOCOL_VERSION,
+                    # The owning driver's pid: what a refused second
+                    # driver reports in its RegistryBusyError.
+                    "pid": os.getpid(),
                 }
             elif op == "ping":
                 reply = {"ok": True}
@@ -122,13 +139,36 @@ class MembershipRegistry(socketserver.ThreadingTCPServer):
         probe: bool = True,
         ping_timeout: float = 2.0,
     ) -> None:
-        super().__init__((host, port), _RegistryHandler)
+        try:
+            super().__init__((host, port), _RegistryHandler)
+        except OSError as error:
+            if error.errno != errno.EADDRINUSE:
+                raise
+            occupant = _describe_occupant(host, port)
+            if occupant is not None:
+                raise RegistryBusyError(
+                    f"announce address {host}:{port} is already owned by a "
+                    f"live driver registry"
+                    + (
+                        f" (pid {occupant['pid']})"
+                        if occupant.get("pid") is not None
+                        else ""
+                    )
+                    + " — a fleet answers to one driver at a time; pick "
+                    "another --announce-bind or stop that sweep"
+                ) from error
+            raise
         self.probe = probe
         self.ping_timeout = ping_timeout
         self._lock = threading.Lock()
         self._joined: List[str] = []
         self._left: List[str] = []
         self._thread: Optional[threading.Thread] = None
+        self._loop_started = threading.Event()
+        self._stopping = False
+        #: How long stop() waits on the accept loop before abandoning it
+        #: and closing the socket out from under it anyway.
+        self._stop_timeout = 5.0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -173,6 +213,24 @@ class MembershipRegistry(socketserver.ThreadingTCPServer):
 
     # -- lifecycle ---------------------------------------------------------
 
+    def serve_forever(self, poll_interval: float = 0.1) -> None:
+        self._loop_started.set()
+        try:
+            super().serve_forever(poll_interval=poll_interval)
+        except OSError:
+            # The listening socket closed under the accept loop: only
+            # legitimate when stop() forced it after a wedged shutdown.
+            if not self._stopping:
+                raise
+
+    def service_actions(self) -> None:
+        # Runs once per accept-loop iteration.  After stop() closes the
+        # socket out from under a wedged loop, poll() reports the stale
+        # fd invalid every pass — without this exit the orphaned thread
+        # would spin on it forever.
+        if self._stopping and self.socket.fileno() == -1:
+            raise OSError("listening socket closed by stop()")
+
     def start(self) -> "MembershipRegistry":
         """Run the accept loop on a daemon thread; idempotent."""
         if self._thread is None:
@@ -186,10 +244,24 @@ class MembershipRegistry(socketserver.ThreadingTCPServer):
         return self
 
     def stop(self) -> None:
-        if self._thread is not None:
-            self.shutdown()
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop the accept loop and *always* release the listening socket.
+
+        ``shutdown()`` blocks on an event ``serve_forever`` sets on exit,
+        so it is (a) skipped when the loop never ran and (b) bounded by a
+        helper thread — a wedged accept loop must not turn stop() into a
+        hang.  Whatever the loop thread does, ``server_close()`` runs:
+        the port is released even when the thread outlives its 5s join
+        (the orphaned loop then dies on the closed socket, which
+        :meth:`serve_forever` swallows as part of stopping).
+        """
+        self._stopping = True
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            if self._loop_started.wait(timeout=1):
+                waiter = threading.Thread(target=self.shutdown, daemon=True)
+                waiter.start()
+                waiter.join(timeout=self._stop_timeout)
+            thread.join(timeout=self._stop_timeout)
         self.server_close()
 
     def __enter__(self) -> "MembershipRegistry":
@@ -197,6 +269,28 @@ class MembershipRegistry(socketserver.ThreadingTCPServer):
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
+
+
+def _describe_occupant(
+    host: str, port: int, timeout: float = 2.0
+) -> Optional[dict]:
+    """Who is listening on a bind address we failed to take?
+
+    A ``hello`` round trip: a reply carrying :data:`REGISTRY_ROLE` means
+    a live driver registry owns the port (returns its hello payload, pid
+    included when it reports one); anything else — unreachable, wrong
+    role, not speaking the protocol — returns ``None`` and the caller
+    surfaces the original bind error.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            hello = request(sock, {"op": "hello"})
+    except (OSError, ConnectionError, RuntimeError, ValueError):
+        return None
+    if hello.get("role") != REGISTRY_ROLE:
+        return None
+    return hello
 
 
 def _registry_request(

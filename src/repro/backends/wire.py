@@ -238,6 +238,58 @@ def request(
     return reply
 
 
+async def send_message_async(writer, payload: Dict[str, Any]) -> None:
+    """Send one framed JSON message on an :mod:`asyncio` stream.
+
+    The exact same frame bytes as :func:`send_message` — the sweep
+    service daemon and the synchronous clients/workers interoperate on
+    one wire format by construction, not by parallel implementations.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    writer.write(_HEADER.pack(len(body)) + body)
+    await writer.drain()
+
+
+async def recv_message_async(reader) -> Optional[Dict[str, Any]]:
+    """Receive one framed JSON message from an :mod:`asyncio` stream.
+
+    ``None`` on a clean EOF at a frame boundary; :class:`ProtocolError`
+    on EOF mid-frame, oversized frames, and undecodable bodies — the
+    same contract as :func:`recv_message`, minus the idle hooks (an
+    asyncio caller bounds waits with ``asyncio.wait_for`` instead).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{_HEADER.size} bytes read)"
+        ) from error
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes read)"
+        ) from error
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
 def parse_address(address: str) -> tuple:
     """``"host:port"`` → ``(host, port)``; a clear error otherwise."""
     host, separator, port_text = address.rpartition(":")

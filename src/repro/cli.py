@@ -14,6 +14,12 @@ Installed as the ``repro`` console script::
     repro trace validate fig7.jsonl
     repro sweep run fig7 --backend distributed --workers host1:7070,host2:7070
     repro sweep run fig7 --backend distributed --pool 4
+    repro serve --bind 127.0.0.1:7272 --store .repro-store --jobs 4
+    repro sweep run fig7 --submit 127.0.0.1:7272
+    repro jobs submit fig7 --at 127.0.0.1:7272
+    repro jobs status --at 127.0.0.1:7272
+    repro jobs watch job-0001 --at 127.0.0.1:7272
+    repro jobs cancel job-0001 --at 127.0.0.1:7272
     repro sweep run fig7 --backend distributed --pool 2 --announce-bind 127.0.0.1:7171
     repro sweep run fig7 --backend distributed --pool 2 --fallback local --point-deadline 120
     repro sweep verify --store .repro-store
@@ -427,6 +433,16 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="recompute every point, overwriting cached results",
             )
+            action_parser.add_argument(
+                "--submit",
+                default=None,
+                metavar="HOST:PORT",
+                help="submit the sweep to a running `repro serve` daemon "
+                "instead of executing it here; the daemon's store and "
+                "backend apply (local --store/--backend options are "
+                "refused), progress streams back per point, and work "
+                "overlapping other jobs is deduplicated",
+            )
 
     sweep_gc = sweep_actions.add_parser(
         "gc",
@@ -571,6 +587,80 @@ def _build_parser() -> argparse.ArgumentParser:
         "ports (respawned workers carry no --fault; the addresses file, "
         "if any, is rewritten so watchers pick up the new members)",
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sweep-service daemon: accept concurrent sweep jobs "
+        "over TCP, fair-share them over one backend, deduplicate "
+        "overlapping points through the shared store",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:7272",
+        help="host:port to listen on; port 0 picks an ephemeral port "
+        "(default: %(default)s — loopback only)",
+    )
+    serve.add_argument(
+        "--store",
+        default=".repro-store",
+        help="the result store every job shares (default: %(default)s)",
+    )
+    _add_backend_arguments(serve, sweep=True)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="talk to a running `repro serve` daemon"
+    )
+    jobs_actions = jobs_parser.add_subparsers(dest="action", required=True)
+
+    def _add_at(parser):
+        parser.add_argument(
+            "--at",
+            default="127.0.0.1:7272",
+            metavar="HOST:PORT",
+            help="the daemon's address (default: %(default)s)",
+        )
+
+    jobs_submit = jobs_actions.add_parser(
+        "submit", help="submit a scenario sweep as a service job"
+    )
+    jobs_submit.add_argument("name", help="registered scenario name")
+    _add_at(jobs_submit)
+    jobs_submit.add_argument("--trials", type=int, default=None)
+    jobs_submit.add_argument("--tolerance", type=float, default=None)
+    jobs_submit.add_argument("--batch-size", type=int, default=None)
+    jobs_submit.add_argument(
+        "--kernel",
+        default=None,
+        help="pin the point runner's kernel lane (lands in cache keys, "
+        "exactly as with `sweep run --kernel`)",
+    )
+    jobs_submit.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every point, overwriting cached results",
+    )
+    jobs_submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="follow the job's progress stream to completion",
+    )
+    jobs_status = jobs_actions.add_parser(
+        "status", help="show one job (or, without an id, every job)"
+    )
+    jobs_status.add_argument("job", nargs="?", default=None)
+    _add_at(jobs_status)
+    jobs_watch = jobs_actions.add_parser(
+        "watch", help="stream a job's per-point progress to completion"
+    )
+    jobs_watch.add_argument("job")
+    _add_at(jobs_watch)
+    jobs_cancel = jobs_actions.add_parser(
+        "cancel",
+        help="cancel a job (cooperative: the point in flight finishes, "
+        "the rest are dropped)",
+    )
+    jobs_cancel.add_argument("job")
+    _add_at(jobs_cancel)
 
     trace = subparsers.add_parser(
         "trace", help="inspect recorded JSONL traces (the --trace output)"
@@ -821,6 +911,8 @@ def _command_sweep(args) -> int:
         return _sweep_gc(args)
     if args.action in ("verify", "repair"):
         return _sweep_integrity(args)
+    if getattr(args, "submit", None):
+        return _sweep_submit(args)
     try:
         spec = get_scenario(args.name)
     except ValueError as error:
@@ -878,6 +970,9 @@ def _command_sweep(args) -> int:
             flush=True,
         )
 
+    from repro.backends.membership import RegistryBusyError
+    from repro.scenarios.journal import JournalBusyError
+
     try:
         report = orchestrator.run(
             spec,
@@ -885,6 +980,11 @@ def _command_sweep(args) -> int:
             force=getattr(args, "force", False),
             progress=progress,
         )
+    except (JournalBusyError, RegistryBusyError) as busy:
+        # Another live driver owns the journal (or the announce
+        # address): a clean refusal, not a traceback — concurrent
+        # drivers must go through `repro serve`.
+        raise SystemExit(str(busy)) from None
     finally:
         _finish_trace(tracer, getattr(args, "trace", None))
     wall = time.perf_counter() - sweep_began
@@ -915,6 +1015,220 @@ def _command_sweep(args) -> int:
             )
         )
     return 0
+
+
+def _render_progress_frame(frame) -> None:
+    """One ``watch`` frame as a per-point progress line (flushed)."""
+    status = frame.get("status", "?")
+    detail = ""
+    if status == "computed":
+        detail = (
+            f" ({frame.get('trials_run', 0)} trials, "
+            f"{frame.get('trials_per_second', 0.0):.0f}/s)"
+        )
+    half_width = frame.get("ci_half_width")
+    if half_width is not None:
+        detail += f" ci±{half_width:.4f}"
+    print(
+        f"  [{frame.get('done', '?')}/{frame.get('points', '?')}] "
+        f"{frame.get('label', '')} {status}{detail} "
+        f"[{frame.get('elapsed', 0.0):.2f}s]",
+        flush=True,
+    )
+
+
+def _print_job_summary(final, address) -> None:
+    """A finished job's one-line summary plus its stats line."""
+    print(
+        f"{final['scenario']}: {final['points']} points — "
+        f"{final['computed']} computed, {final['cached']} cached, "
+        f"{final['trials_run']} new trials; job {final['job']} at {address}",
+        flush=True,
+    )
+    counters = {
+        "dedup_hits": final.get("dedup_hits", 0),
+    }
+    from repro.service import service_stats
+
+    try:
+        counters.update(service_stats(address).get("stats", {}))
+    except (OSError, ConnectionError, RuntimeError):
+        pass  # the per-job dedup figure still prints
+    rendered = " ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())
+    )
+    print(f"backend stats: {rendered}", flush=True)
+
+
+def _sweep_submit(args) -> int:
+    """`repro sweep run NAME --submit HOST:PORT`: delegate to the daemon."""
+    for value, flag in (
+        (args.backend, "--backend"),
+        (args.workers, "--workers"),
+        (args.pool, "--pool"),
+        (args.jobs, "--jobs"),
+        (args.chunk_size, "--chunk-size"),
+        (args.announce_bind, "--announce-bind"),
+        (args.watch_workers, "--watch-workers"),
+        (args.fallback, "--fallback"),
+        (args.point_deadline, "--point-deadline"),
+        (args.no_journal, "--no-journal"),
+        (args.trace, "--trace"),
+    ):
+        if value:
+            raise SystemExit(
+                f"{flag} cannot be combined with --submit — the daemon "
+                "owns the backend, store, and journal policy"
+            )
+    from repro.service import submit_job, watch_job
+
+    try:
+        accepted = submit_job(
+            args.submit,
+            args.name,
+            trials=args.trials,
+            tolerance=args.tolerance,
+            batch_size=args.batch_size,
+            kernel=getattr(args, "kernel", None),
+            force=getattr(args, "force", False),
+        )
+        job = accepted["job"]
+        print(
+            f"submitted {args.name!r} as {job} ({accepted['points']} "
+            f"points) to {args.submit}",
+            flush=True,
+        )
+        final = watch_job(args.submit, job, on_frame=_render_progress_frame)
+    except (OSError, ConnectionError, RuntimeError) as error:
+        raise SystemExit(f"sweep service at {args.submit}: {error}") from None
+    _print_job_summary(final, args.submit)
+    return 0 if final["status"] == "done" else 1
+
+
+def _command_serve(args) -> int:
+    """Foreground `repro serve`: run the daemon until signalled."""
+    import asyncio
+    import threading
+
+    from repro.backends.wire import parse_address
+    from repro.service import SweepService
+
+    host, port = parse_address(args.bind)
+    tracer = _open_tracer(args)
+    service = SweepService(
+        args.store,
+        host=host,
+        port=port,
+        jobs=args.jobs,
+        backend=_backend_from_args(args, sweep=True),
+        tracer=tracer,
+    )
+
+    async def _main() -> None:
+        ready = threading.Event()
+        server_task = asyncio.ensure_future(service.serve(ready))
+        while not ready.is_set() and not server_task.done():
+            await asyncio.sleep(0.01)
+        if not server_task.done():
+            bound_host, bound_port = service.address
+            print(
+                f"repro sweep service ready: {bound_host}:{bound_port} "
+                f"(store: {args.store})",
+                flush=True,
+            )
+        await server_task
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        _finish_trace(tracer, getattr(args, "trace", None))
+    counters = service.metrics.counter_values("service.", strip=True)
+    rendered = " ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())
+    )
+    print(f"repro sweep service: drained — {rendered or 'no jobs served'}")
+    return 0
+
+
+def _command_jobs(args) -> int:
+    """`repro jobs submit|status|watch|cancel` — the daemon's client."""
+    from repro.service import (
+        cancel_job,
+        job_status,
+        service_stats,
+        submit_job,
+        watch_job,
+    )
+
+    try:
+        if args.action == "submit":
+            accepted = submit_job(
+                args.at,
+                args.name,
+                trials=args.trials,
+                tolerance=args.tolerance,
+                batch_size=args.batch_size,
+                kernel=args.kernel,
+                force=args.force,
+            )
+            job = accepted["job"]
+            print(
+                f"submitted {args.name!r} as {job} "
+                f"({accepted['points']} points)",
+                flush=True,
+            )
+            if not args.watch:
+                return 0
+            final = watch_job(args.at, job, on_frame=_render_progress_frame)
+            _print_job_summary(final, args.at)
+            return 0 if final["status"] == "done" else 1
+        if args.action == "watch":
+            final = watch_job(
+                args.at, args.job, on_frame=_render_progress_frame
+            )
+            _print_job_summary(final, args.at)
+            return 0 if final["status"] == "done" else 1
+        if args.action == "cancel":
+            reply = cancel_job(args.at, args.job)
+            verb = (
+                "cancelled"
+                if reply.get("cancelled")
+                else f"already {reply.get('status')}"
+            )
+            print(f"{args.job}: {verb}")
+            return 0
+        # status
+        if args.job is not None:
+            reply = job_status(args.at, args.job)
+            entry = reply["job"]
+            print(
+                f"{entry['job']}: {entry['scenario']} {entry['status']} — "
+                f"{entry['served']}/{entry['points']} points "
+                f"({entry['computed']} computed, {entry['cached']} cached, "
+                f"{entry['dedup_hits']} dedup)"
+                + (f"; error: {entry['error']}" if entry.get("error") else "")
+            )
+            return 0
+        reply = job_status(args.at)
+        entries = reply.get("jobs", [])
+        if not entries:
+            print("no jobs")
+        for entry in entries:
+            print(
+                f"{entry['job']}  {entry['scenario']:<20} "
+                f"{entry['status']:<10} {entry['served']}/{entry['points']}"
+            )
+        stats = service_stats(args.at).get("stats", {})
+        if stats:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(stats.items())
+            )
+            print(f"service stats: {rendered}")
+        return 0
+    except (OSError, ConnectionError, RuntimeError) as error:
+        raise SystemExit(f"sweep service at {args.at}: {error}") from None
 
 
 def _report_journal(store_root, scenario: str) -> None:
@@ -1241,6 +1555,8 @@ _COMMANDS = {
     "figures": _command_figures,
     "scenarios": _command_scenarios,
     "sweep": _command_sweep,
+    "serve": _command_serve,
+    "jobs": _command_jobs,
     "worker": _command_worker,
     "trace": _command_trace,
     "backends": _command_backends,

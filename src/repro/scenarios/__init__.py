@@ -16,7 +16,12 @@ The subsystem that turns the repository's figure drivers into data:
 CLI: ``repro scenarios list/show`` and ``repro sweep run/resume``.
 """
 
-from repro.scenarios.journal import SweepJournal, sweep_spec_hash
+from repro.scenarios.journal import (
+    JournalBusyError,
+    JournalOwnershipLost,
+    SweepJournal,
+    sweep_spec_hash,
+)
 from repro.scenarios.orchestrator import (
     SweepOrchestrator,
     SweepReport,
@@ -33,6 +38,7 @@ from repro.scenarios.spec import (
     ToleranceSchedule,
 )
 from repro.scenarios.store import (
+    PointClaim,
     ResultStore,
     StoreIntegrityError,
     VerifyReport,
@@ -42,6 +48,9 @@ from repro.scenarios.store import (
 __all__ = [
     "Axis",
     "EngineSettings",
+    "JournalBusyError",
+    "JournalOwnershipLost",
+    "PointClaim",
     "ResultStore",
     "ScenarioSpec",
     "StoreIntegrityError",

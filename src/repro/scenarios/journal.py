@@ -25,6 +25,20 @@ rather than poison the new run with stale flight state.
 
 The journal lives in the store's ``.journal/`` dot-directory — next to
 the records it guards, invisible to content-key lookups and gc scans.
+
+**Ownership.**  The full-state rewrite is atomic but not *coordinated*:
+two live drivers resuming the same scenario would interleave rewrites
+and silently lose each other's marks.  ``begin`` therefore takes an
+owner lease — ``{"pid", "token"}`` persisted in the state plus an mtime
+heartbeat thread that touches the file while the sweep runs — and a
+second driver meeting a live lease fails fast with
+:class:`JournalBusyError` instead of corrupting the flight record.  A
+lease is *dead* (and silently taken over) when its owner process no
+longer exists or its heartbeat has gone stale for
+:data:`DEFAULT_LEASE_SECONDS`; ``complete``/``release`` drop it
+explicitly.  A driver that loses its lease to a takeover (wedged past
+the lease window, then resumed) gets :class:`JournalOwnershipLost` on
+its next write instead of clobbering the new owner's marks.
 """
 
 from __future__ import annotations
@@ -32,10 +46,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Set
 
-from repro.scenarios.store import canonical_json
+from repro.scenarios.store import _pid_alive, canonical_json
 
 #: Journal file schema version.
 JOURNAL_SCHEMA = 1
@@ -43,8 +60,32 @@ JOURNAL_SCHEMA = 1
 #: Store dot-directory holding one journal file per scenario.
 JOURNAL_DIR = ".journal"
 
+#: How stale an owner's mtime heartbeat may grow before its lease is
+#: considered expired.  The heartbeat touches the file every quarter of
+#: this, so a live driver — even one computing a long point with no
+#: journal writes — stays multiples of the touch interval inside it.
+DEFAULT_LEASE_SECONDS = 30.0
+
 _STARTED = "started"
 _FINISHED = "finished"
+
+
+class JournalBusyError(RuntimeError):
+    """Another live driver holds this journal's owner lease.
+
+    Raised by :meth:`SweepJournal.begin` instead of interleaving
+    full-state rewrites with the living owner.  The message names the
+    owner (pid + heartbeat age) so the operator can tell a genuinely
+    concurrent driver from a stale lease about to expire on its own.
+    """
+
+
+class JournalOwnershipLost(RuntimeError):
+    """This driver's lease was taken over while it was still writing.
+
+    The losing driver gets this on its next mark instead of silently
+    clobbering the new owner's flight state — the write never happens.
+    """
 
 
 def sweep_spec_hash(keys: Sequence[str]) -> str:
@@ -69,10 +110,22 @@ class SweepJournal:
     writer, which is the point: one sweep, one journal, one story.
     """
 
-    def __init__(self, root, scenario: str) -> None:
+    def __init__(
+        self,
+        root,
+        scenario: str,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    ) -> None:
         self.scenario = scenario
         self.path = Path(root) / JOURNAL_DIR / f"{scenario}.json"
+        self.lease_seconds = float(lease_seconds)
         self._state: Optional[Dict[str, Any]] = None
+        #: This journal object's lease identity.  The pid alone cannot
+        #: distinguish two drivers in one process (threads, tests); the
+        #: token can.
+        self._token = uuid.uuid4().hex
+        self._heartbeat_stop: Optional[threading.Event] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
 
     def __repr__(self) -> str:
         return f"SweepJournal({str(self.path)!r})"
@@ -130,6 +183,7 @@ class SweepJournal:
             "total_points": state.get("total_points"),
             "committed": len(cls._keys_in(state, _FINISHED)),
             "midflight": sorted(cls._keys_in(state, _STARTED)),
+            "owner": state.get("owner"),
         }
 
     # -- writing -----------------------------------------------------------
@@ -142,8 +196,14 @@ class SweepJournal:
         keys come back so the caller can force-recompute them.  Any other
         state — completed sweep, different spec, no journal — starts
         fresh with no mid-flight set.
+
+        Takes the owner lease: raises :class:`JournalBusyError` when a
+        *live* foreign lease holds the journal (owner process alive and
+        heartbeat within :attr:`lease_seconds`); a dead or expired lease
+        is taken over silently — exactly the crashed-driver resume path.
         """
         existing = self.load()
+        self._check_foreign_lease(existing)
         midflight: Set[str] = set()
         if existing is not None and existing.get("spec_hash") == spec_hash:
             if existing.get("status") == "running":
@@ -160,8 +220,10 @@ class SweepJournal:
                 "total_points": total_points,
                 "points": {},
             }
+        state["owner"] = {"pid": os.getpid(), "token": self._token}
         self._state = state
         self._write()
+        self._start_heartbeat()
         return midflight
 
     def point_started(self, key: str, index: int) -> None:
@@ -173,17 +235,139 @@ class SweepJournal:
         self._mark(key, index, _FINISHED)
 
     def complete(self) -> None:
-        """Seal the sweep: every point accounted for, no flight state left."""
+        """Seal the sweep: every point accounted for, no flight state left.
+
+        Dropping the owner lease is part of sealing — a later driver
+        adopts the completed journal without any takeover ceremony.
+        """
         if self._state is None:
             raise RuntimeError("journal.complete() before begin()")
+        self._check_still_owner()
+        self._stop_heartbeat()
         self._state["status"] = "complete"
+        self._state["owner"] = None
         self._write()
+
+    def release(self) -> None:
+        """Drop the owner lease without sealing; idempotent.
+
+        The abort path (and the test stand-in for a dead driver): the
+        flight state — status, started/finished marks — stays exactly as
+        it is, so a later ``begin`` resumes it, but the lease is gone and
+        that later driver does not have to wait it out.  Called by the
+        orchestrator in a ``finally`` so an aborted sweep never leaves a
+        live-looking lease behind.
+        """
+        self._stop_heartbeat()
+        if self._state is None:
+            return
+        on_disk = self.load()
+        if (
+            on_disk is not None
+            and isinstance(on_disk.get("owner"), dict)
+            and on_disk["owner"].get("token") == self._token
+        ):
+            on_disk["owner"] = None
+            self._state = on_disk
+            self._write()
 
     def _mark(self, key: str, index: int, status: str) -> None:
         if self._state is None:
             raise RuntimeError(f"journal.{status} before begin()")
+        self._check_still_owner()
         self._state["points"][key] = {"status": status, "index": index}
         self._write()
+
+    # -- the owner lease ---------------------------------------------------
+
+    def _lease_age(self) -> Optional[float]:
+        """Seconds since the journal file was last touched, or ``None``."""
+        try:
+            return max(0.0, time.time() - self.path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def _check_foreign_lease(self, existing: Optional[Dict[str, Any]]) -> None:
+        """Raise :class:`JournalBusyError` iff a live foreign lease holds on.
+
+        Only a *running* journal can be held: completed sweeps carry no
+        flight state worth protecting.  A lease is live when its owner
+        process still exists on this host **and** the mtime heartbeat is
+        within :attr:`lease_seconds` — a SIGKILLed driver fails the pid
+        check immediately (no lease wait on resume), a wedged one fails
+        the heartbeat check once the lease expires.
+        """
+        if existing is None or existing.get("status") != "running":
+            return
+        owner = existing.get("owner")
+        if not isinstance(owner, dict) or owner.get("token") in (
+            None,
+            self._token,
+        ):
+            return
+        if not _pid_alive(owner.get("pid")):
+            return
+        age = self._lease_age()
+        if age is None or age >= self.lease_seconds:
+            return
+        raise JournalBusyError(
+            f"journal {self.path} is held by a live driver "
+            f"(pid {owner.get('pid')}, heartbeat {age:.1f}s ago, lease "
+            f"{self.lease_seconds:.0f}s): refusing to interleave sweep "
+            f"state — stop that driver or wait for its lease to expire"
+        )
+
+    def _check_still_owner(self) -> None:
+        """Raise :class:`JournalOwnershipLost` if the lease moved on."""
+        on_disk = self.load()
+        if on_disk is None:
+            return  # journal lost entirely — rewriting it is recovery
+        owner = on_disk.get("owner")
+        if isinstance(owner, dict) and owner.get("token") not in (
+            None,
+            self._token,
+        ):
+            self._stop_heartbeat()
+            raise JournalOwnershipLost(
+                f"journal {self.path} lease was taken over by pid "
+                f"{owner.get('pid')} — this driver's sweep state is stale "
+                f"and its writes are refused"
+            )
+
+    def _start_heartbeat(self) -> None:
+        if self._heartbeat_thread is not None:
+            return
+        stop = threading.Event()
+        interval = max(self.lease_seconds / 4.0, 0.05)
+        path = self.path
+
+        def touch_loop() -> None:
+            while not stop.wait(interval):
+                try:
+                    os.utime(path)
+                except OSError:
+                    pass
+
+        thread = threading.Thread(
+            target=touch_loop,
+            name=f"repro-journal-heartbeat-{self.scenario}",
+            daemon=True,
+        )
+        self._heartbeat_stop = stop
+        self._heartbeat_thread = thread
+        thread.start()
+
+    def _stop_heartbeat(self) -> None:
+        if self._heartbeat_stop is not None:
+            self._heartbeat_stop.set()
+        self._heartbeat_stop = None
+        self._heartbeat_thread = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self._stop_heartbeat()
+        except Exception:
+            pass
 
     def _write(self) -> None:
         """Atomic full-state rewrite — the same temp+rename as the store."""

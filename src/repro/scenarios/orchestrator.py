@@ -24,6 +24,7 @@ One :meth:`SweepOrchestrator.run` call owns the whole sweep:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
@@ -56,6 +57,121 @@ ProgressFn = Callable[[SweepPoint, Dict[str, Any], bool], None]
 @contextmanager
 def _null_guard():
     yield
+
+
+@dataclass(frozen=True)
+class PointEntry:
+    """One resolved grid point: values, tolerance, cache key, display label.
+
+    The sweep's unit of work, shared between the orchestrator's point
+    loop and the sweep service's job scheduler — both iterate the same
+    resolved entries, so a submitted job and a CLI sweep of the same
+    scenario agree on every cache key by construction.
+    """
+
+    point: SweepPoint
+    tolerance: Optional[float]
+    key: str
+    label: str
+
+
+def resolve_entries(
+    spec: ScenarioSpec,
+    trials: Optional[int] = None,
+    tolerance: Optional[float] = None,
+    tolerance_fn: Optional[ToleranceFn] = None,
+    batch_size: Optional[int] = None,
+) -> Tuple[ScenarioSpec, int, List[PointEntry]]:
+    """Resolve a spec's whole grid up front: effective spec, trials, entries.
+
+    ``batch_size`` is folded into the spec *before* any cache key is
+    derived (the partition is result-shaping); per-point tolerance is
+    ``tolerance_fn`` > (base ``tolerance`` + the spec's schedule).
+    Returns the effective spec (use it, not the argument, from here on),
+    the effective trial budget, and one :class:`PointEntry` per point in
+    grid order.
+    """
+    if batch_size is not None:
+        spec = replace(
+            spec, engine=replace(spec.engine, batch_size=batch_size)
+        )
+    effective_trials = spec.trials if trials is None else trials
+    check_positive_int(effective_trials, "trials", minimum=0)
+    entries: List[PointEntry] = []
+    for point in spec.points():
+        if tolerance_fn is not None:
+            resolved = tolerance_fn(point.params(spec))
+        else:
+            resolved = spec.point_tolerance(point.values, base=tolerance)
+        key = point_cache_key(
+            spec, point.values, trials=effective_trials, tolerance=resolved
+        )
+        label = (
+            " ".join(
+                f"{name}={value}" for name, value in point.values.items()
+            )
+            or spec.name
+        )
+        entries.append(PointEntry(point, resolved, key, label))
+    return spec, effective_trials, entries
+
+
+def compute_point_result(
+    runner: Callable[..., Any],
+    executor: TrialExecutor,
+    spec: ScenarioSpec,
+    entry: PointEntry,
+    trials: int,
+    tracer: Any = None,
+) -> Any:
+    """Run one point's trials on ``executor`` through a fresh engine.
+
+    Engines are cheap; the executor is the expensive shared part — which
+    is exactly why the service can serialize many jobs' points through
+    one backend with one of these calls at a time.
+    """
+    engine = TrialEngine(
+        executor=executor,
+        tolerance=entry.tolerance,
+        min_trials=spec.engine.min_trials,
+        check_interval=spec.engine.check_interval,
+        checkpoint_batches=spec.engine.checkpoint_batches,
+        ci_method=spec.engine.ci_method,
+        tracer=tracer,
+    )
+    return runner(
+        entry.point.params(spec),
+        trials,
+        spec.seed,
+        engine,
+        spec.engine.batch_size,
+    )
+
+
+def build_point_record(
+    spec: ScenarioSpec,
+    entry: PointEntry,
+    trials: int,
+    result: Any,
+) -> Dict[str, Any]:
+    """Finalize one computed point into its store-record shape."""
+    return finalize_record(
+        {
+            "key": entry.key,
+            "scenario": spec.name,
+            "kind": spec.kind,
+            "point": dict(entry.point.values),
+            "params": entry.point.params(spec),
+            "trials": trials,
+            "seed": spec.seed,
+            "tolerance": entry.tolerance,
+            "result": result,
+            # Finalized (generation + checksum) here as well as in
+            # save() so a report's record shape never depends on cache
+            # state.
+            "store_generation": STORE_GENERATION,
+        }
+    )
 
 
 class _PointWatchdog:
@@ -288,34 +404,18 @@ class SweepOrchestrator:
         contract) while serving the rest from the store.
         """
         runner = get_runner(spec.kind)
-        if self.batch_size is not None:
-            # Folded in before any cache key is derived: the partition is
-            # result-shaping, so overridden runs get their own entries.
-            spec = replace(
-                spec, engine=replace(spec.engine, batch_size=self.batch_size)
-            )
-        effective_trials = spec.trials if trials is None else trials
-        check_positive_int(effective_trials, "trials", minimum=0)
         # Resolve the whole grid up front: the journal's spec hash covers
         # every point's identity, so it must exist before the first point
-        # runs.
-        entries: List[Tuple[SweepPoint, Optional[float], str, str]] = []
-        for point in spec.points():
-            tolerance = self.point_tolerance(spec, point)
-            key = point_cache_key(
-                spec,
-                point.values,
-                trials=effective_trials,
-                tolerance=tolerance,
-            )
-            label = (
-                " ".join(
-                    f"{name}={value}"
-                    for name, value in point.values.items()
-                )
-                or spec.name
-            )
-            entries.append((point, tolerance, key, label))
+        # runs.  (batch_size is folded into the spec there — the
+        # partition is result-shaping, so overridden runs get their own
+        # cache entries.)
+        spec, effective_trials, entries = resolve_entries(
+            spec,
+            trials=trials,
+            tolerance=self.tolerance,
+            tolerance_fn=self.tolerance_fn,
+            batch_size=self.batch_size,
+        )
         records: List[Dict[str, Any]] = []
         computed = cached = 0
         executor = self._backend_for(spec)
@@ -327,9 +427,11 @@ class SweepOrchestrator:
         midflight: frozenset = frozenset()
         if self.store is not None and self.journal:
             journal = SweepJournal(self.store.root, spec.name)
+            # Takes the owner lease: a second driver racing this journal
+            # gets JournalBusyError here — fail fast, never interleave.
             midflight = frozenset(
                 journal.begin(
-                    sweep_spec_hash([key for _, _, key, _ in entries]),
+                    sweep_spec_hash([entry.key for entry in entries]),
                     len(entries),
                 )
             )
@@ -359,9 +461,17 @@ class SweepOrchestrator:
             active = executor
             with executor:
                 try:
-                    for point, tolerance, key, label in entries:
+                    for entry in entries:
+                        point, tolerance, key = (
+                            entry.point,
+                            entry.tolerance,
+                            entry.key,
+                        )
                         with self.tracer.span(
-                            "point", index=point.index, label=label, key=key
+                            "point",
+                            index=point.index,
+                            label=entry.label,
+                            key=key,
                         ) as point_span:
                             if (
                                 self.store is not None
@@ -390,83 +500,110 @@ class SweepOrchestrator:
                                 # point_finished marks the point
                                 # mid-flight, never silently committed.
                                 journal.point_started(key, point.index)
-                            while True:
-                                try:
-                                    guard = (
-                                        watchdog.guard(
-                                            active, point.index, sweep_span
-                                        )
-                                        if watchdog is not None
-                                        else _null_guard()
-                                    )
-                                    with guard:
-                                        result = self._compute_point(
-                                            runner,
-                                            active,
-                                            spec,
-                                            point,
-                                            tolerance,
-                                            effective_trials,
-                                        )
-                                    break
-                                except (
-                                    NoWorkersLeft,
-                                    PointDeadlineExceeded,
-                                ) as failure:
-                                    if (
-                                        self.fallback != "local"
-                                        or active is not executor
-                                    ):
-                                        raise
-                                    # Degrade one-way: the failed point —
-                                    # and every later one — reruns on the
-                                    # local default backend.  Same task,
-                                    # same spans, same bytes.
-                                    degraded += 1
-                                    reason = (
-                                        "point_deadline"
-                                        if isinstance(
-                                            failure, PointDeadlineExceeded
-                                        )
-                                        else "no_workers_left"
-                                    )
-                                    self.tracer.event(
-                                        "degraded",
-                                        span=sweep_span,
-                                        reason=reason,
-                                        point=point.index,
-                                        from_backend=type(active).__name__,
-                                        to_backend="local",
-                                    )
-                                    fallback_executor = get_backend(
-                                        None, jobs=self.jobs, sweep=True
-                                    )
-                                    if self.tracer is not NULL_TRACER and hasattr(
-                                        fallback_executor, "tracer"
-                                    ):
-                                        fallback_executor.tracer = self.tracer
-                                    fallback_executor.open()
-                                    active = fallback_executor
-                            record = finalize_record(
-                                {
-                                    "key": key,
-                                    "scenario": spec.name,
-                                    "kind": spec.kind,
-                                    "point": dict(point.values),
-                                    "params": point.params(spec),
-                                    "trials": effective_trials,
-                                    "seed": spec.seed,
-                                    "tolerance": tolerance,
-                                    "result": result,
-                                    # Finalized (generation + checksum)
-                                    # here as well as in save() so a
-                                    # report's record shape never depends
-                                    # on cache state.
-                                    "store_generation": STORE_GENERATION,
-                                }
-                            )
+                            claim = None
                             if self.store is not None:
-                                self.store.save(spec.name, key, record)
+                                claim, shared = self._claim_or_follow(
+                                    spec.name, key, point_span, force=force
+                                )
+                                if claim is None:
+                                    # A concurrent driver computed this
+                                    # point while we waited on its claim:
+                                    # its record is ours by content
+                                    # address — the point is never
+                                    # computed twice.
+                                    records.append(shared)
+                                    cached += 1
+                                    point_span.set_attr("cached", True)
+                                    point_span.event(
+                                        "dedup_follow", key=key
+                                    )
+                                    if journal is not None:
+                                        journal.point_finished(
+                                            key, point.index
+                                        )
+                                    if progress is not None:
+                                        progress(point, shared, True)
+                                    continue
+                            try:
+                                while True:
+                                    try:
+                                        guard = (
+                                            watchdog.guard(
+                                                active,
+                                                point.index,
+                                                sweep_span,
+                                            )
+                                            if watchdog is not None
+                                            else _null_guard()
+                                        )
+                                        with guard:
+                                            result = compute_point_result(
+                                                runner,
+                                                active,
+                                                spec,
+                                                entry,
+                                                effective_trials,
+                                                tracer=self.tracer,
+                                            )
+                                        break
+                                    except (
+                                        NoWorkersLeft,
+                                        PointDeadlineExceeded,
+                                    ) as failure:
+                                        if (
+                                            self.fallback != "local"
+                                            or active is not executor
+                                        ):
+                                            raise
+                                        # Degrade one-way: the failed
+                                        # point — and every later one —
+                                        # reruns on the local default
+                                        # backend.  Same task, same
+                                        # spans, same bytes.
+                                        degraded += 1
+                                        reason = (
+                                            "point_deadline"
+                                            if isinstance(
+                                                failure,
+                                                PointDeadlineExceeded,
+                                            )
+                                            else "no_workers_left"
+                                        )
+                                        self.tracer.event(
+                                            "degraded",
+                                            span=sweep_span,
+                                            reason=reason,
+                                            point=point.index,
+                                            from_backend=type(
+                                                active
+                                            ).__name__,
+                                            to_backend="local",
+                                        )
+                                        fallback_executor = get_backend(
+                                            None, jobs=self.jobs, sweep=True
+                                        )
+                                        if (
+                                            self.tracer is not NULL_TRACER
+                                            and hasattr(
+                                                fallback_executor, "tracer"
+                                            )
+                                        ):
+                                            fallback_executor.tracer = (
+                                                self.tracer
+                                            )
+                                        fallback_executor.open()
+                                        active = fallback_executor
+                                record = build_point_record(
+                                    spec, entry, effective_trials, result
+                                )
+                                if self.store is not None:
+                                    self.store.save(spec.name, key, record)
+                            finally:
+                                # Claim released *after* the save: a
+                                # waiter that sees the claim disappear
+                                # finds the record already renamed in.
+                                if claim is not None:
+                                    claim.release()
                             if journal is not None:
                                 journal.point_finished(key, point.index)
                             records.append(record)
@@ -506,6 +643,12 @@ class SweepOrchestrator:
                         )
                     if fallback_executor is not None:
                         fallback_executor.close()
+                    if journal is not None:
+                        # Drop the owner lease whatever happened: a
+                        # completed sweep already sealed it (no-op), an
+                        # aborted one must not leave a live-looking
+                        # lease for the next driver to wait out.
+                        journal.release()
         return SweepReport(
             spec=spec,
             records=tuple(records),
@@ -537,32 +680,37 @@ class SweepOrchestrator:
         record["from_cache"] = True
         return record
 
-    def _compute_point(
-        self,
-        runner: Callable[..., Any],
-        executor: TrialExecutor,
-        spec: ScenarioSpec,
-        point: SweepPoint,
-        tolerance: Optional[float],
-        effective_trials: int,
-    ) -> Any:
-        """Run one point's trials on ``executor`` through a fresh engine."""
-        engine = TrialEngine(
-            executor=executor,
-            tolerance=tolerance,
-            min_trials=spec.engine.min_trials,
-            check_interval=spec.engine.check_interval,
-            checkpoint_batches=spec.engine.checkpoint_batches,
-            ci_method=spec.engine.ci_method,
-            tracer=self.tracer,
-        )
-        return runner(
-            point.params(spec),
-            effective_trials,
-            spec.seed,
-            engine,
-            spec.engine.batch_size,
-        )
+    #: How often a driver blocked on another driver's in-flight claim
+    #: re-checks for the record (or a released/expired claim).
+    claim_poll_seconds = 0.05
+
+    def _claim_or_follow(
+        self, scenario: str, key: str, point_span: Any, force: bool
+    ) -> Tuple[Optional[Any], Optional[Dict[str, Any]]]:
+        """Claim a point, or follow the concurrent driver computing it.
+
+        Returns ``(claim, None)`` once the in-flight claim is ours, or
+        ``(None, record)`` when the claim's holder finished first and
+        its record can simply be adopted (content-addressed: same key,
+        same bytes).  Under ``force`` the record is never adopted — the
+        caller asked for a recompute — so this only returns once the
+        claim is acquired.  A holder that dies mid-point is handled by
+        claim expiry (dead-pid check inside :meth:`ResultStore.claim`),
+        so the wait cannot wedge on a killed driver.
+        """
+        waited = False
+        while True:
+            claim = self.store.claim(scenario, key)
+            if claim is not None:
+                return claim, None
+            if not waited:
+                waited = True
+                point_span.event("claim_wait", key=key)
+            time.sleep(self.claim_poll_seconds)
+            if not force and self.store.has(scenario, key):
+                record = self._load_cached(scenario, key, point_span)
+                if record is not None:
+                    return None, record
 
 
 def run_scenario(

@@ -44,6 +44,7 @@ import hashlib
 import json
 import os
 import time
+import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -71,10 +72,34 @@ CHECKSUM_FIELD = "checksum"
 #: orphan from a killed driver only gets older.
 DEFAULT_TMP_GRACE_SECONDS = 3600.0
 
+#: The in-flight claim marker next to a point's (future) record:
+#: ``<scenario>/<key>.claim``.  Deliberately not ``.json`` so claims are
+#: invisible to every record scan (``keys``, ``verify``, lookups).
+CLAIM_SUFFIX = ".claim"
+
 #: Fields excluded from the checksum: the checksum itself, plus the
 #: in-memory ``from_cache`` marker (never persisted, but excluded
 #: defensively so re-verifying a loaded record stays stable).
 _UNCHECKSUMMED_FIELDS = (CHECKSUM_FIELD, "from_cache")
+
+
+def _pid_alive(pid: Any) -> bool:
+    """Is ``pid`` a live process on this host?  Unknowable reads as yes.
+
+    The liveness half of lease/claim expiry: a recorded owner pid that
+    no longer exists means its artifact is abandoned *now*, without
+    waiting out the age-based grace.  Malformed pids and permission
+    errors read as alive — expiry must err toward keeping.
+    """
+    if not isinstance(pid, int) or isinstance(pid, bool) or pid <= 0:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
 
 
 class StoreIntegrityError(ValueError):
@@ -284,16 +309,97 @@ class ResultStore:
         :data:`STORE_GENERATION` so ``gc(keep_latest=True)`` can prune
         records written by older formats, plus its :func:`record_checksum`
         so :meth:`verify` can detect torn or tampered copies.
+
+        A second writer of an *identical* record is a no-op: concurrent
+        sweeps sharing a point (the determinism contract makes their
+        records byte-identical) race the rename harmlessly instead of
+        churning the file's inode and mtime under each other.
         """
         stamped = finalize_record(record)
         path = self.path_for(scenario, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps(stamped, indent=2, sort_keys=True) + "\n"
+        data = body.encode("utf-8")
+        try:
+            if path.read_bytes() == data:
+                return path
+        except OSError:
+            pass
         temp = path.with_suffix(".json.tmp")
-        with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(stamped, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        with open(temp, "wb") as handle:
+            handle.write(data)
         os.replace(temp, path)
         return path
+
+    # -- in-flight point claims --------------------------------------------
+
+    def claim_path(self, scenario: str, key: str) -> Path:
+        return self.root / scenario / f"{key}{CLAIM_SUFFIX}"
+
+    def claim(
+        self,
+        scenario: str,
+        key: str,
+        grace_seconds: float = DEFAULT_TMP_GRACE_SECONDS,
+    ) -> Optional["PointClaim"]:
+        """Claim a point for computation; ``None`` if someone live has it.
+
+        The cross-process dedup primitive: before computing a point, a
+        driver exclusively creates ``<scenario>/<key>.claim`` carrying
+        its pid + token.  A concurrent driver meeting the claim backs
+        off (``None``) and polls for the record instead of recomputing.
+        A claim whose owner process is gone, or whose file has aged past
+        ``grace_seconds`` (the same grace gc applies to tmp orphans), is
+        *abandoned*: it is taken over in place rather than wedging every
+        later sweep on a dead driver's marker.
+
+        Claims are advisory.  Losing an unlikely takeover race means two
+        drivers compute the same point — the determinism contract makes
+        their records byte-identical and :meth:`save` folds the second
+        write into a no-op, so the race costs duplicate work, never
+        correctness.
+        """
+        path = self.claim_path(scenario, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"pid": os.getpid(), "token": uuid.uuid4().hex}
+        body = canonical_json(payload) + "\n"
+        try:
+            with open(path, "x", encoding="utf-8") as handle:
+                handle.write(body)
+            return PointClaim(path=path, token=payload["token"])
+        except FileExistsError:
+            pass
+        if not self._claim_is_stale(path, grace_seconds):
+            return None
+        # Abandoned: replace it with our own marker (atomic — concurrent
+        # takeovers race the rename, last writer owns the claim file and
+        # the loser discovers it at release time, harmlessly).
+        temp = path.with_suffix(CLAIM_SUFFIX + ".tmp")
+        try:
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(temp, path)
+        except OSError:
+            return None
+        return PointClaim(path=path, token=payload["token"])
+
+    @staticmethod
+    def _claim_is_stale(path: Path, grace_seconds: float) -> bool:
+        """Dead owner pid, or a claim file older than the grace period."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            # Vanished underneath us — released; the caller retries.
+            return True
+        if age >= grace_seconds:
+            return True
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # Torn or mid-write: fresh by mtime, so keep it.
+            return False
+        return isinstance(payload, dict) and not _pid_alive(payload.get("pid"))
 
     def keys(self, scenario: str) -> List[str]:
         """The cached point keys of a scenario (sorted for determinism)."""
@@ -415,6 +521,23 @@ class ResultStore:
                     report.orphans.append(orphan)
                 else:
                     report.fresh_tmp.append(orphan)
+            # In-flight point claims: a dead owner's (or aged-out) claim
+            # is abandoned and collected; a live driver's claim is kept —
+            # gc next to a running sweep must never steal its dedup lock.
+            for claim in sorted(directory.glob(f"*{CLAIM_SUFFIX}")):
+                if self._claim_is_stale(claim, tmp_grace_seconds):
+                    report.stale_claims.append(claim)
+                else:
+                    report.fresh_claims.append(claim)
+            for claim_tmp in sorted(directory.glob(f"*{CLAIM_SUFFIX}.tmp")):
+                try:
+                    age = now - claim_tmp.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= tmp_grace_seconds:
+                    report.orphans.append(claim_tmp)
+                else:
+                    report.fresh_tmp.append(claim_tmp)
             for path in sorted(directory.glob("*.json")):
                 try:
                     with open(path, "r", encoding="utf-8") as handle:
@@ -497,6 +620,37 @@ class ResultStore:
 
 
 @dataclass
+class PointClaim:
+    """A held in-flight claim on one point (see :meth:`ResultStore.claim`)."""
+
+    path: Path
+    token: str
+
+    def release(self) -> None:
+        """Drop the claim iff we still own it; idempotent and race-safe.
+
+        A claim taken over after expiry belongs to the new owner — the
+        token check keeps a resumed zombie driver from deleting it.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return
+        if isinstance(payload, dict) and payload.get("token") == self.token:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PointClaim":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+@dataclass
 class GcReport:
     """What one :meth:`ResultStore.gc` pass found (and removed)."""
 
@@ -517,13 +671,23 @@ class GcReport:
     #: Same, but within the grace period: kept, the sweep may just not
     #: have committed its first point yet.
     fresh_journals: List[Path] = field(default_factory=list)
+    #: Abandoned in-flight point claims (owner dead or aged past grace).
+    stale_claims: List[Path] = field(default_factory=list)
+    #: Claims a live driver still holds: kept.
+    fresh_claims: List[Path] = field(default_factory=list)
     #: Records parked under ``.quarantine/`` by :meth:`ResultStore.repair`;
     #: removed only under ``purge_quarantine``.
     quarantined: List[Path] = field(default_factory=list)
 
     def removed_paths(self) -> List[Path]:
         """Everything this pass removes (or would, under ``dry_run``)."""
-        removed = [*self.orphans, *self.corrupt, *self.stale, *self.journal_orphans]
+        removed = [
+            *self.orphans,
+            *self.corrupt,
+            *self.stale,
+            *self.journal_orphans,
+            *self.stale_claims,
+        ]
         if self.purge_quarantine:
             removed.extend(self.quarantined)
         return removed

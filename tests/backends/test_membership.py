@@ -26,6 +26,7 @@ from repro.backends import (
 )
 from repro.backends.membership import (
     REGISTRY_ROLE,
+    RegistryBusyError,
     _registry_request,
     resolve_announced_address,
 )
@@ -152,6 +153,80 @@ class TestMembershipRegistry:
 
     def test_retire_against_a_dead_registry_is_best_effort(self):
         assert retire_worker("127.0.0.1:1", "127.0.0.1:7070") is False
+
+
+def _wait_port_free(host, port, deadline_seconds=5.0):
+    import socket
+
+    deadline = time.monotonic() + deadline_seconds
+    while True:
+        probe = socket.socket()
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            probe.bind((host, port))
+            return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+        finally:
+            probe.close()
+
+
+class TestSingleDriverAssumptions:
+    """The multi-driver bugfixes: one registry per fleet, robust stop()."""
+
+    def test_second_bind_on_a_busy_fleet_refuses_cleanly(self):
+        import os
+
+        with MembershipRegistry() as first:
+            host, port = first.address
+            with pytest.raises(RegistryBusyError) as refusal:
+                MembershipRegistry(host=host, port=port)
+            # The typed error names the live driver holding the fleet.
+            assert str(os.getpid()) in str(refusal.value)
+            assert "announce-bind" in str(refusal.value)
+
+    def test_bind_conflict_with_a_non_registry_stays_a_plain_oserror(self):
+        """Only a live driver registry earns the typed refusal; a span
+        worker (or anything else) on the port surfaces the raw bind
+        error so the operator sees the real conflict."""
+        worker = WorkerServer().serve_background()
+        try:
+            host, port = worker.address
+            with pytest.raises(OSError) as error:
+                MembershipRegistry(host=host, port=port)
+            assert not isinstance(error.value, RegistryBusyError)
+        finally:
+            worker.stop()
+
+    def test_stop_releases_the_port_even_when_the_loop_wedges(self):
+        """stop() must close the listening socket even when the accept
+        loop never acknowledges shutdown() within the join window."""
+        registry = MembershipRegistry()
+        registry._stop_timeout = 0.2
+        registry.start()
+        assert registry._loop_started.wait(timeout=5)
+        # Wedge the loop: shutdown() never takes effect, so the loop
+        # thread outlives its join and stop() must abandon it.
+        registry.shutdown = lambda: time.sleep(30)
+        host, port = registry.address
+        start = time.monotonic()
+        registry.stop()
+        assert time.monotonic() - start < 5
+        # The port frees as soon as the wedged loop's in-flight poll()
+        # returns (the kernel pins the file description for the duration
+        # of the call) — bounded by one poll interval, not instantaneous.
+        _wait_port_free(host, port)
+        replacement = MembershipRegistry(host=host, port=port)
+        replacement.server_close()
+
+    def test_stop_without_start_closes_the_socket(self):
+        registry = MembershipRegistry()
+        host, port = registry.address
+        registry.stop()
+        replacement = MembershipRegistry(host=host, port=port)
+        replacement.server_close()
 
 
 class TestHostsFileWatcher:

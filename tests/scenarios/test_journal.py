@@ -3,10 +3,18 @@ semantics — including the case the store alone cannot decide, a record
 present on disk for a point the journal says was still mid-flight."""
 
 import json
+import os
+import threading
 
 import pytest
 
-from repro.scenarios.journal import JOURNAL_DIR, SweepJournal, sweep_spec_hash
+from repro.scenarios.journal import (
+    JOURNAL_DIR,
+    JournalBusyError,
+    JournalOwnershipLost,
+    SweepJournal,
+    sweep_spec_hash,
+)
 from repro.scenarios.orchestrator import SweepOrchestrator, run_scenario
 from repro.scenarios.runners import _RUNNERS, register_kind
 from repro.scenarios.spec import Axis, ScenarioSpec
@@ -90,6 +98,10 @@ class TestStateMachine:
         first.point_finished("k1", 0)
         first.point_started("k2", 1)
         # Driver dies here; a new journal object is the resumed driver.
+        # release() drops the lease the way the orchestrator's abort
+        # path does (flight state intact) — a SIGKILLed driver instead
+        # fails the lease's dead-pid check, covered in TestOwnerLease.
+        first.release()
         second = SweepJournal(tmp_path, "scn")
         assert second.begin("hash1", 3) == {"k2"}
 
@@ -97,6 +109,7 @@ class TestStateMachine:
         first = SweepJournal(tmp_path, "scn")
         first.begin("hash1", 3)
         first.point_started("k2", 1)
+        first.release()
         second = SweepJournal(tmp_path, "scn")
         assert second.begin("hash2", 3) == set()
         assert second.midflight_keys() == set()
@@ -126,6 +139,119 @@ class TestStateMachine:
         state = json.loads(journal.path.read_text(encoding="utf-8"))
         assert state["points"]["k1"] == {"status": "started", "index": 0}
         assert not list(journal.path.parent.glob("*.tmp"))
+
+
+class TestOwnerLease:
+    """The lost-updates bugfix: one live lease per journal, typed refusal."""
+
+    def test_second_live_driver_fails_fast(self, tmp_path):
+        first = SweepJournal(tmp_path, "scn")
+        first.begin("hash1", 3)
+        second = SweepJournal(tmp_path, "scn")
+        with pytest.raises(JournalBusyError, match="live driver"):
+            second.begin("hash1", 3)
+        # The refused driver wrote nothing: the winner's state is intact.
+        assert first.load()["owner"]["token"] == first._token
+        first.release()
+
+    def test_dead_pid_lease_is_taken_over_immediately(self, tmp_path):
+        """SIGKILL resume: a fresh mtime must not wedge the next driver
+        when the recorded owner process no longer exists."""
+        first = SweepJournal(tmp_path, "scn")
+        first.begin("hash1", 2)
+        first.point_started("k1", 0)
+        # Forge the crash: heartbeat stops, and the on-disk owner pid
+        # becomes one that cannot exist.
+        first._stop_heartbeat()
+        state = first.load()
+        state["owner"]["pid"] = 2 ** 22 + os.getpid()
+        first._state = state
+        first._write()
+        second = SweepJournal(tmp_path, "scn")
+        assert second.begin("hash1", 2) == {"k1"}
+        second.release()
+
+    def test_stale_heartbeat_lease_expires(self, tmp_path):
+        """A live-pid owner whose heartbeat went silent past the lease
+        window (wedged driver) loses the lease to the next driver."""
+        first = SweepJournal(tmp_path, "scn", lease_seconds=0.2)
+        first.begin("hash1", 1)
+        first._stop_heartbeat()  # the wedge: alive pid, silent heartbeat
+        old = first.path.stat().st_mtime - 5.0
+        os.utime(first.path, (old, old))
+        second = SweepJournal(tmp_path, "scn", lease_seconds=0.2)
+        assert second.begin("hash1", 1) == set()
+        second.release()
+
+    def test_usurped_driver_cannot_write(self, tmp_path):
+        """The loser of a takeover gets a typed error on its next mark
+        instead of silently clobbering the new owner's flight state."""
+        first = SweepJournal(tmp_path, "scn", lease_seconds=0.2)
+        first.begin("hash1", 2)
+        first.point_started("k1", 0)
+        first._stop_heartbeat()
+        old = first.path.stat().st_mtime - 5.0
+        os.utime(first.path, (old, old))
+        second = SweepJournal(tmp_path, "scn", lease_seconds=0.2)
+        second.begin("hash1", 2)
+        with pytest.raises(JournalOwnershipLost):
+            first.point_finished("k1", 0)
+        assert second.load()["owner"]["token"] == second._token
+        second.release()
+
+    def test_complete_releases_the_lease(self, tmp_path):
+        journal = SweepJournal(tmp_path, "scn")
+        journal.begin("hash1", 0)
+        journal.complete()
+        assert journal.load()["owner"] is None
+        assert SweepJournal(tmp_path, "scn").begin("hash1", 0) == set()
+
+    def test_racing_orchestrators_one_fails_fast(
+        self, counting_kind, tmp_path
+    ):
+        """Two orchestrators racing one journal: exactly one runs the
+        sweep, the other is refused with the typed error — never an
+        interleaved journal."""
+        store = ResultStore(tmp_path)
+        spec = journal_spec()
+        started = threading.Event()
+        release = threading.Event()
+
+        @register_kind("journal-race-kind")
+        def slow_point(params, trials, seed, engine, batch_size=None):
+            started.set()
+            release.wait(timeout=30)
+            return {"p": params["p"], "value": 0.0, "trials_run": 0}
+
+        try:
+            slow_spec = journal_spec(
+                name="race-sweep", kind="journal-race-kind", points=1
+            )
+            winner = SweepOrchestrator(store=store)
+            error: list = []
+
+            def run_winner():
+                try:
+                    winner.run(slow_spec)
+                except Exception as failure:  # pragma: no cover
+                    error.append(failure)
+
+            thread = threading.Thread(target=run_winner)
+            thread.start()
+            try:
+                assert started.wait(timeout=30)
+                loser = SweepOrchestrator(store=store)
+                with pytest.raises(JournalBusyError):
+                    loser.run(slow_spec)
+            finally:
+                release.set()
+                thread.join(timeout=30)
+            assert not error
+            status = SweepJournal.status(tmp_path, slow_spec.name)
+            assert status["status"] == "complete"
+            assert status["midflight"] == []
+        finally:
+            _RUNNERS.pop("journal-race-kind", None)
 
 
 class TestOrchestratorIntegration:

@@ -429,3 +429,94 @@ class TestIntegrity:
         store.save("scn", "aaa", {"key": "aaa", "result": {"value": 0.1}})
         assert store.verify().clean
         assert store.repair().quarantined == []
+
+
+class TestPointClaims:
+    """In-flight claims: exclusive acquire, expiry, gc awareness, no-op save."""
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = store.claim("scn", "k1")
+        assert first is not None
+        assert store.claim("scn", "k1") is None
+        first.release()
+        second = store.claim("scn", "k1")
+        assert second is not None
+        second.release()
+        assert not store.claim_path("scn", "k1").exists()
+
+    def test_release_is_idempotent_and_token_checked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        claim = store.claim("scn", "k1")
+        claim.release()
+        claim.release()  # second release: nothing to do, no error
+        # A new owner's claim is not ours to delete.
+        other = store.claim("scn", "k1")
+        claim.release()
+        assert store.claim_path("scn", "k1").exists()
+        other.release()
+
+    def test_dead_owner_claim_is_taken_over(self, tmp_path):
+        """A claim abandoned by a killed driver expires immediately via
+        the dead-pid check — resume never wedges on the grace period."""
+        store = ResultStore(tmp_path)
+        path = store.claim_path("scn", "k1")
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            canonical_json({"pid": 2 ** 22 + os.getpid(), "token": "dead"}),
+            encoding="utf-8",
+        )
+        claim = store.claim("scn", "k1")
+        assert claim is not None
+        claim.release()
+
+    def test_aged_out_claim_is_taken_over(self, tmp_path):
+        store = ResultStore(tmp_path)
+        held = store.claim("scn", "k1")
+        backdate(store.claim_path("scn", "k1"))
+        takeover = store.claim("scn", "k1")
+        assert takeover is not None
+        # The original owner lost the takeover race: token-checked
+        # release leaves the new owner's claim alone.
+        held.release()
+        assert store.claim_path("scn", "k1").exists()
+        takeover.release()
+
+    def test_claims_are_invisible_to_record_scans(self, tmp_path):
+        store = ResultStore(tmp_path)
+        claim = store.claim("scn", "k1")
+        assert store.keys("scn") == []
+        assert store.scenarios() == []
+        assert store.verify().scanned == 0
+        claim.release()
+
+    def test_gc_keeps_live_claims_and_collects_stale_ones(self, tmp_path):
+        store = ResultStore(tmp_path)
+        live = store.claim("scn", "live")
+        store.claim("scn", "aged")  # held but aged: abandoned
+        aged = store.claim_path("scn", "aged")
+        backdate(aged)
+        report = store.gc()
+        assert aged in report.stale_claims
+        assert store.claim_path("scn", "live") in report.fresh_claims
+        assert not aged.exists()
+        assert store.claim_path("scn", "live").exists()
+        live.release()
+
+    def test_identical_save_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = {"key": "k1", "scenario": "scn", "result": {"v": 1}}
+        path = store.save("scn", "k1", record)
+        stat_before = path.stat()
+        again = store.save("scn", "k1", record)
+        assert again == path
+        stat_after = path.stat()
+        # Same inode, same mtime: the second writer never rewrote it.
+        assert stat_after.st_ino == stat_before.st_ino
+        assert stat_after.st_mtime_ns == stat_before.st_mtime_ns
+
+    def test_changed_save_still_overwrites(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("scn", "k1", {"key": "k1", "result": {"v": 1}})
+        store.save("scn", "k1", {"key": "k1", "result": {"v": 2}})
+        assert store.load("scn", "k1")["result"] == {"v": 2}
